@@ -1,0 +1,72 @@
+// Command flick-bench regenerates the tables and figures of the paper's
+// evaluation (Section 4). Each experiment prints the same rows/series the
+// paper reports, measured with this repository's generated stubs on the
+// current host (absolute numbers differ from 1997 hardware; the shape —
+// who wins and by roughly what factor — is the reproduction target).
+//
+//	flick-bench -exp fig3      # marshal throughput, all three workloads
+//	flick-bench -exp fig4      # end-to-end, 10Mbps Ethernet model
+//	flick-bench -exp fig5      # end-to-end, 100Mbps Ethernet model
+//	flick-bench -exp fig6      # end-to-end, 640Mbps Myrinet model
+//	flick-bench -exp fig7      # MIG vs Flick over Mach IPC
+//	flick-bench -exp table2    # generated stub code sizes
+//	flick-bench -exp table3    # tested compiler matrix
+//	flick-bench -exp ablation  # §3 optimization ablations
+//	flick-bench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flick/internal/experiment"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, fig7, table2, table3, ablation, all")
+	flag.Parse()
+
+	run := func(name string) bool {
+		return *exp == "all" || *exp == name
+	}
+	ran := false
+	if run("table3") {
+		fmt.Println(experiment.Table3())
+		ran = true
+	}
+	if run("table2") {
+		fmt.Println(experiment.Table2())
+		ran = true
+	}
+	if run("fig3") {
+		for _, w := range []experiment.Workload{experiment.Ints, experiment.Rects, experiment.Dirs} {
+			fmt.Println(experiment.Fig3(w))
+		}
+		ran = true
+	}
+	if run("fig4") {
+		fmt.Println(experiment.Fig4())
+		ran = true
+	}
+	if run("fig5") {
+		fmt.Println(experiment.Fig5())
+		ran = true
+	}
+	if run("fig6") {
+		fmt.Println(experiment.Fig6())
+		ran = true
+	}
+	if run("fig7") {
+		fmt.Println(experiment.Fig7())
+		ran = true
+	}
+	if run("ablation") {
+		fmt.Println(experiment.Ablation())
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "flick-bench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,88 @@
+// Command flick is the Flick-Go IDL compiler driver: it parses a CORBA
+// IDL, ONC RPC, or MIG source file, runs a presentation generator, and
+// emits stubs through the selected back end.
+//
+// Examples:
+//
+//	flick -idl corba -lang go -format xdr -o stubs.go mail.idl
+//	flick -idl oncrpc -lang go -format xdr -style rpcgen -o naive.go mail.x
+//	flick -idl corba -lang c -format cdr -o mail.c mail.idl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"flick"
+)
+
+func main() {
+	var opt flick.Options
+	var out string
+	idl := flag.String("idl", "auto", "IDL language: corba, oncrpc, mig, or auto (by extension)")
+	lang := flag.String("lang", "go", "target language: go or c")
+	format := flag.String("format", "xdr", "wire format: xdr, cdr, cdr-le, mach3, fluke")
+	style := flag.String("style", "flick", "code style: flick, rpcgen, powerrpc")
+	pkg := flag.String("package", "stubs", "generated Go package name")
+	suffix := flag.String("suffix", "", "suffix appended to generated function names")
+	skipDecls := flag.Bool("skip-decls", false, "omit presented type declarations")
+	rpc := flag.Bool("rpc", true, "emit client stubs and server dispatch (Go only)")
+	side := flag.String("side", "client", "presentation side: client or server (C only)")
+	flag.StringVar(&out, "o", "", "output file (default stdout)")
+	noOpt := flag.String("disable", "", "comma-separated optimizations to disable: group,chunk,memcpy,inline")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: flick [flags] file.idl")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	opt.IDL = *idl
+	opt.Lang = *lang
+	opt.Format = *format
+	opt.Style = *style
+	opt.Package = *pkg
+	opt.FuncSuffix = *suffix
+	opt.SkipDecls = *skipDecls
+	opt.EmitRPC = *rpc
+	opt.Side = *side
+	for _, d := range strings.Split(*noOpt, ",") {
+		switch strings.TrimSpace(d) {
+		case "":
+		case "group":
+			opt.DisableGroup = true
+		case "chunk":
+			opt.DisableChunk = true
+		case "memcpy":
+			opt.DisableMemcpy = true
+		case "inline":
+			opt.DisableInline = true
+		default:
+			fatal(fmt.Errorf("unknown optimization %q", d))
+		}
+	}
+
+	code, err := flick.Compile(flag.Arg(0), string(src), opt)
+	if err != nil {
+		fatal(err)
+	}
+	if out == "" {
+		fmt.Print(code)
+		return
+	}
+	if err := os.WriteFile(out, []byte(code), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flick:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,6 @@
+// Package calcstubs holds flick-generated stubs for the cross-IDL
+// example: the same calculator compiled from the ONC RPC language
+// (calc.x) and usable over ONC/XDR. Regenerate with go generate.
+package calcstubs
+
+//go:generate go run flick/cmd/flick -idl oncrpc -lang go -format xdr -style flick -package calcstubs -o calc_flick.go ../../idl/calc.x

@@ -1,0 +1,6 @@
+// Package dirstubs holds flick-generated stubs for the Directory example
+// (GIOP message format over little-endian CDR). Regenerate with go
+// generate.
+package dirstubs
+
+//go:generate go run flick/cmd/flick -idl corba -lang go -format cdr-le -style flick -package dirstubs -o dir_flick.go ../../idl/dir.idl

@@ -1,0 +1,5 @@
+// Package mailstubs holds flick-generated stubs for the Mail example
+// (ONC RPC message format over XDR). Regenerate with go generate.
+package mailstubs
+
+//go:generate go run flick/cmd/flick -idl corba -lang go -format xdr -style flick -package mailstubs -o mail_flick.go ../../idl/mail.idl

@@ -1,0 +1,114 @@
+// Mailservice: the paper's introductory Mail interface as a working RPC
+// application — generated Flick stubs, ONC RPC message format, XDR
+// encoding, TCP transport.
+//
+//	go run ./examples/mailservice
+//
+// The program starts a server on a loopback port, connects a client, and
+// exercises every operation, including a typed exception crossing the
+// wire and a oneway call.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+
+	stubs "flick/examples/internal/mailstubs"
+	"flick/rt"
+)
+
+// mailbox implements the generated MailServer interface.
+type mailbox struct {
+	mu   sync.Mutex
+	msgs []string
+}
+
+func (m *mailbox) Send(msg string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.msgs = append(m.msgs, msg)
+	return nil
+}
+
+func (m *mailbox) Unread() (int32, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return int32(len(m.msgs)), nil
+}
+
+func (m *mailbox) Fetch(idx int32) (string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if idx < 0 || int(idx) >= len(m.msgs) {
+		return "", &stubs.MailRejected{Reason: fmt.Sprintf("no message %d", idx)}
+	}
+	return m.msgs[idx], nil
+}
+
+func (m *mailbox) Flush() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.msgs = nil
+	return nil
+}
+
+func main() {
+	// Server.
+	l, err := rt.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer l.Close()
+	srv := rt.NewServer(rt.ONC{})
+	stubs.RegisterMail(srv, &mailbox{})
+	go srv.Serve(l)
+	fmt.Println("mail server listening on", l.Addr())
+
+	// Client.
+	conn, err := rt.DialTCP(l.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := stubs.NewMailClient(conn)
+	defer c.C.Close()
+
+	for _, msg := range []string{"hello", "flick is an IDL compiler", "bye"} {
+		if err := c.Send(msg); err != nil {
+			log.Fatal(err)
+		}
+	}
+	n, err := c.Unread()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("unread:", n)
+
+	for i := int32(0); i < n; i++ {
+		msg, err := c.Fetch(i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fetch(%d) = %q\n", i, msg)
+	}
+
+	// A typed exception crosses the wire.
+	_, err = c.Fetch(99)
+	var rej *stubs.MailRejected
+	if errors.As(err, &rej) {
+		fmt.Printf("fetch(99) raised Mail::Rejected: %s\n", rej.Reason)
+	} else {
+		log.Fatalf("expected Mail::Rejected, got %v", err)
+	}
+
+	// Oneway: returns without waiting for a reply.
+	if err := c.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	n, err = c.Unread()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("unread after flush:", n)
+}

@@ -1,0 +1,200 @@
+package flick_test
+
+import (
+	"strings"
+	"testing"
+
+	"flick"
+)
+
+const mailCorba = `
+interface Mail {
+	void send(in string msg);
+};
+`
+
+const mailONC = `
+program Mail {
+	version V {
+		void send(string) = 1;
+	} = 1;
+} = 0x20000001;
+`
+
+func TestParseAutoDetection(t *testing.T) {
+	af, err := flick.Parse("mail.idl", mailCorba, "auto")
+	if err != nil || af.IDL != "corba" {
+		t.Errorf("idl auto = %v, %v", af, err)
+	}
+	af, err = flick.Parse("mail.x", mailONC, "auto")
+	if err != nil || af.IDL != "oncrpc" {
+		t.Errorf("x auto = %v, %v", af, err)
+	}
+	if _, err := flick.Parse("m.idl", mailCorba, "klingon"); err == nil {
+		t.Error("unknown IDL accepted")
+	}
+}
+
+func TestCompileMatrix(t *testing.T) {
+	// Every (IDL, lang, format, style) combination we ship must compile
+	// the Mail interface.
+	for _, idl := range []struct{ name, file, src string }{
+		{"corba", "m.idl", mailCorba},
+		{"oncrpc", "m.x", mailONC},
+	} {
+		for _, lang := range []string{"go", "c"} {
+			for _, format := range []string{"xdr", "cdr", "cdr-le", "mach3", "fluke"} {
+				for _, style := range []string{"flick", "rpcgen", "powerrpc"} {
+					opts := flick.Options{
+						IDL: idl.name, Lang: lang, Format: format, Style: style,
+						Package: "m", EmitRPC: lang == "go",
+					}
+					out, err := flick.Compile(idl.file, idl.src, opts)
+					if err != nil {
+						t.Errorf("%s/%s/%s/%s: %v", idl.name, lang, format, style, err)
+						continue
+					}
+					if len(out) < 200 {
+						t.Errorf("%s/%s/%s/%s: suspiciously small output (%d bytes)",
+							idl.name, lang, format, style, len(out))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCompileMIG(t *testing.T) {
+	out, err := flick.Compile("bench.defs", `
+		subsystem bench 2400;
+		routine send_ints(port : mach_port_t; v : array[] of int32_t);
+	`, flick.Options{Format: "mach3", Package: "migstubs", EmitRPC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"package migstubs",
+		"MarshalBenchSendIntsRequest",
+		"c.Prog = 2400",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("MIG output missing %q", frag)
+		}
+	}
+}
+
+func TestCompileAblationToggles(t *testing.T) {
+	full, err := flick.Compile("m.idl", mailCorba, flick.Options{Package: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noMemcpy, err := flick.Compile("m.idl", mailCorba, flick.Options{
+		Package: "p", DisableMemcpy: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full == noMemcpy {
+		t.Error("disabling memcpy changed nothing")
+	}
+	if !strings.Contains(full, "e.PutString(msg)") {
+		t.Error("full output lacks bulk string copy")
+	}
+	if strings.Contains(noMemcpy, "e.PutString(msg)") {
+		t.Error("no-memcpy output still bulk-copies")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := flick.Compile("m.idl", "interface {", flick.Options{}); err == nil {
+		t.Error("syntax error not reported")
+	}
+	if _, err := flick.Compile("m.idl", mailCorba, flick.Options{Format: "morse"}); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := flick.Compile("m.idl", mailCorba, flick.Options{Lang: "cobol"}); err == nil {
+		t.Error("unknown language accepted")
+	}
+}
+
+func TestGeneratedGoCompilesUnderGofmtAssumptions(t *testing.T) {
+	// Generated Go must at least be balanced and contain the DO NOT
+	// EDIT marker; real compilation is covered by the committed
+	// teststubs package.
+	out, err := flick.Compile("m.idl", mailCorba, flick.Options{Package: "p", EmitRPC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "DO NOT EDIT") {
+		t.Error("missing generated-code marker")
+	}
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Error("unbalanced braces in generated code")
+	}
+}
+
+func TestCompileAttributesAndInheritance(t *testing.T) {
+	// CORBA attributes expand into _get_/_set_ operations; inherited
+	// operations keep their discriminator order — both must survive the
+	// full pipeline into generated client/server code.
+	out, err := flick.Compile("acct.idl", `
+		interface Base {
+			readonly attribute long version;
+			void ping();
+		};
+		interface Account : Base {
+			attribute string owner;
+			void close();
+		};
+	`, flick.Options{Format: "cdr-le", Package: "acct", EmitRPC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		// Inherited op plus own ops plus expanded attribute accessors.
+		"func (c *AccountClient) Ping()",
+		"func (c *AccountClient) Close()",
+		"func (c *AccountClient) GetOwner() (ret string, err error)",
+		"func (c *AccountClient) SetOwner(value string) (err error)",
+		"GetVersion() (ret int32, err error)",
+		// GIOP name demux must distinguish "_get_owner"/"_set_owner"
+		// by their differing words.
+		`case 0x5f676574: // "_get"`,
+		`case 0x5f736574: // "_set"`,
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q", frag)
+		}
+	}
+}
+
+func TestCompileInOutParams(t *testing.T) {
+	out, err := flick.Compile("io.idl", `
+		interface Counter {
+			void bump(inout long value, out long previous);
+		};
+	`, flick.Options{Format: "xdr", Package: "ctr", EmitRPC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// inout appears in both the request and the reply.
+	for _, frag := range []string{
+		"func MarshalCounterBumpRequest(e *rt.Encoder, value int32)",
+		"func UnmarshalCounterBumpReply(d *rt.Decoder) (value int32, previous int32, err error)",
+		"Bump(value int32) (valueOut int32, previous int32, err error)",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("inout output missing %q\n", frag)
+		}
+	}
+}
+
+func TestMIGRejectsCTarget(t *testing.T) {
+	_, err := flick.Compile("s.defs", `
+		subsystem s 1;
+		routine f(port : mach_port_t; x : int);
+	`, flick.Options{Lang: "c", Format: "mach3"})
+	if err == nil || !strings.Contains(err.Error(), "MIG front end") {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module flick
+
+go 1.22

@@ -1,0 +1,41 @@
+package ablstubs
+
+import (
+	"math/rand"
+	"testing"
+
+	"flick/rt"
+)
+
+func mkDirs(n int) []BenchDirEntry {
+	r := rand.New(rand.NewSource(1))
+	v := make([]BenchDirEntry, n/256)
+	name := make([]byte, 116)
+	for i := range v {
+		for j := range name {
+			name[j] = byte('a' + r.Intn(26))
+		}
+		v[i].Name = string(name)
+	}
+	return v
+}
+
+func BenchmarkDirsFull(b *testing.B) {
+	v := mkDirs(64 << 10)
+	var e rt.Encoder
+	b.SetBytes(64 << 10)
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		MarshalBenchSendDirsFullRequest(&e, v)
+	}
+}
+
+func BenchmarkDirsNoGroup(b *testing.B) {
+	v := mkDirs(64 << 10)
+	var e rt.Encoder
+	b.SetBytes(64 << 10)
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		MarshalBenchSendDirsNoGroupRequest(&e, v)
+	}
+}

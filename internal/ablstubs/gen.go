@@ -1,0 +1,10 @@
+// Package ablstubs holds flick-generated stubs for the §3 ablation
+// benchmarks: the same evaluation interface compiled with one
+// optimization disabled at a time. Regenerate with go generate.
+package ablstubs
+
+//go:generate go run flick/cmd/flick -idl corba -lang go -format xdr -style flick -rpc=false -package ablstubs -suffix Full -o stubs_full.go ../teststubs/test.idl
+//go:generate go run flick/cmd/flick -idl corba -lang go -format xdr -style flick -rpc=false -disable group -package ablstubs -suffix NoGroup -skip-decls -o stubs_nogroup.go ../teststubs/test.idl
+//go:generate go run flick/cmd/flick -idl corba -lang go -format xdr -style flick -rpc=false -disable chunk -package ablstubs -suffix NoChunk -skip-decls -o stubs_nochunk.go ../teststubs/test.idl
+//go:generate go run flick/cmd/flick -idl corba -lang go -format xdr -style flick -rpc=false -disable memcpy -package ablstubs -suffix NoMemcpy -skip-decls -o stubs_nomemcpy.go ../teststubs/test.idl
+//go:generate go run flick/cmd/flick -idl corba -lang go -format xdr -style flick -rpc=false -disable inline -package ablstubs -suffix NoInline -skip-decls -o stubs_noinline.go ../teststubs/test.idl

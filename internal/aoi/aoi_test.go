@@ -1,0 +1,322 @@
+package aoi
+
+import (
+	"strings"
+	"testing"
+)
+
+func i32() Type    { return &Primitive{Kind: Long} }
+func void() Type   { return &Primitive{Kind: Void} }
+func str() Type    { return &String{} }
+func boolT() Type  { return &Primitive{Kind: Boolean} }
+func octetT() Type { return &Primitive{Kind: Octet} }
+
+func validFile() *File {
+	point := &Struct{Name: "point", Fields: []Field{
+		{Name: "x", Type: i32()},
+		{Name: "y", Type: i32()},
+	}}
+	return &File{
+		Source: "test.idl",
+		IDL:    "corba",
+		Types:  []*TypeDef{{Name: "point", Type: point}},
+		Interfaces: []*Interface{{
+			Name: "Mail",
+			ID:   "IDL:Mail:1.0",
+			Ops: []*Operation{
+				{
+					Name:   "send",
+					Code:   0,
+					Params: []Param{{Name: "msg", Dir: In, Type: str()}},
+					Result: void(),
+				},
+				{
+					Name:   "locate",
+					Code:   1,
+					Params: []Param{{Name: "where", Dir: Out, Type: &NamedRef{Name: "point", Def: point}}},
+					Result: boolT(),
+				},
+			},
+		}},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := Validate(validFile()); err != nil {
+		t.Fatalf("Validate(valid) = %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*File)
+		wantSub string
+	}{
+		{
+			"duplicate type",
+			func(f *File) { f.Types = append(f.Types, &TypeDef{Name: "point", Type: i32()}) },
+			"duplicate type name",
+		},
+		{
+			"duplicate op",
+			func(f *File) {
+				op := *f.Interfaces[0].Ops[0]
+				op.Code = 99
+				f.Interfaces[0].Ops = append(f.Interfaces[0].Ops, &op)
+			},
+			"duplicate operation",
+		},
+		{
+			"duplicate op code",
+			func(f *File) {
+				op := *f.Interfaces[0].Ops[0]
+				op.Name = "other"
+				f.Interfaces[0].Ops = append(f.Interfaces[0].Ops, &op)
+			},
+			"share code",
+		},
+		{
+			"void parameter",
+			func(f *File) { f.Interfaces[0].Ops[0].Params[0].Type = void() },
+			"is void",
+		},
+		{
+			"oneway with result",
+			func(f *File) {
+				f.Interfaces[0].Ops[1].Oneway = true
+				f.Interfaces[0].Ops[1].Params = nil
+			},
+			"oneway operation has a result",
+		},
+		{
+			"oneway with out param",
+			func(f *File) {
+				f.Interfaces[0].Ops[1].Oneway = true
+				f.Interfaces[0].Ops[1].Result = void()
+			},
+			"oneway operation has out parameter",
+		},
+		{
+			"undeclared raise",
+			func(f *File) { f.Interfaces[0].Ops[0].Raises = []string{"NoSuch"} },
+			"undeclared exception",
+		},
+		{
+			"unresolved ref",
+			func(f *File) {
+				f.Interfaces[0].Ops[0].Params[0].Type = &NamedRef{Name: "mystery"}
+			},
+			"unresolved type reference",
+		},
+		{
+			"nil result",
+			func(f *File) { f.Interfaces[0].Ops[0].Result = nil },
+			"nil result",
+		},
+		{
+			"zero length array",
+			func(f *File) {
+				f.Interfaces[0].Ops[0].Params[0].Type = &Array{Elem: i32(), Length: 0}
+			},
+			"zero-length array",
+		},
+		{
+			"bad union discriminator",
+			func(f *File) {
+				f.Interfaces[0].Ops[0].Params[0].Type = &Union{
+					Name:    "u",
+					Discrim: str(),
+					Cases:   []UnionCase{{Labels: []int64{1}, Field: Field{Name: "a", Type: i32()}}},
+				}
+			},
+			"invalid discriminator",
+		},
+		{
+			"duplicate union label",
+			func(f *File) {
+				f.Interfaces[0].Ops[0].Params[0].Type = &Union{
+					Name:    "u",
+					Discrim: i32(),
+					Cases: []UnionCase{
+						{Labels: []int64{1}, Field: Field{Name: "a", Type: i32()}},
+						{Labels: []int64{1}, Field: Field{Name: "b", Type: str()}},
+					},
+				}
+			},
+			"duplicate case label",
+		},
+		{
+			"two defaults",
+			func(f *File) {
+				f.Interfaces[0].Ops[0].Params[0].Type = &Union{
+					Name:    "u",
+					Discrim: i32(),
+					Cases: []UnionCase{
+						{IsDefault: true, Field: Field{Name: "a", Type: i32()}},
+						{IsDefault: true, Field: Field{Name: "b", Type: str()}},
+					},
+				}
+			},
+			"multiple default arms",
+		},
+		{
+			"duplicate struct field",
+			func(f *File) {
+				f.Interfaces[0].Ops[0].Params[0].Type = &Struct{Name: "s", Fields: []Field{
+					{Name: "a", Type: i32()}, {Name: "a", Type: i32()},
+				}}
+			},
+			"duplicate field",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			f := validFile()
+			tt.mutate(f)
+			err := Validate(f)
+			if err == nil {
+				t.Fatalf("Validate() = nil, want error containing %q", tt.wantSub)
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestValidateRecursionThroughOptional(t *testing.T) {
+	// struct node { long v; node *next; } — legal (XDR linked list).
+	node := &Struct{Name: "node"}
+	node.Fields = []Field{
+		{Name: "v", Type: i32()},
+		{Name: "next", Type: &Optional{Elem: node}},
+	}
+	f := &File{Types: []*TypeDef{{Name: "node", Type: node}}}
+	if err := Validate(f); err != nil {
+		t.Fatalf("recursive list should validate, got %v", err)
+	}
+
+	// Mutually recursive through a pointer: also legal.
+	a := &Struct{Name: "a"}
+	b := &Struct{Name: "b", Fields: []Field{{Name: "back", Type: &Optional{Elem: a}}}}
+	a.Fields = []Field{{Name: "fwd", Type: b}}
+	f = &File{Types: []*TypeDef{{Name: "a", Type: a}, {Name: "b", Type: b}}}
+	if err := Validate(f); err != nil {
+		t.Fatalf("mutually recursive via pointer should validate, got %v", err)
+	}
+
+	// Direct cycle with no pointer: illegal.
+	bad := &Struct{Name: "bad"}
+	bad.Fields = []Field{{Name: "self", Type: bad}}
+	f = &File{Types: []*TypeDef{{Name: "bad", Type: bad}}}
+	if err := Validate(f); err == nil {
+		t.Fatal("direct struct cycle should not validate")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	base := i32()
+	ref1 := &NamedRef{Name: "a", Def: base}
+	ref2 := &NamedRef{Name: "b", Def: ref1}
+	if got := Resolve(ref2); got != base {
+		t.Errorf("Resolve(chain) = %v, want %v", got, base)
+	}
+	if got := Resolve(base); got != base {
+		t.Errorf("Resolve(base) = %v, want %v", got, base)
+	}
+}
+
+func TestIsVoid(t *testing.T) {
+	if !IsVoid(void()) {
+		t.Error("IsVoid(void) = false")
+	}
+	if !IsVoid(&NamedRef{Name: "v", Def: void()}) {
+		t.Error("IsVoid(ref to void) = false")
+	}
+	if IsVoid(i32()) {
+		t.Error("IsVoid(long) = true")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tests := []struct {
+		t    Type
+		want string
+	}{
+		{i32(), "long"},
+		{&Primitive{Kind: ULongLong}, "unsigned long long"},
+		{&String{}, "string"},
+		{&String{Bound: 80}, "string<80>"},
+		{&Sequence{Elem: i32()}, "sequence<long>"},
+		{&Sequence{Elem: i32(), Bound: 10}, "sequence<long,10>"},
+		{&Array{Elem: octetT(), Length: 16}, "octet[16]"},
+		{&Struct{Name: "p"}, "struct p"},
+		{&Struct{Fields: []Field{{Name: "x", Type: i32()}}}, "struct {long x}"},
+		{&Union{Name: "u"}, "union u"},
+		{&Enum{Name: "e"}, "enum e"},
+		{&Enum{Members: []string{"A", "B"}}, "enum {A, B}"},
+		{&NamedRef{Name: "t", Def: i32()}, "t"},
+		{&Optional{Elem: i32()}, "long*"},
+		{&InterfaceRef{Name: "Mail"}, "interface Mail"},
+	}
+	for _, tt := range tests {
+		if got := tt.t.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestLookups(t *testing.T) {
+	f := validFile()
+	if f.LookupType("point") == nil {
+		t.Error("LookupType(point) = nil")
+	}
+	if f.LookupType("nope") != nil {
+		t.Error("LookupType(nope) != nil")
+	}
+	it := f.LookupInterface("Mail")
+	if it == nil {
+		t.Fatal("LookupInterface(Mail) = nil")
+	}
+	if f.LookupInterface("nope") != nil {
+		t.Error("LookupInterface(nope) != nil")
+	}
+	if it.LookupOp("send") == nil {
+		t.Error("LookupOp(send) = nil")
+	}
+	if it.LookupOp("nope") != nil {
+		t.Error("LookupOp(nope) != nil")
+	}
+}
+
+func TestQualifiedName(t *testing.T) {
+	it := &Interface{Name: "Mail"}
+	if got := it.QualifiedName(); got != "Mail" {
+		t.Errorf("QualifiedName() = %q", got)
+	}
+	it.Module = "Post::Office"
+	if got := it.QualifiedName(); got != "Post::Office::Mail" {
+		t.Errorf("QualifiedName() = %q", got)
+	}
+}
+
+func TestUnionHasDefault(t *testing.T) {
+	u := &Union{Cases: []UnionCase{{Labels: []int64{1}, Field: Field{Name: "a", Type: i32()}}}}
+	if u.HasDefault() {
+		t.Error("HasDefault() = true without default")
+	}
+	u.Cases = append(u.Cases, UnionCase{IsDefault: true, Field: Field{Name: "d", Type: i32()}})
+	if !u.HasDefault() {
+		t.Error("HasDefault() = false with default")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if In.String() != "in" || Out.String() != "out" || InOut.String() != "inout" {
+		t.Error("Direction.String() wrong")
+	}
+	if !strings.Contains(Direction(9).String(), "9") {
+		t.Error("unknown direction should include value")
+	}
+}

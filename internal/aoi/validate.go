@@ -1,0 +1,233 @@
+package aoi
+
+import (
+	"fmt"
+)
+
+// Validate checks structural invariants of an AOI file: resolved named
+// references, unique names within each scope, union arms covering distinct
+// labels, and acyclic value types (cycles are legal only through Optional,
+// mirroring XDR's recursion-through-pointer rule).
+func Validate(f *File) error {
+	v := &validator{path: map[Type]bool{}, entered: map[Type]bool{}}
+	names := map[string]bool{}
+	for _, td := range f.Types {
+		if names[td.Name] {
+			return fmt.Errorf("aoi: duplicate type name %q", td.Name)
+		}
+		names[td.Name] = true
+		if err := v.checkType(td.Type, td.Name); err != nil {
+			return err
+		}
+	}
+	cnames := map[string]bool{}
+	for _, cd := range f.Consts {
+		if cnames[cd.Name] {
+			return fmt.Errorf("aoi: duplicate const name %q", cd.Name)
+		}
+		cnames[cd.Name] = true
+	}
+	inames := map[string]bool{}
+	for _, it := range f.Interfaces {
+		q := it.QualifiedName()
+		if inames[q] {
+			return fmt.Errorf("aoi: duplicate interface %q", q)
+		}
+		inames[q] = true
+		if err := v.checkInterface(it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type validator struct {
+	// path holds the nodes in progress within the current pointer-free
+	// region; revisiting one means an illegal cycle. Crossing an
+	// Optional edge starts a fresh region (recursion through a pointer
+	// is legal, as in XDR).
+	path map[Type]bool
+	// entered holds every node whose traversal has begun anywhere; it
+	// terminates traversal of recursive graphs.
+	entered map[Type]bool
+}
+
+func (v *validator) checkInterface(it *Interface) error {
+	ops := map[string]bool{}
+	codes := map[uint32]string{}
+	for _, op := range it.Ops {
+		if ops[op.Name] {
+			return fmt.Errorf("aoi: interface %s: duplicate operation %q", it.Name, op.Name)
+		}
+		ops[op.Name] = true
+		if prev, dup := codes[op.Code]; dup {
+			return fmt.Errorf("aoi: interface %s: operations %q and %q share code %d",
+				it.Name, prev, op.Name, op.Code)
+		}
+		codes[op.Code] = op.Name
+		if op.Result == nil {
+			return fmt.Errorf("aoi: interface %s: operation %q has nil result", it.Name, op.Name)
+		}
+		if err := v.checkType(op.Result, it.Name+"."+op.Name); err != nil {
+			return err
+		}
+		pnames := map[string]bool{}
+		for _, p := range op.Params {
+			if pnames[p.Name] {
+				return fmt.Errorf("aoi: %s.%s: duplicate parameter %q", it.Name, op.Name, p.Name)
+			}
+			pnames[p.Name] = true
+			if p.Type == nil {
+				return fmt.Errorf("aoi: %s.%s: parameter %q has nil type", it.Name, op.Name, p.Name)
+			}
+			if err := v.checkType(p.Type, it.Name+"."+op.Name); err != nil {
+				return err
+			}
+			if IsVoid(p.Type) {
+				return fmt.Errorf("aoi: %s.%s: parameter %q is void", it.Name, op.Name, p.Name)
+			}
+		}
+		if op.Oneway {
+			if !IsVoid(op.Result) {
+				return fmt.Errorf("aoi: %s.%s: oneway operation has a result", it.Name, op.Name)
+			}
+			for _, p := range op.Params {
+				if p.Dir != In {
+					return fmt.Errorf("aoi: %s.%s: oneway operation has %s parameter %q",
+						it.Name, op.Name, p.Dir, p.Name)
+				}
+			}
+			if len(op.Raises) > 0 {
+				return fmt.Errorf("aoi: %s.%s: oneway operation raises exceptions", it.Name, op.Name)
+			}
+		}
+		for _, ex := range op.Raises {
+			if !hasExcept(it, ex) {
+				return fmt.Errorf("aoi: %s.%s: raises undeclared exception %q", it.Name, op.Name, ex)
+			}
+		}
+	}
+	for _, at := range it.Attrs {
+		if err := v.checkType(at.Type, it.Name+"."+at.Name); err != nil {
+			return err
+		}
+	}
+	for _, ex := range it.Excepts {
+		for _, fld := range ex.Fields {
+			if err := v.checkType(fld.Type, it.Name+"."+ex.Name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func hasExcept(it *Interface, name string) bool {
+	for _, ex := range it.Excepts {
+		if ex.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (v *validator) checkType(t Type, ctx string) error {
+	if t == nil {
+		return fmt.Errorf("aoi: %s: nil type", ctx)
+	}
+	if v.path[t] {
+		return fmt.Errorf("aoi: %s: illegal type cycle through %s (recursion is legal only through optional/pointer types)", ctx, t)
+	}
+	if v.entered[t] {
+		return nil
+	}
+	v.entered[t] = true
+	v.path[t] = true
+	defer delete(v.path, t)
+	switch t := t.(type) {
+	case *Primitive, *String, *Enum, *InterfaceRef:
+		// leaves
+	case *Sequence:
+		if t.Elem == nil {
+			return fmt.Errorf("aoi: %s: sequence with nil element", ctx)
+		}
+		return v.checkType(t.Elem, ctx)
+	case *Array:
+		if t.Length == 0 {
+			return fmt.Errorf("aoi: %s: zero-length array", ctx)
+		}
+		return v.checkType(t.Elem, ctx)
+	case *Struct:
+		names := map[string]bool{}
+		for _, f := range t.Fields {
+			if names[f.Name] {
+				return fmt.Errorf("aoi: %s: struct %s: duplicate field %q", ctx, t, f.Name)
+			}
+			names[f.Name] = true
+			if err := v.checkType(f.Type, ctx); err != nil {
+				return err
+			}
+		}
+	case *Union:
+		if t.Discrim == nil {
+			return fmt.Errorf("aoi: %s: union %s: nil discriminator", ctx, t)
+		}
+		switch d := Resolve(t.Discrim).(type) {
+		case *Primitive:
+			switch d.Kind {
+			case Boolean, Char, Short, UShort, Long, ULong:
+			default:
+				return fmt.Errorf("aoi: %s: union %s: invalid discriminator type %s", ctx, t, d)
+			}
+		case *Enum:
+		default:
+			return fmt.Errorf("aoi: %s: union %s: invalid discriminator type %s", ctx, t, t.Discrim)
+		}
+		labels := map[int64]bool{}
+		defaults := 0
+		for _, c := range t.Cases {
+			if c.IsDefault {
+				defaults++
+				if len(c.Labels) != 0 {
+					return fmt.Errorf("aoi: %s: union %s: default arm with labels", ctx, t)
+				}
+			} else if len(c.Labels) == 0 {
+				return fmt.Errorf("aoi: %s: union %s: arm with no labels", ctx, t)
+			}
+			for _, l := range c.Labels {
+				if labels[l] {
+					return fmt.Errorf("aoi: %s: union %s: duplicate case label %d", ctx, t, l)
+				}
+				labels[l] = true
+			}
+			if c.Field.Type == nil {
+				return fmt.Errorf("aoi: %s: union %s: arm %q has nil type", ctx, t, c.Field.Name)
+			}
+			if err := v.checkType(c.Field.Type, ctx); err != nil {
+				return err
+			}
+		}
+		if defaults > 1 {
+			return fmt.Errorf("aoi: %s: union %s: multiple default arms", ctx, t)
+		}
+	case *NamedRef:
+		if t.Def == nil {
+			return fmt.Errorf("aoi: %s: unresolved type reference %q", ctx, t.Name)
+		}
+		return v.checkType(t.Def, ctx)
+	case *Optional:
+		if t.Elem == nil {
+			return fmt.Errorf("aoi: %s: optional with nil element", ctx)
+		}
+		// Recursion through a pointer is legal: visit the element in a
+		// fresh pointer-free region.
+		saved := v.path
+		v.path = map[Type]bool{}
+		err := v.checkType(t.Elem, ctx)
+		v.path = saved
+		return err
+	default:
+		return fmt.Errorf("aoi: %s: unknown type node %T", ctx, t)
+	}
+	return nil
+}

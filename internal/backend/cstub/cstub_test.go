@@ -1,0 +1,146 @@
+package cstub_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flick"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+const mailIDL = `
+interface Mail {
+	exception Rejected { string reason; };
+	struct header { long id; string<64> subject; };
+	typedef sequence<header> headers;
+
+	void send(in string msg);
+	headers list(in long max, out long total) raises (Rejected);
+	oneway void flush();
+};
+`
+
+const benchX = `
+struct point { int x; int y; };
+struct rect { point min; point max; };
+struct entry {
+	string name<255>;
+	int fields[30];
+	int values<8>;
+	entry *next;
+};
+program BENCH {
+	version V1 {
+		void send_rects(rect) = 1;
+		entry *head(int) = 2;
+	} = 1;
+} = 0x20000123;
+`
+
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run with -update): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s (run with -update after reviewing)\n--- got ---\n%s", path, clip(got))
+	}
+}
+
+func clip(s string) string {
+	if len(s) > 4000 {
+		return s[:4000] + "\n...[clipped]"
+	}
+	return s
+}
+
+func TestCORBAPresentationGolden(t *testing.T) {
+	got, err := flick.Compile("mail.idl", mailIDL, flick.Options{
+		IDL: "corba", Lang: "c", Format: "cdr", Style: "flick",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "mail_corba_cdr.c", got)
+
+	// Structural checks independent of the golden file.
+	for _, frag := range []string{
+		"typedef int32_t CORBA_long;",
+		"typedef void *Mail;",
+		"CORBA_unsigned_long _length;",
+		"Mail_send(Mail _obj, char *msg, CORBA_Environment *_ev)",
+		"uint32_t _len",  // cached strlen
+		"flick_enc_next", // chunked region
+		"flick_dispatch_Mail",
+		"FLICK_WORD4",
+	} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("output missing %q", frag)
+		}
+	}
+}
+
+func TestRpcgenPresentationGolden(t *testing.T) {
+	got, err := flick.Compile("bench.x", benchX, flick.Options{
+		IDL: "oncrpc", Lang: "c", Format: "xdr", Style: "flick",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "bench_rpcgen_xdr.c", got)
+	for _, frag := range []string{
+		"typedef uint32_t u_int;",
+		"send_rects_1(rect *arg1, CLIENT *clnt)",
+		"u_int len;",    // rpcgen counted struct
+		"flick_m_entry", // recursion forces an out-of-line routine
+		"flick_u_entry",
+		"switch (_h->proc) {",
+	} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("output missing %q", frag)
+		}
+	}
+}
+
+func TestRpcgenRejectsExceptions(t *testing.T) {
+	// The paper, footnote 3: the rpcgen presentation cannot accept AOI
+	// files that use CORBA-style exceptions.
+	_, err := flick.Compile("mail.idl", mailIDL, flick.Options{
+		IDL: "corba", Lang: "c", Format: "xdr", Style: "flick", Presentation: "rpcgen",
+	})
+	if err == nil {
+		t.Fatal("rpcgen presentation should reject exceptions")
+	}
+	if !strings.Contains(err.Error(), "cannot express exceptions") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestFlukePresentation(t *testing.T) {
+	got, err := flick.Compile("mail.idl", `interface M { void f(in long x); };`, flick.Options{
+		IDL: "corba", Lang: "c", Format: "fluke",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"typedef int32_t fluke_long;", "fluke_Environment"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("fluke output missing %q", frag)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+/*
+ * flick_runtime.h — the C stub runtime for Flick-Go generated stubs.
+ *
+ * Generated .c files depend only on this header. It provides:
+ *   - growable marshal buffers reused across invocations (flick_enc),
+ *   - bounds-checked decoders with grouped ensure checks (flick_dec),
+ *   - chunk-window access (flick_enc_next / FLICK_PUT_* macros): the
+ *     chunk-pointer optimization of the paper,
+ *   - bulk array transfer helpers (the memcpy optimization),
+ *   - the client-side invocation hooks (flick_start_request,
+ *     flick_invoke) that a transport library implements.
+ */
+#ifndef FLICK_RUNTIME_H
+#define FLICK_RUNTIME_H
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+/* ---- marshal buffers ---------------------------------------------------- */
+
+typedef struct flick_enc {
+	unsigned char *buf;
+	size_t         len;
+	size_t         cap;
+} flick_enc;
+
+typedef struct flick_dec {
+	const unsigned char *buf;
+	size_t               len;
+	size_t               pos;
+	int                  err;
+} flick_dec;
+
+static inline void flick_grow(flick_enc *e, size_t n)
+{
+	if (e->cap - e->len < n) {
+		size_t cap = e->cap ? e->cap : 64;
+		while (cap < e->len + n)
+			cap *= 2;
+		e->buf = (unsigned char *) realloc(e->buf, cap);
+		e->cap = cap;
+	}
+}
+
+static inline void flick_grow_dyn(flick_enc *e, size_t base, size_t per, size_t count)
+{
+	flick_grow(e, base + per * count);
+}
+
+static inline unsigned char *flick_enc_next(flick_enc *e, size_t n)
+{
+	unsigned char *p = e->buf + e->len;
+	e->len += n;
+	return p;
+}
+
+static inline void flick_enc_align(flick_enc *e, size_t n)
+{
+	size_t pad = (n - e->len % n) % n;
+	if (pad) {
+		flick_grow(e, pad);
+		memset(e->buf + e->len, 0, pad);
+		e->len += pad;
+	}
+}
+
+/* ---- chunk windows (constant chunk pointer + constant offsets) ---------- */
+
+#define FLICK_PUT_U8(b, off, v)     ((b)[off] = (uint8_t) (v))
+#define FLICK_PUT_U16BE(b, off, v)  ((b)[off] = (uint8_t) ((v) >> 8), (b)[(off) + 1] = (uint8_t) (v))
+#define FLICK_PUT_U16LE(b, off, v)  ((b)[off] = (uint8_t) (v), (b)[(off) + 1] = (uint8_t) ((v) >> 8))
+#define FLICK_PUT_U32BE(b, off, v)  (FLICK_PUT_U16BE(b, off, (uint32_t) (v) >> 16), FLICK_PUT_U16BE(b, (off) + 2, (v)))
+#define FLICK_PUT_U32LE(b, off, v)  (FLICK_PUT_U16LE(b, off, (v)), FLICK_PUT_U16LE(b, (off) + 2, (uint32_t) (v) >> 16))
+#define FLICK_PUT_U64BE(b, off, v)  (FLICK_PUT_U32BE(b, off, (uint64_t) (v) >> 32), FLICK_PUT_U32BE(b, (off) + 4, (uint32_t) (v)))
+#define FLICK_PUT_U64LE(b, off, v)  (FLICK_PUT_U32LE(b, off, (uint32_t) (v)), FLICK_PUT_U32LE(b, (off) + 4, (uint64_t) (v) >> 32))
+
+#define FLICK_GET_U8(b, off)        ((b)[off])
+#define FLICK_GET_U16BE(b, off)     ((uint16_t) ((b)[off] << 8 | (b)[(off) + 1]))
+#define FLICK_GET_U16LE(b, off)     ((uint16_t) ((b)[(off) + 1] << 8 | (b)[off]))
+#define FLICK_GET_U32BE(b, off)     ((uint32_t) FLICK_GET_U16BE(b, off) << 16 | FLICK_GET_U16BE(b, (off) + 2))
+#define FLICK_GET_U32LE(b, off)     ((uint32_t) FLICK_GET_U16LE(b, (off) + 2) << 16 | FLICK_GET_U16LE(b, off))
+#define FLICK_GET_U64BE(b, off)     ((uint64_t) FLICK_GET_U32BE(b, off) << 32 | FLICK_GET_U32BE(b, (off) + 4))
+#define FLICK_GET_U64LE(b, off)     ((uint64_t) FLICK_GET_U32LE(b, (off) + 4) << 32 | FLICK_GET_U32LE(b, off))
+
+#define FLICK_PUT_F32BE(b, off, v)  do { union { float f; uint32_t u; } _c; _c.f = (v); FLICK_PUT_U32BE(b, off, _c.u); } while (0)
+#define FLICK_PUT_F32LE(b, off, v)  do { union { float f; uint32_t u; } _c; _c.f = (v); FLICK_PUT_U32LE(b, off, _c.u); } while (0)
+#define FLICK_PUT_F64BE(b, off, v)  do { union { double f; uint64_t u; } _c; _c.f = (v); FLICK_PUT_U64BE(b, off, _c.u); } while (0)
+#define FLICK_PUT_F64LE(b, off, v)  do { union { double f; uint64_t u; } _c; _c.f = (v); FLICK_PUT_U64LE(b, off, _c.u); } while (0)
+
+/* ---- streaming puts (capacity ensured by a preceding flick_grow) -------- */
+
+static inline void flick_put_u8(flick_enc *e, uint8_t v)      { e->buf[e->len++] = v; }
+static inline void flick_put_u16be(flick_enc *e, uint16_t v)  { FLICK_PUT_U16BE(e->buf, e->len, v); e->len += 2; }
+static inline void flick_put_u16le(flick_enc *e, uint16_t v)  { FLICK_PUT_U16LE(e->buf, e->len, v); e->len += 2; }
+static inline void flick_put_u32be(flick_enc *e, uint32_t v)  { FLICK_PUT_U32BE(e->buf, e->len, v); e->len += 4; }
+static inline void flick_put_u32le(flick_enc *e, uint32_t v)  { FLICK_PUT_U32LE(e->buf, e->len, v); e->len += 4; }
+static inline void flick_put_u64be(flick_enc *e, uint64_t v)  { FLICK_PUT_U64BE(e->buf, e->len, v); e->len += 8; }
+static inline void flick_put_u64le(flick_enc *e, uint64_t v)  { FLICK_PUT_U64LE(e->buf, e->len, v); e->len += 8; }
+static inline void flick_put_f32be(flick_enc *e, float v)     { FLICK_PUT_F32BE(e->buf, e->len, v); e->len += 4; }
+static inline void flick_put_f32le(flick_enc *e, float v)     { FLICK_PUT_F32LE(e->buf, e->len, v); e->len += 4; }
+static inline void flick_put_f64be(flick_enc *e, double v)    { FLICK_PUT_F64BE(e->buf, e->len, v); e->len += 8; }
+static inline void flick_put_f64le(flick_enc *e, double v)    { FLICK_PUT_F64LE(e->buf, e->len, v); e->len += 8; }
+
+static inline void flick_put_bytes(flick_enc *e, const void *p, size_t n)
+{
+	memcpy(e->buf + e->len, p, n);
+	e->len += n;
+}
+
+/* Bulk array transfers (the memcpy optimization; byte order applied
+ * element-wise when the host differs). */
+#define FLICK_DEF_PUT_ARR(name, ctype, put)                                   \
+	static inline void flick_put_##name(flick_enc *e, const ctype *p, size_t n) \
+	{                                                                         \
+		size_t i;                                                             \
+		for (i = 0; i < n; i++)                                               \
+			put(e, p[i]);                                                     \
+	}
+
+FLICK_DEF_PUT_ARR(arr16be, uint16_t, flick_put_u16be)
+FLICK_DEF_PUT_ARR(arr16le, uint16_t, flick_put_u16le)
+FLICK_DEF_PUT_ARR(arr32be, uint32_t, flick_put_u32be)
+FLICK_DEF_PUT_ARR(arr32le, uint32_t, flick_put_u32le)
+FLICK_DEF_PUT_ARR(arr64be, uint64_t, flick_put_u64be)
+FLICK_DEF_PUT_ARR(arr64le, uint64_t, flick_put_u64le)
+FLICK_DEF_PUT_ARR(arrf32be, float, flick_put_f32be)
+FLICK_DEF_PUT_ARR(arrf32le, float, flick_put_f32le)
+FLICK_DEF_PUT_ARR(arrf64be, double, flick_put_f64be)
+FLICK_DEF_PUT_ARR(arrf64le, double, flick_put_f64le)
+
+/* ---- decoding ------------------------------------------------------------ */
+
+static inline int flick_dec_ensure(flick_dec *d, size_t n)
+{
+	if (d->len - d->pos < n) {
+		d->err = 1;
+		return 0;
+	}
+	return 1;
+}
+
+static inline int flick_dec_ensure_dyn(flick_dec *d, size_t base, size_t per, size_t count)
+{
+	return flick_dec_ensure(d, base + per * count);
+}
+
+static inline const unsigned char *flick_dec_next(flick_dec *d, size_t n)
+{
+	const unsigned char *p = d->buf + d->pos;
+	d->pos += n;
+	return p;
+}
+
+static inline int flick_dec_align(flick_dec *d, size_t n)
+{
+	size_t pad = (n - d->pos % n) % n;
+	if (d->len - d->pos < pad) {
+		d->err = 1;
+		return 0;
+	}
+	d->pos += pad;
+	return 1;
+}
+
+static inline uint8_t  flick_get_u8(flick_dec *d)    { return d->buf[d->pos++]; }
+static inline uint16_t flick_get_u16be(flick_dec *d) { uint16_t v = FLICK_GET_U16BE(d->buf, d->pos); d->pos += 2; return v; }
+static inline uint16_t flick_get_u16le(flick_dec *d) { uint16_t v = FLICK_GET_U16LE(d->buf, d->pos); d->pos += 2; return v; }
+static inline uint32_t flick_get_u32be(flick_dec *d) { uint32_t v = FLICK_GET_U32BE(d->buf, d->pos); d->pos += 4; return v; }
+static inline uint32_t flick_get_u32le(flick_dec *d) { uint32_t v = FLICK_GET_U32LE(d->buf, d->pos); d->pos += 4; return v; }
+static inline uint64_t flick_get_u64be(flick_dec *d) { uint64_t v = FLICK_GET_U64BE(d->buf, d->pos); d->pos += 8; return v; }
+static inline uint64_t flick_get_u64le(flick_dec *d) { uint64_t v = FLICK_GET_U64LE(d->buf, d->pos); d->pos += 8; return v; }
+
+static inline float flick_get_f32be(flick_dec *d)  { union { float f; uint32_t u; } c; c.u = flick_get_u32be(d); return c.f; }
+static inline float flick_get_f32le(flick_dec *d)  { union { float f; uint32_t u; } c; c.u = flick_get_u32le(d); return c.f; }
+static inline double flick_get_f64be(flick_dec *d) { union { double f; uint64_t u; } c; c.u = flick_get_u64be(d); return c.f; }
+static inline double flick_get_f64le(flick_dec *d) { union { double f; uint64_t u; } c; c.u = flick_get_u64le(d); return c.f; }
+
+static inline void flick_get_bytes(flick_dec *d, void *p, size_t n)
+{
+	memcpy(p, d->buf + d->pos, n);
+	d->pos += n;
+}
+
+#define FLICK_DEF_GET_ARR(name, ctype, get)                                   \
+	static inline void flick_get_##name(flick_dec *d, ctype *p, size_t n)    \
+	{                                                                         \
+		size_t i;                                                             \
+		for (i = 0; i < n; i++)                                               \
+			p[i] = get(d);                                                    \
+	}
+
+FLICK_DEF_GET_ARR(arr16be, uint16_t, flick_get_u16be)
+FLICK_DEF_GET_ARR(arr16le, uint16_t, flick_get_u16le)
+FLICK_DEF_GET_ARR(arr32be, uint32_t, flick_get_u32be)
+FLICK_DEF_GET_ARR(arr32le, uint32_t, flick_get_u32le)
+FLICK_DEF_GET_ARR(arr64be, uint64_t, flick_get_u64be)
+FLICK_DEF_GET_ARR(arr64le, uint64_t, flick_get_u64le)
+FLICK_DEF_GET_ARR(arrf32be, float, flick_get_f32be)
+FLICK_DEF_GET_ARR(arrf32le, float, flick_get_f32le)
+FLICK_DEF_GET_ARR(arrf64be, double, flick_get_f64be)
+FLICK_DEF_GET_ARR(arrf64le, double, flick_get_f64le)
+
+/* ---- counted lengths, bounds, allocation --------------------------------- */
+
+static inline int flick_check_len(flick_dec *d, uint32_t raw, uint32_t bound,
+                                  int nul, uint32_t *out)
+{
+	uint32_t n = raw;
+	if (nul) {
+		if (n == 0) {
+			d->err = 1;
+			return 0;
+		}
+		n--;
+	}
+	if (bound && n > bound) {
+		d->err = 1;
+		return 0;
+	}
+	if (n > d->len - d->pos) {
+		d->err = 1;
+		return 0;
+	}
+	*out = n;
+	return 1;
+}
+
+static inline int flick_dec_len_be(flick_dec *d, uint32_t bound, int nul, uint32_t *out)
+{
+	return flick_check_len(d, flick_get_u32be(d), bound, nul, out);
+}
+
+static inline int flick_dec_len_le(flick_dec *d, uint32_t bound, int nul, uint32_t *out)
+{
+	return flick_check_len(d, flick_get_u32le(d), bound, nul, out);
+}
+
+#define FLICK_CHECK_BOUND(n, bound) \
+	do { if ((size_t) (n) > (size_t) (bound)) flick_bad_bound(); } while (0)
+
+void flick_bad_bound(void);
+void flick_bad_union(void);
+void *flick_alloc(size_t n);
+
+/* Server-side word-at-a-time operation-name demultiplexing. */
+#define FLICK_WORD4(s, off) flick_word4(s, off)
+uint32_t flick_word4(const char *s, size_t off);
+
+/* ---- transport hooks (implemented by the transport library) -------------- */
+
+typedef struct flick_conn flick_conn;
+typedef struct flick_req {
+	uint32_t    proc;
+	const char *op;
+	size_t      op_len;
+} flick_req;
+
+flick_enc *flick_start_request(void *conn, uint32_t proc, const char *op, int oneway);
+flick_dec *flick_invoke(void *conn, flick_enc *e);
+void       flick_send_oneway(void *conn, flick_enc *e);
+
+#endif /* FLICK_RUNTIME_H */

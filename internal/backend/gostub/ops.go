@@ -1,0 +1,648 @@
+package gostub
+
+import (
+	"fmt"
+	"strings"
+
+	"flick/internal/mir"
+	"flick/internal/wire"
+)
+
+// refExpr renders a mir value path as a Go expression.
+func (e *emitter) refExpr(r mir.Ref) string {
+	switch r := r.(type) {
+	case *mir.Param:
+		if m, ok := e.refMap[r.Name]; ok {
+			return m
+		}
+		return r.Name
+	case *mir.Field:
+		return e.refExpr(r.Base) + "." + r.Name
+	case *mir.Elem:
+		if m, ok := e.refMap[r.Var]; ok {
+			return m
+		}
+		return r.Var
+	case *mir.Len:
+		return "len(" + e.refExpr(r.Base) + ")"
+	case *mir.Deref:
+		return "(*" + e.refExpr(r.Base) + ")"
+	default:
+		panic(fmt.Sprintf("gostub: unknown ref %T", r))
+	}
+}
+
+// countExpr renders the element count of a counted value: the decoded
+// length variable on the unmarshal side when one exists, len(x)
+// otherwise.
+func (e *emitter) countExpr(r mir.Ref, dir mir.Dir) string {
+	if dir == mir.Unmarshal {
+		if v, ok := e.lenVars[r.String()]; ok {
+			return v
+		}
+	}
+	return "len(" + e.refExpr(r) + ")"
+}
+
+// convPut converts a presented value expression to the unsigned wire
+// representation.
+func (e *emitter) convPut(a wire.Atom, w int, src string) string {
+	switch a.Kind {
+	case wire.BoolAtom:
+		if w == 1 {
+			return "rt.B2U8(" + src + ")"
+		}
+		return "rt.B2U32(" + src + ")"
+	case wire.Float:
+		e.usesMath = true
+		if a.Bits == 32 {
+			return "math.Float32bits(" + src + ")"
+		}
+		return "math.Float64bits(" + src + ")"
+	}
+	switch w {
+	case 1:
+		return "byte(" + src + ")"
+	case 2:
+		return "uint16(" + src + ")"
+	case 4:
+		return "uint32(" + src + ")"
+	default:
+		return "uint64(" + src + ")"
+	}
+}
+
+// putStmt emits one scalar write in the current style.
+func (e *emitter) putStmt(a wire.Atom, w int, src string) string {
+	v := e.convPut(a, w, src)
+	suffix := e.ord()
+	if w == 1 {
+		suffix = ""
+	}
+	switch {
+	case e.vtbl:
+		return fmt.Sprintf("rt.Vtbl.P%d%s(e, %s)", w*8, suffix, v)
+	case e.checked:
+		return fmt.Sprintf("rt.NPutU%d%s(e, %s)", w*8, suffix, v)
+	default:
+		return fmt.Sprintf("e.PutU%d%s(%s)", w*8, suffix, v)
+	}
+}
+
+// getRaw renders one scalar wire read in the current style.
+func (e *emitter) getRaw(w int) string {
+	suffix := e.ord()
+	if w == 1 {
+		suffix = ""
+	}
+	switch {
+	case e.vtbl:
+		return fmt.Sprintf("rt.Vtbl.G%d%s(d)", w*8, suffix)
+	case e.checked:
+		return fmt.Sprintf("rt.NGetU%d%s(d)", w*8, suffix)
+	default:
+		return fmt.Sprintf("d.U%d%s()", w*8, suffix)
+	}
+}
+
+// convGet converts a raw wire read to the presented type.
+func (e *emitter) convGet(a wire.Atom, ctype, raw string) string {
+	switch a.Kind {
+	case wire.BoolAtom:
+		return raw + " != 0"
+	case wire.Float:
+		e.usesMath = true
+		if a.Bits == 32 {
+			return "math.Float32frombits(" + raw + ")"
+		}
+		return "math.Float64frombits(" + raw + ")"
+	}
+	if ctype == "" {
+		ctype = goTypeForAtom(a)
+	}
+	return ctype + "(" + raw + ")"
+}
+
+func goTypeForAtom(a wire.Atom) string {
+	prefix := "uint"
+	if a.Kind == wire.SInt {
+		prefix = "int"
+	}
+	if a.Kind == wire.CharAtom && a.Bits == 8 {
+		return "byte"
+	}
+	return fmt.Sprintf("%s%d", prefix, a.Bits)
+}
+
+// putName names the checked put for the given width (used for protocol
+// fields emitted outside mir programs).
+func (e *emitter) putName(w int, checked bool) string {
+	suffix := e.ord()
+	if w == 1 {
+		suffix = ""
+	}
+	if checked {
+		return fmt.Sprintf("e.PutU%d%sC", w*8, suffix)
+	}
+	return fmt.Sprintf("e.PutU%d%s", w*8, suffix)
+}
+
+// ops emits an op list.
+func (e *emitter) ops(ops []mir.Op, dir mir.Dir) error {
+	for _, op := range ops {
+		if err := e.op(op, dir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *emitter) op(op mir.Op, dir mir.Dir) error {
+	switch op := op.(type) {
+	case *mir.Ensure:
+		if e.checked {
+			return nil // baselines test space per datum inside the runtime calls
+		}
+		if dir == mir.Marshal {
+			e.pf("e.Grow(%d)", op.Bytes)
+		} else {
+			e.pf("if !d.Ensure(%d) {", op.Bytes)
+			e.emitRetErr()
+			e.pf("}")
+		}
+	case *mir.EnsureDyn:
+		if e.checked {
+			return nil
+		}
+		count := e.countExpr(op.Count, dir)
+		if dir == mir.Marshal {
+			e.pf("e.GrowDyn(%d, %d, %s)", op.Base, op.PerElem, count)
+		} else {
+			e.pf("if !d.EnsureDyn(%d, %d, %s) {", op.Base, op.PerElem, count)
+			e.emitRetErr()
+			e.pf("}")
+		}
+	case *mir.Align:
+		if dir == mir.Marshal {
+			e.pf("e.Align(%d)", op.N)
+		} else {
+			e.pf("d.Align(%d)", op.N)
+		}
+	case *mir.Item:
+		x := e.refExpr(op.Val)
+		if dir == mir.Marshal {
+			e.pf("%s", e.putStmt(op.Atom, op.Wire, x))
+		} else {
+			ct := ""
+			if op.Pres != nil {
+				ct = ctypeOf(op.Pres)
+			}
+			e.pf("%s = %s", x, e.convGet(op.Atom, ct, e.getRaw(op.Wire)))
+		}
+	case *mir.ConstItem:
+		if dir == mir.Marshal {
+			e.pf("%s", e.putConst(op.Atom, op.Wire, op.Value))
+		} else {
+			e.pf("if !d.CheckConst(uint64(%s), %d) {", e.getRaw(op.Wire), op.Value)
+			e.emitRetErr()
+			e.pf("}")
+		}
+	case *mir.LenItem:
+		return e.lenItem(op, dir)
+	case *mir.Bulk:
+		return e.bulk(op, dir)
+	case *mir.Loop:
+		return e.loop(op, dir)
+	case *mir.Opt:
+		return e.opt(op, dir)
+	case *mir.Switch:
+		return e.swtch(op, dir)
+	case *mir.Chunk:
+		return e.chunk(op, dir)
+	case *mir.CallSub:
+		name := e.subFuncName(e.curProg, op.Sub, dir)
+		arg := e.subArg(op.Arg)
+		if dir == mir.Marshal {
+			e.pf("%s(e, %s)", name, arg)
+		} else {
+			e.pf("if !%s(d, %s) {", name, arg)
+			e.emitRetErr()
+			e.pf("}")
+		}
+	default:
+		return fmt.Errorf("gostub: unknown op %T", op)
+	}
+	return nil
+}
+
+// putConst writes a literal protocol value.
+func (e *emitter) putConst(a wire.Atom, w int, v uint64) string {
+	suffix := e.ord()
+	if w == 1 {
+		suffix = ""
+	}
+	switch {
+	case e.vtbl:
+		return fmt.Sprintf("rt.Vtbl.P%d%s(e, %d)", w*8, suffix, v)
+	case e.checked:
+		return fmt.Sprintf("rt.NPutU%d%s(e, %d)", w*8, suffix, v)
+	default:
+		return fmt.Sprintf("e.PutU%d%s(%d)", w*8, suffix, v)
+	}
+}
+
+// subArg renders the address-of expression handed to an out-of-line
+// routine.
+func (e *emitter) subArg(r mir.Ref) string {
+	if d, ok := r.(*mir.Deref); ok {
+		return e.refExpr(d.Base)
+	}
+	return "&" + e.refExpr(r)
+}
+
+func (e *emitter) lenItem(op *mir.LenItem, dir mir.Dir) error {
+	x := e.refExpr(op.Val)
+	ct := ""
+	if op.Pres != nil {
+		ct = ctypeOf(op.Pres)
+	}
+	bounded := op.Bound > 0 && op.Bound < uint64(0xFFFFFFFF)
+	if dir == mir.Marshal {
+		if bounded {
+			e.pf("rt.CheckBound(len(%s), %d)", x, op.Bound)
+		}
+		src := fmt.Sprintf("uint32(len(%s))", x)
+		if op.Nul {
+			src = fmt.Sprintf("uint32(len(%s)+1)", x)
+		}
+		suffix := e.ord()
+		switch {
+		case e.vtbl:
+			e.pf("rt.Vtbl.P32%s(e, %s)", suffix, src)
+		case e.checked:
+			e.pf("rt.NPutU32%s(e, %s)", suffix, src)
+		default:
+			e.pf("e.PutU32%s(%s)", suffix, src)
+		}
+		return nil
+	}
+	// Unmarshal: read + validate + allocate.
+	n := e.newTmp("n")
+	ok := e.newTmp("ok")
+	bound := uint64(0)
+	if bounded {
+		bound = op.Bound
+	}
+	if e.checked {
+		e.pf("if !d.Ensure(4) {")
+		e.emitRetErr()
+		e.pf("}")
+	}
+	e.pf("%s, %s := d.Len(rt.%s, %d, %v)", n, ok, e.ord(), bound, op.Nul)
+	e.pf("if !%s {", ok)
+	e.emitRetErr()
+	e.pf("}")
+	e.lenVars[op.Val.String()] = n
+	if strings.HasPrefix(ct, "[]") || ct == "ObjectKey" {
+		e.pf("%s = make(%s, %s)", x, ct, n)
+	}
+	return nil
+}
+
+func (e *emitter) bulk(op *mir.Bulk, dir mir.Dir) error {
+	over := ctypeOfBulk(op)
+	x := e.refExpr(op.Val)
+	countExpr := ""
+	fixed := op.Count >= 0
+	if fixed {
+		countExpr = fmt.Sprintf("%d", op.Count)
+	} else {
+		countExpr = e.countExpr(op.Val, dir)
+	}
+	byteWide := op.ElemWire == 1 && op.Atom.Kind != wire.BoolAtom
+
+	if dir == mir.Marshal {
+		switch {
+		case over == "string":
+			e.pf("e.PutString(%s)", x)
+		case byteWide:
+			e.pf("e.PutBytes(%s)", sliceExprOrSelf(over, x))
+		case op.Atom.Kind == wire.BoolAtom:
+			e.pf("rt.PutSliceBool(e.Next(%d*%s), %s, %d, rt.%s)",
+				op.ElemWire, countExpr, sliceExprOrSelf(over, x), op.ElemWire, e.ord())
+		default:
+			e.pf("rt.%s(e.Next(%d*%s), %s)",
+				e.bulkHelper("Put", op), op.ElemWire, countExpr, sliceExprOrSelf(over, x))
+		}
+		return nil
+	}
+	// Unmarshal.
+	switch {
+	case over == "string":
+		n, okLen := e.lenVars[op.Val.String()]
+		if !okLen {
+			return fmt.Errorf("gostub: bulk string read without preceding length for %s", x)
+		}
+		e.pf("%s = string(d.Next(%s))", x, n)
+	case byteWide:
+		if fixed {
+			e.pf("copy(%s[:], d.Next(%d))", x, op.Count)
+		} else {
+			e.pf("copy(%s, d.Next(len(%s)))", x, x)
+		}
+	case op.Atom.Kind == wire.BoolAtom:
+		e.pf("rt.GetSliceBool(%s, d.Next(%d*%s), %d, rt.%s)",
+			sliceExprOrSelf(over, x), op.ElemWire, lenOfTarget(fixed, countExpr, x), op.ElemWire, e.ord())
+	default:
+		e.pf("rt.%s(%s, d.Next(%d*%s))",
+			e.bulkHelper("Get", op), sliceExprOrSelf(over, x), op.ElemWire, lenOfTarget(fixed, countExpr, x))
+	}
+	return nil
+}
+
+func lenOfTarget(fixed bool, countExpr, x string) string {
+	if fixed {
+		return countExpr
+	}
+	return "len(" + x + ")"
+}
+
+// sliceExprOrSelf appends [:] for fixed-array targets.
+func sliceExprOrSelf(overCType, x string) string {
+	if strings.HasPrefix(overCType, "[") && !strings.HasPrefix(overCType, "[]") {
+		return x + "[:]"
+	}
+	return x
+}
+
+func ctypeOfBulk(op *mir.Bulk) string {
+	if op.OverPres != nil {
+		if s, ok := op.OverPres.Resolve().CType.(string); ok {
+			return s
+		}
+	}
+	return ""
+}
+
+func (e *emitter) bulkHelper(dirName string, op *mir.Bulk) string {
+	if op.Atom.Kind == wire.Float {
+		return fmt.Sprintf("%sSliceF%d%s", dirName, op.Atom.Bits, e.ord())
+	}
+	return fmt.Sprintf("%sSlice%d%s", dirName, op.ElemWire*8, e.ord())
+}
+
+func (e *emitter) loop(op *mir.Loop, dir mir.Dir) error {
+	over := e.refExpr(op.Over)
+	overCT := ""
+	if op.OverPres != nil {
+		overCT = ctypeOf(op.OverPres)
+	}
+	iv := "i" + strings.TrimPrefix(op.Var, "e")
+
+	// Unmarshal into a Go string: decode through a byte scratch.
+	if dir == mir.Unmarshal && overCT == "string" {
+		n, okLen := e.lenVars[op.Over.String()]
+		if !okLen {
+			return fmt.Errorf("gostub: string loop read without preceding length for %s", over)
+		}
+		scratch := e.newTmp("b")
+		e.pf("%s := make([]byte, %s)", scratch, n)
+		e.pf("for %s := range %s {", iv, scratch)
+		e.indent++
+		saved := e.bindElem(op.Var, scratch+"["+iv+"]")
+		if err := e.ops(op.Body, dir); err != nil {
+			return err
+		}
+		e.restoreElem(op.Var, saved)
+		e.indent--
+		e.pf("}")
+		e.pf("%s = string(%s)", over, scratch)
+		return nil
+	}
+
+	e.pf("for %s := 0; %s < len(%s); %s++ {", iv, iv, over, iv)
+	e.indent++
+	saved := e.bindElem(op.Var, over+"["+iv+"]")
+	if err := e.ops(op.Body, dir); err != nil {
+		return err
+	}
+	e.restoreElem(op.Var, saved)
+	e.indent--
+	e.pf("}")
+	return nil
+}
+
+func (e *emitter) bindElem(v, expr string) (old string) {
+	old = e.refMap[v]
+	e.refMap[v] = expr
+	return old
+}
+
+func (e *emitter) restoreElem(v, old string) {
+	if old == "" {
+		delete(e.refMap, v)
+	} else {
+		e.refMap[v] = old
+	}
+}
+
+func (e *emitter) opt(op *mir.Opt, dir mir.Dir) error {
+	x := e.refExpr(op.Val)
+	if dir == mir.Marshal {
+		e.pf("if %s != nil {", x)
+		e.indent++
+		e.pf("%s", e.putConst(wire.Bool, op.Wire, 1))
+		if err := e.ops(op.Body, dir); err != nil {
+			return err
+		}
+		e.indent--
+		e.pf("} else {")
+		e.indent++
+		e.pf("%s", e.putConst(wire.Bool, op.Wire, 0))
+		e.indent--
+		e.pf("}")
+		return nil
+	}
+	elemType := strings.TrimPrefix(ctypeOf(op.Pres), "*")
+	e.pf("if %s != 0 {", e.getRaw(op.Wire))
+	e.indent++
+	e.pf("%s = new(%s)", x, elemType)
+	if err := e.ops(op.Body, dir); err != nil {
+		return err
+	}
+	e.indent--
+	e.pf("} else {")
+	e.indent++
+	e.pf("%s = nil", x)
+	e.indent--
+	e.pf("}")
+	return nil
+}
+
+func (e *emitter) swtch(op *mir.Switch, dir mir.Dir) error {
+	on := e.refExpr(op.On)
+	isBool := op.Atom.Kind == wire.BoolAtom
+	if dir == mir.Marshal {
+		e.pf("%s", e.putStmt(op.Atom, op.Wire, on))
+	} else {
+		ct := ""
+		if op.Pres != nil {
+			if s, ok := op.Pres.DiscrimCType.(string); ok {
+				ct = s
+			}
+		}
+		e.pf("%s = %s", on, e.convGet(op.Atom, ct, e.getRaw(op.Wire)))
+	}
+	e.pf("switch %s {", on)
+	for _, c := range op.Cases {
+		labels := make([]string, len(c.Values))
+		for i, v := range c.Values {
+			if isBool {
+				if v == 0 {
+					labels[i] = "false"
+				} else {
+					labels[i] = "true"
+				}
+			} else {
+				labels[i] = fmt.Sprintf("%d", v)
+			}
+		}
+		e.pf("case %s:", strings.Join(labels, ", "))
+		e.indent++
+		if err := e.ops(c.Body, dir); err != nil {
+			return err
+		}
+		e.indent--
+	}
+	e.pf("default:")
+	e.indent++
+	switch {
+	case op.HasDefault:
+		if err := e.ops(op.Default, dir); err != nil {
+			return err
+		}
+	case dir == mir.Marshal:
+		e.pf("panic(\"flick: unknown union discriminator\")")
+	default:
+		e.pf("d.Fail(rt.ErrBadUnion)")
+		e.emitRetErrFlat()
+	}
+	e.indent--
+	e.pf("}")
+	return nil
+}
+
+// emitRetErrFlat writes the abort sequence at the current indent (for
+// contexts already inside a block).
+func (e *emitter) emitRetErrFlat() {
+	for _, line := range strings.Split(e.retErr, "\n") {
+		e.pf("%s", line)
+	}
+}
+
+func (e *emitter) chunk(op *mir.Chunk, dir mir.Dir) error {
+	e.usesBinary = true
+	b := e.newTmp("b")
+	if dir == mir.Marshal {
+		e.pf("%s := e.Next(%d)", b, op.Size)
+		for _, it := range op.Items {
+			if err := e.chunkPut(b, it); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	e.pf("%s := d.Next(%d)", b, op.Size)
+	for _, it := range op.Items {
+		if err := e.chunkGet(b, it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *emitter) chunkPut(b string, it mir.ChunkItem) error {
+	window := fmt.Sprintf("%s[%d:]", b, it.Off)
+	switch {
+	case it.Const != nil:
+		e.pf("%s", e.binPut(window, b, it, fmt.Sprintf("%d", *it.Const)))
+	case it.IsLen:
+		x := e.refExpr(it.Val)
+		if it.Bound > 0 && it.Bound < uint64(0xFFFFFFFF) {
+			e.pf("rt.CheckBound(len(%s), %d)", x, it.Bound)
+		}
+		src := fmt.Sprintf("uint32(len(%s))", x)
+		if it.Nul {
+			src = fmt.Sprintf("uint32(len(%s)+1)", x)
+		}
+		e.pf("%s", e.binPut(window, b, it, src))
+	default:
+		v := e.convPut(it.Atom, it.Wire, e.refExpr(it.Val))
+		e.pf("%s", e.binPut(window, b, it, v))
+	}
+	return nil
+}
+
+func (e *emitter) binPut(window, b string, it mir.ChunkItem, v string) string {
+	switch it.Wire {
+	case 1:
+		return fmt.Sprintf("%s[%d] = %s", b, it.Off, v)
+	case 2:
+		return fmt.Sprintf("%s.PutUint16(%s, %s)", e.binOrd(), window, v)
+	case 4:
+		return fmt.Sprintf("%s.PutUint32(%s, %s)", e.binOrd(), window, v)
+	default:
+		return fmt.Sprintf("%s.PutUint64(%s, %s)", e.binOrd(), window, v)
+	}
+}
+
+func (e *emitter) binGet(b string, it mir.ChunkItem) string {
+	window := fmt.Sprintf("%s[%d:]", b, it.Off)
+	switch it.Wire {
+	case 1:
+		return fmt.Sprintf("%s[%d]", b, it.Off)
+	case 2:
+		return fmt.Sprintf("%s.Uint16(%s)", e.binOrd(), window)
+	case 4:
+		return fmt.Sprintf("%s.Uint32(%s)", e.binOrd(), window)
+	default:
+		return fmt.Sprintf("%s.Uint64(%s)", e.binOrd(), window)
+	}
+}
+
+func (e *emitter) chunkGet(b string, it mir.ChunkItem) error {
+	raw := e.binGet(b, it)
+	switch {
+	case it.Const != nil:
+		e.pf("if !d.CheckConst(uint64(%s), %d) {", raw, *it.Const)
+		e.emitRetErr()
+		e.pf("}")
+	case it.IsLen:
+		x := e.refExpr(it.Val)
+		ct := ""
+		if it.Pres != nil {
+			ct = ctypeOf(it.Pres)
+		}
+		n := e.newTmp("n")
+		ok := e.newTmp("ok")
+		bound := uint64(0)
+		if it.Bound > 0 && it.Bound < uint64(0xFFFFFFFF) {
+			bound = it.Bound
+		}
+		e.pf("%s, %s := d.CheckLen(%s, %d, %v)", n, ok, raw, bound, it.Nul)
+		e.pf("if !%s {", ok)
+		e.emitRetErr()
+		e.pf("}")
+		e.lenVars[it.Val.String()] = n
+		if strings.HasPrefix(ct, "[]") || ct == "ObjectKey" {
+			e.pf("%s = make(%s, %s)", x, ct, n)
+		}
+	default:
+		ct := ""
+		if it.Pres != nil {
+			ct = ctypeOf(it.Pres)
+		}
+		e.pf("%s = %s", e.refExpr(it.Val), e.convGet(it.Atom, ct, raw))
+	}
+	return nil
+}

@@ -1,0 +1,349 @@
+// Package cast implements Flick's C Abstract Syntax Tree: a
+// straightforward, syntax-derived representation of C declarations,
+// statements, and expressions, together with a pretty-printer.
+//
+// Keeping an explicit representation of the generated target-language
+// code (instead of emitting strings as rpcgen and ILU do) is what lets
+// presentation generators and back ends make fine-grain specializations
+// and lets the optimizer associate target-language data with on-the-wire
+// data.
+package cast
+
+// Type is a C type expression.
+type Type interface{ castType() }
+
+// Prim is a primitive or otherwise textually-named C type
+// ("int", "unsigned long", "CORBA_long", ...).
+type Prim struct{ Name string }
+
+// Named refers to a typedef name.
+type Named struct{ Name string }
+
+// Ptr is a pointer type.
+type Ptr struct{ To Type }
+
+// Arr is an array type; Len < 0 means an incomplete array ("[]").
+type Arr struct {
+	Elem Type
+	Len  int64
+}
+
+// StructRef and UnionRef and EnumRef reference tagged types.
+type StructRef struct{ Tag string }
+type UnionRef struct{ Tag string }
+type EnumRef struct{ Tag string }
+
+// StructType is an inline struct definition (possibly tagged).
+type StructType struct {
+	Tag    string
+	Fields []Field
+}
+
+// UnionType is an inline (C, not discriminated) union definition.
+type UnionType struct {
+	Tag    string
+	Fields []Field
+}
+
+// EnumType is an inline enum definition.
+type EnumType struct {
+	Tag     string
+	Members []EnumMember
+}
+
+// EnumMember is one enumerator; Explicit controls printing "= Value".
+type EnumMember struct {
+	Name     string
+	Value    int64
+	Explicit bool
+}
+
+// Field is one struct or union member.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// FuncType is a function type (for pointers-to-function and prototypes).
+type FuncType struct {
+	Ret    Type
+	Params []Param
+}
+
+// Param is one function parameter.
+type Param struct {
+	Name string
+	Type Type
+}
+
+func (*Prim) castType()       {}
+func (*Named) castType()      {}
+func (*Ptr) castType()        {}
+func (*Arr) castType()        {}
+func (*StructRef) castType()  {}
+func (*UnionRef) castType()   {}
+func (*EnumRef) castType()    {}
+func (*StructType) castType() {}
+func (*UnionType) castType()  {}
+func (*EnumType) castType()   {}
+func (*FuncType) castType()   {}
+
+// Common primitive types.
+var (
+	Void   = &Prim{Name: "void"}
+	Int    = &Prim{Name: "int"}
+	Char   = &Prim{Name: "char"}
+	UInt8  = &Prim{Name: "uint8_t"}
+	Int8   = &Prim{Name: "int8_t"}
+	UInt16 = &Prim{Name: "uint16_t"}
+	Int16  = &Prim{Name: "int16_t"}
+	UInt32 = &Prim{Name: "uint32_t"}
+	Int32  = &Prim{Name: "int32_t"}
+	UInt64 = &Prim{Name: "uint64_t"}
+	Int64  = &Prim{Name: "int64_t"}
+	Float  = &Prim{Name: "float"}
+	Double = &Prim{Name: "double"}
+	SizeT  = &Prim{Name: "size_t"}
+)
+
+// PtrTo returns a pointer to t.
+func PtrTo(t Type) *Ptr { return &Ptr{To: t} }
+
+// Expr is a C expression.
+type Expr interface{ castExpr() }
+
+// Ident is an identifier.
+type Ident struct{ Name string }
+
+// IntLit is an integer literal. Suffix, if set, is appended ("u", "l").
+type IntLit struct {
+	Value  int64
+	Suffix string
+}
+
+// UIntLit is an unsigned/hex literal printed in hex.
+type UIntLit struct{ Value uint64 }
+
+// StrLit is a C string literal (printed quoted and escaped).
+type StrLit struct{ Value string }
+
+// CharLit is a character literal.
+type CharLit struct{ Value byte }
+
+// Unary is a prefix unary expression: Op Operand.
+type Unary struct {
+	Op      string
+	Operand Expr
+}
+
+// Postfix is a postfix unary expression: Operand Op ("++", "--").
+type Postfix struct {
+	Operand Expr
+	Op      string
+}
+
+// Binary is Op applied to L and R.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Assign is "L Op R" where Op is "=", "+=", etc.
+type Assign struct {
+	Op   string
+	L, R Expr
+}
+
+// Call is a function call.
+type Call struct {
+	Fn   Expr
+	Args []Expr
+}
+
+// Index is array subscripting.
+type Index struct {
+	Base  Expr
+	Index Expr
+}
+
+// Member selects a field: Base.Name, or Base->Name when Arrow.
+type Member struct {
+	Base  Expr
+	Name  string
+	Arrow bool
+}
+
+// CastExpr converts Operand to To.
+type CastExpr struct {
+	To      Type
+	Operand Expr
+}
+
+// Ternary is Cond ? Then : Else.
+type Ternary struct {
+	Cond, Then, Else Expr
+}
+
+// SizeofType is sizeof(Type).
+type SizeofType struct{ Of Type }
+
+// Raw is an escape hatch for preformatted expression text.
+type Raw struct{ Text string }
+
+func (*Ident) castExpr()      {}
+func (*IntLit) castExpr()     {}
+func (*UIntLit) castExpr()    {}
+func (*StrLit) castExpr()     {}
+func (*CharLit) castExpr()    {}
+func (*Unary) castExpr()      {}
+func (*Postfix) castExpr()    {}
+func (*Binary) castExpr()     {}
+func (*Assign) castExpr()     {}
+func (*Call) castExpr()       {}
+func (*Index) castExpr()      {}
+func (*Member) castExpr()     {}
+func (*CastExpr) castExpr()   {}
+func (*Ternary) castExpr()    {}
+func (*SizeofType) castExpr() {}
+func (*Raw) castExpr()        {}
+
+// Stmt is a C statement.
+type Stmt interface{ castStmt() }
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct{ E Expr }
+
+// DeclStmt declares a local variable, optionally initialized.
+type DeclStmt struct {
+	Name string
+	Type Type
+	Init Expr // may be nil
+}
+
+// If is an if/else statement; Else may be nil.
+type If struct {
+	Cond Expr
+	Then *Block
+	Else Stmt // *Block or *If, or nil
+}
+
+// For is a C for loop; any of Init/Cond/Post may be nil.
+type For struct {
+	Init Stmt // ExprStmt or DeclStmt
+	Cond Expr
+	Post Expr
+	Body *Block
+}
+
+// While is a while loop.
+type While struct {
+	Cond Expr
+	Body *Block
+}
+
+// Switch is a switch statement.
+type Switch struct {
+	On    Expr
+	Cases []SwitchCase
+}
+
+// SwitchCase is one case (or default) arm. A case falls through unless
+// its body ends with Break or Return.
+type SwitchCase struct {
+	Values  []Expr // nil for default
+	Default bool
+	Body    []Stmt
+}
+
+// Return returns E (possibly nil for void).
+type Return struct{ E Expr }
+
+// Break is a break statement.
+type Break struct{}
+
+// Goto jumps to a label.
+type Goto struct{ Label string }
+
+// Label declares a label.
+type Label struct{ Name string }
+
+// Block is a braced statement list.
+type Block struct{ Stmts []Stmt }
+
+// Comment is a standalone comment line inside a body.
+type Comment struct{ Text string }
+
+func (*ExprStmt) castStmt() {}
+func (*DeclStmt) castStmt() {}
+func (*If) castStmt()       {}
+func (*For) castStmt()      {}
+func (*While) castStmt()    {}
+func (*Switch) castStmt()   {}
+func (*Return) castStmt()   {}
+func (*Break) castStmt()    {}
+func (*Goto) castStmt()     {}
+func (*Label) castStmt()    {}
+func (*Block) castStmt()    {}
+func (*Comment) castStmt()  {}
+
+// Decl is a top-level declaration.
+type Decl interface{ castDecl() }
+
+// Include is a #include line; System selects <...> over "...".
+type Include struct {
+	Path   string
+	System bool
+}
+
+// Define is a simple #define.
+type Define struct {
+	Name string
+	Text string
+}
+
+// TypedefDecl names a type.
+type TypedefDecl struct {
+	Name string
+	Type Type
+}
+
+// VarDecl is a global variable declaration.
+type VarDecl struct {
+	Name   string
+	Type   Type
+	Init   Expr // may be nil
+	Static bool
+}
+
+// FuncDecl is a function definition (Body != nil) or prototype.
+type FuncDecl struct {
+	Name   string
+	Ret    Type
+	Params []Param
+	Body   *Block
+	Static bool
+}
+
+// StructDecl declares a tagged struct at file scope.
+type StructDecl struct{ Def *StructType }
+
+// EnumDecl declares a tagged enum at file scope.
+type EnumDecl struct{ Def *EnumType }
+
+// CommentDecl is a file-scope comment.
+type CommentDecl struct{ Text string }
+
+func (*Include) castDecl()     {}
+func (*Define) castDecl()      {}
+func (*TypedefDecl) castDecl() {}
+func (*VarDecl) castDecl()     {}
+func (*FuncDecl) castDecl()    {}
+func (*StructDecl) castDecl()  {}
+func (*EnumDecl) castDecl()    {}
+func (*CommentDecl) castDecl() {}
+
+// File is a whole C source or header file.
+type File struct {
+	Name  string
+	Decls []Decl
+}

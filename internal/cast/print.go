@@ -1,0 +1,535 @@
+package cast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders a File as C source text.
+func Print(f *File) string {
+	p := &printer{}
+	for i, d := range f.Decls {
+		if i > 0 {
+			if _, ok := d.(*Include); !ok {
+				p.nl()
+			} else if _, prev := f.Decls[i-1].(*Include); !prev {
+				p.nl()
+			}
+		}
+		p.decl(d)
+	}
+	return p.b.String()
+}
+
+// PrintStmts renders a statement list at the given indent, for tests and
+// snippet generation.
+func PrintStmts(stmts []Stmt, indent int) string {
+	p := &printer{indent: indent}
+	for _, s := range stmts {
+		p.stmt(s)
+	}
+	return p.b.String()
+}
+
+// ExprString renders a single expression.
+func ExprString(e Expr) string {
+	p := &printer{}
+	p.expr(e, precLowest)
+	return p.b.String()
+}
+
+// TypeString renders a type as it would appear in a cast or sizeof.
+func TypeString(t Type) string {
+	p := &printer{}
+	return p.typeDecl(t, "")
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) nl()                          { p.b.WriteByte('\n') }
+func (p *printer) ws(s string)                  { p.b.WriteString(s) }
+func (p *printer) line(s string)                { p.tabs(); p.b.WriteString(s); p.nl() }
+func (p *printer) tabs()                        { p.b.WriteString(strings.Repeat("\t", p.indent)) }
+func (p *printer) f(format string, args ...any) { fmt.Fprintf(&p.b, format, args...) }
+
+func (p *printer) decl(d Decl) {
+	switch d := d.(type) {
+	case *Include:
+		if d.System {
+			p.line("#include <" + d.Path + ">")
+		} else {
+			p.line("#include \"" + d.Path + "\"")
+		}
+	case *Define:
+		p.line("#define " + d.Name + " " + d.Text)
+	case *CommentDecl:
+		for _, ln := range strings.Split(d.Text, "\n") {
+			p.line("/* " + ln + " */")
+		}
+	case *TypedefDecl:
+		p.tabs()
+		p.ws("typedef " + p.typeDecl(d.Type, d.Name) + ";")
+		p.nl()
+	case *VarDecl:
+		p.tabs()
+		if d.Static {
+			p.ws("static ")
+		}
+		p.ws(p.typeDecl(d.Type, d.Name))
+		if d.Init != nil {
+			p.ws(" = ")
+			p.expr(d.Init, precLowest)
+		}
+		p.ws(";")
+		p.nl()
+	case *StructDecl:
+		p.tabs()
+		p.ws(p.structBody("struct", d.Def.Tag, d.Def.Fields))
+		p.ws(";")
+		p.nl()
+	case *EnumDecl:
+		p.tabs()
+		p.ws(p.enumBody(d.Def))
+		p.ws(";")
+		p.nl()
+	case *FuncDecl:
+		p.tabs()
+		if d.Static {
+			p.ws("static ")
+		}
+		p.ws(p.typeDecl(d.Ret, ""))
+		p.nl()
+		p.tabs()
+		p.ws(d.Name + "(" + p.params(d.Params) + ")")
+		if d.Body == nil {
+			p.ws(";")
+			p.nl()
+			return
+		}
+		p.nl()
+		p.line("{")
+		p.indent++
+		for _, s := range d.Body.Stmts {
+			p.stmt(s)
+		}
+		p.indent--
+		p.line("}")
+	default:
+		panic(fmt.Sprintf("cast: unknown decl %T", d))
+	}
+}
+
+func (p *printer) params(params []Param) string {
+	if len(params) == 0 {
+		return "void"
+	}
+	parts := make([]string, len(params))
+	for i, pa := range params {
+		parts[i] = p.typeDecl(pa.Type, pa.Name)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// typeDecl renders a C declarator: type applied to name (which may be
+// empty for abstract declarators). It handles the inside-out C declarator
+// syntax for pointers, arrays, and function pointers.
+func (p *printer) typeDecl(t Type, name string) string {
+	base, decl := p.declarator(t, name)
+	if decl == "" {
+		return base
+	}
+	return base + " " + decl
+}
+
+func (p *printer) declarator(t Type, inner string) (base, decl string) {
+	switch t := t.(type) {
+	case *Prim:
+		return t.Name, inner
+	case *Named:
+		return t.Name, inner
+	case *StructRef:
+		return "struct " + t.Tag, inner
+	case *UnionRef:
+		return "union " + t.Tag, inner
+	case *EnumRef:
+		return "enum " + t.Tag, inner
+	case *StructType:
+		return p.structBody("struct", t.Tag, t.Fields), inner
+	case *UnionType:
+		return p.structBody("union", t.Tag, t.Fields), inner
+	case *EnumType:
+		return p.enumBody(t), inner
+	case *Ptr:
+		return p.declarator(t.To, "*"+inner)
+	case *Arr:
+		if strings.HasPrefix(inner, "*") {
+			inner = "(" + inner + ")"
+		}
+		if t.Len < 0 {
+			return p.declarator(t.Elem, inner+"[]")
+		}
+		return p.declarator(t.Elem, inner+"["+strconv.FormatInt(t.Len, 10)+"]")
+	case *FuncType:
+		if strings.HasPrefix(inner, "*") {
+			inner = "(" + inner + ")"
+		}
+		return p.declarator(t.Ret, inner+"("+p.params(t.Params)+")")
+	default:
+		panic(fmt.Sprintf("cast: unknown type %T", t))
+	}
+}
+
+func (p *printer) structBody(kw, tag string, fields []Field) string {
+	var b strings.Builder
+	b.WriteString(kw)
+	if tag != "" {
+		b.WriteString(" " + tag)
+	}
+	b.WriteString(" {\n")
+	sub := &printer{indent: p.indent + 1}
+	for _, f := range fields {
+		sub.tabs()
+		sub.ws(sub.typeDecl(f.Type, f.Name) + ";")
+		sub.nl()
+	}
+	b.WriteString(sub.b.String())
+	b.WriteString(strings.Repeat("\t", p.indent) + "}")
+	return b.String()
+}
+
+func (p *printer) enumBody(t *EnumType) string {
+	var b strings.Builder
+	b.WriteString("enum")
+	if t.Tag != "" {
+		b.WriteString(" " + t.Tag)
+	}
+	b.WriteString(" {\n")
+	tabs := strings.Repeat("\t", p.indent+1)
+	for i, m := range t.Members {
+		b.WriteString(tabs + m.Name)
+		if m.Explicit {
+			b.WriteString(" = " + strconv.FormatInt(m.Value, 10))
+		}
+		if i < len(t.Members)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString(strings.Repeat("\t", p.indent) + "}")
+	return b.String()
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *ExprStmt:
+		p.tabs()
+		p.expr(s.E, precLowest)
+		p.ws(";")
+		p.nl()
+	case *DeclStmt:
+		p.tabs()
+		p.ws(p.typeDecl(s.Type, s.Name))
+		if s.Init != nil {
+			p.ws(" = ")
+			p.expr(s.Init, precAssign)
+		}
+		p.ws(";")
+		p.nl()
+	case *If:
+		p.tabs()
+		p.ws("if (")
+		p.expr(s.Cond, precLowest)
+		p.ws(") {")
+		p.nl()
+		p.indent++
+		for _, st := range s.Then.Stmts {
+			p.stmt(st)
+		}
+		p.indent--
+		p.tabs()
+		p.ws("}")
+		if s.Else != nil {
+			switch e := s.Else.(type) {
+			case *Block:
+				p.ws(" else {")
+				p.nl()
+				p.indent++
+				for _, st := range e.Stmts {
+					p.stmt(st)
+				}
+				p.indent--
+				p.tabs()
+				p.ws("}")
+			case *If:
+				p.ws(" else ")
+				// Recurse without tabs: splice the "if" inline.
+				saved := p.indent
+				p.indent = 0
+				p.stmt(e)
+				p.indent = saved
+				return
+			default:
+				panic(fmt.Sprintf("cast: bad else %T", s.Else))
+			}
+		}
+		p.nl()
+	case *For:
+		p.tabs()
+		p.ws("for (")
+		switch init := s.Init.(type) {
+		case nil:
+		case *ExprStmt:
+			p.expr(init.E, precLowest)
+		case *DeclStmt:
+			p.ws(p.typeDecl(init.Type, init.Name))
+			if init.Init != nil {
+				p.ws(" = ")
+				p.expr(init.Init, precAssign)
+			}
+		default:
+			panic(fmt.Sprintf("cast: bad for init %T", s.Init))
+		}
+		p.ws("; ")
+		if s.Cond != nil {
+			p.expr(s.Cond, precLowest)
+		}
+		p.ws("; ")
+		if s.Post != nil {
+			p.expr(s.Post, precLowest)
+		}
+		p.ws(") {")
+		p.nl()
+		p.indent++
+		for _, st := range s.Body.Stmts {
+			p.stmt(st)
+		}
+		p.indent--
+		p.line("}")
+	case *While:
+		p.tabs()
+		p.ws("while (")
+		p.expr(s.Cond, precLowest)
+		p.ws(") {")
+		p.nl()
+		p.indent++
+		for _, st := range s.Body.Stmts {
+			p.stmt(st)
+		}
+		p.indent--
+		p.line("}")
+	case *Switch:
+		p.tabs()
+		p.ws("switch (")
+		p.expr(s.On, precLowest)
+		p.ws(") {")
+		p.nl()
+		for _, c := range s.Cases {
+			if c.Default {
+				p.line("default:")
+			} else {
+				for _, v := range c.Values {
+					p.tabs()
+					p.ws("case ")
+					p.expr(v, precLowest)
+					p.ws(":")
+					p.nl()
+				}
+			}
+			p.indent++
+			for _, st := range c.Body {
+				p.stmt(st)
+			}
+			p.indent--
+		}
+		p.line("}")
+	case *Return:
+		p.tabs()
+		if s.E == nil {
+			p.ws("return;")
+		} else {
+			p.ws("return ")
+			p.expr(s.E, precLowest)
+			p.ws(";")
+		}
+		p.nl()
+	case *Break:
+		p.line("break;")
+	case *Goto:
+		p.line("goto " + s.Label + ";")
+	case *Label:
+		saved := p.indent
+		p.indent = 0
+		p.line(s.Name + ":")
+		p.indent = saved
+	case *Block:
+		p.line("{")
+		p.indent++
+		for _, st := range s.Stmts {
+			p.stmt(st)
+		}
+		p.indent--
+		p.line("}")
+	case *Comment:
+		p.line("/* " + s.Text + " */")
+	default:
+		panic(fmt.Sprintf("cast: unknown stmt %T", s))
+	}
+}
+
+// Operator precedence levels (subset sufficient for generated code).
+const (
+	precLowest  = 0
+	precAssign  = 1
+	precTernary = 2
+	precOr      = 3
+	precAnd     = 4
+	precBitOr   = 5
+	precBitXor  = 6
+	precBitAnd  = 7
+	precEq      = 8
+	precRel     = 9
+	precShift   = 10
+	precAdd     = 11
+	precMul     = 12
+	precUnary   = 13
+	precPostfix = 14
+)
+
+func binPrec(op string) int {
+	switch op {
+	case "||":
+		return precOr
+	case "&&":
+		return precAnd
+	case "|":
+		return precBitOr
+	case "^":
+		return precBitXor
+	case "&":
+		return precBitAnd
+	case "==", "!=":
+		return precEq
+	case "<", ">", "<=", ">=":
+		return precRel
+	case "<<", ">>":
+		return precShift
+	case "+", "-":
+		return precAdd
+	case "*", "/", "%":
+		return precMul
+	}
+	panic("cast: unknown binary op " + op)
+}
+
+func (p *printer) expr(e Expr, outer int) {
+	switch e := e.(type) {
+	case *Ident:
+		p.ws(e.Name)
+	case *IntLit:
+		p.ws(strconv.FormatInt(e.Value, 10) + e.Suffix)
+	case *UIntLit:
+		p.f("0x%x", e.Value)
+	case *StrLit:
+		p.ws(strconv.Quote(e.Value))
+	case *CharLit:
+		p.ws("'" + escapeChar(e.Value) + "'")
+	case *Unary:
+		p.paren(outer > precUnary, func() {
+			p.ws(e.Op)
+			p.expr(e.Operand, precUnary)
+		})
+	case *Postfix:
+		p.paren(outer > precPostfix, func() {
+			p.expr(e.Operand, precPostfix)
+			p.ws(e.Op)
+		})
+	case *Binary:
+		prec := binPrec(e.Op)
+		p.paren(outer > prec, func() {
+			p.expr(e.L, prec)
+			p.ws(" " + e.Op + " ")
+			p.expr(e.R, prec+1)
+		})
+	case *Assign:
+		p.paren(outer > precAssign, func() {
+			p.expr(e.L, precUnary)
+			p.ws(" " + e.Op + " ")
+			p.expr(e.R, precAssign)
+		})
+	case *Call:
+		p.expr(e.Fn, precPostfix)
+		p.ws("(")
+		for i, a := range e.Args {
+			if i > 0 {
+				p.ws(", ")
+			}
+			p.expr(a, precAssign)
+		}
+		p.ws(")")
+	case *Index:
+		p.expr(e.Base, precPostfix)
+		p.ws("[")
+		p.expr(e.Index, precLowest)
+		p.ws("]")
+	case *Member:
+		p.expr(e.Base, precPostfix)
+		if e.Arrow {
+			p.ws("->")
+		} else {
+			p.ws(".")
+		}
+		p.ws(e.Name)
+	case *CastExpr:
+		p.paren(outer > precUnary, func() {
+			p.ws("(" + p.typeDecl(e.To, "") + ") ")
+			p.expr(e.Operand, precUnary)
+		})
+	case *Ternary:
+		p.paren(outer > precTernary, func() {
+			p.expr(e.Cond, precOr)
+			p.ws(" ? ")
+			p.expr(e.Then, precTernary)
+			p.ws(" : ")
+			p.expr(e.Else, precTernary)
+		})
+	case *SizeofType:
+		p.ws("sizeof(" + p.typeDecl(e.Of, "") + ")")
+	case *Raw:
+		p.ws(e.Text)
+	default:
+		panic(fmt.Sprintf("cast: unknown expr %T", e))
+	}
+}
+
+func (p *printer) paren(need bool, body func()) {
+	if need {
+		p.ws("(")
+	}
+	body()
+	if need {
+		p.ws(")")
+	}
+}
+
+func escapeChar(c byte) string {
+	switch c {
+	case '\'':
+		return "\\'"
+	case '\\':
+		return "\\\\"
+	case '\n':
+		return "\\n"
+	case '\t':
+		return "\\t"
+	case 0:
+		return "\\0"
+	}
+	if c < 32 || c > 126 {
+		return fmt.Sprintf("\\x%02x", c)
+	}
+	return string(c)
+}

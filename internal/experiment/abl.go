@@ -1,0 +1,90 @@
+package experiment
+
+import (
+	"fmt"
+
+	abl "flick/internal/ablstubs"
+	ts "flick/internal/teststubs"
+	"flick/rt"
+)
+
+// The ablation stub variants live in internal/ablstubs (same interface,
+// one optimization disabled per build). The ablstubs package declares
+// its own presented types, so workloads convert at the boundary (the
+// conversion is outside the measured region).
+
+func ablDirs(v []ts.BenchDirEntry) []abl.BenchDirEntry {
+	out := make([]abl.BenchDirEntry, len(v))
+	for i := range v {
+		out[i].Name = v[i].Name
+		out[i].Info.Fields = v[i].Info.Fields
+		out[i].Info.Tag = v[i].Info.Tag
+	}
+	return out
+}
+
+func ablRects(v []ts.BenchRect) []abl.BenchRect {
+	out := make([]abl.BenchRect, len(v))
+	for i := range v {
+		out[i] = abl.BenchRect{
+			Min: abl.BenchPoint{X: v[i].Min.X, Y: v[i].Min.Y},
+			Max: abl.BenchPoint{X: v[i].Max.X, Y: v[i].Max.Y},
+		}
+	}
+	return out
+}
+
+var ablDirCache = map[string]func(*rt.Encoder, []abl.BenchDirEntry){
+	"full":     abl.MarshalBenchSendDirsFullRequest,
+	"nogroup":  abl.MarshalBenchSendDirsNoGroupRequest,
+	"nochunk":  abl.MarshalBenchSendDirsNoChunkRequest,
+	"nomemcpy": abl.MarshalBenchSendDirsNoMemcpyRequest,
+	"noinline": abl.MarshalBenchSendDirsNoInlineRequest,
+}
+
+var ablRectCache = map[string]func(*rt.Encoder, []abl.BenchRect){
+	"full":     abl.MarshalBenchSendRectsFullRequest,
+	"nogroup":  abl.MarshalBenchSendRectsNoGroupRequest,
+	"nochunk":  abl.MarshalBenchSendRectsNoChunkRequest,
+	"nomemcpy": abl.MarshalBenchSendRectsNoMemcpyRequest,
+	"noinline": abl.MarshalBenchSendRectsNoInlineRequest,
+}
+
+// conversion caches so the measured closures see stable inputs.
+var ablDirsMemo = map[*ts.BenchDirEntry][]abl.BenchDirEntry{}
+
+func marshalDirsAbl(e *rt.Encoder, v []ts.BenchDirEntry, variant string) {
+	f, ok := ablDirCache[variant]
+	if !ok {
+		panic(fmt.Sprintf("experiment: unknown ablation variant %q", variant))
+	}
+	var key *ts.BenchDirEntry
+	if len(v) > 0 {
+		key = &v[0]
+	}
+	conv, seen := ablDirsMemo[key]
+	if !seen || len(conv) != len(v) {
+		conv = ablDirs(v)
+		ablDirsMemo[key] = conv
+	}
+	f(e, conv)
+}
+
+var ablRectsMemo = map[*ts.BenchRect][]abl.BenchRect{}
+
+func marshalRectsAbl(e *rt.Encoder, v []ts.BenchRect, variant string) {
+	f, ok := ablRectCache[variant]
+	if !ok {
+		panic(fmt.Sprintf("experiment: unknown ablation variant %q", variant))
+	}
+	var key *ts.BenchRect
+	if len(v) > 0 {
+		key = &v[0]
+	}
+	conv, seen := ablRectsMemo[key]
+	if !seen || len(conv) != len(v) {
+		conv = ablRects(v)
+		ablRectsMemo[key] = conv
+	}
+	f(e, conv)
+}

@@ -1,0 +1,212 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"flick/internal/frontend/corbaidl"
+	"flick/internal/interp"
+	"flick/internal/pgen"
+	"flick/internal/pres"
+	"flick/internal/presc"
+	ts "flick/internal/teststubs"
+	"flick/internal/wire"
+	"flick/rt"
+)
+
+// Compiler describes one stub compiler configuration of Table 3 and
+// provides its executable marshal/unmarshal paths for the three test
+// methods.
+type Compiler struct {
+	Name     string
+	Origin   string
+	IDL      string
+	Encoding string
+	Wire     string
+
+	MarshalInts    func(*rt.Encoder, []int32)
+	UnmarshalInts  func(*rt.Decoder) ([]int32, error)
+	MarshalRects   func(*rt.Encoder, []ts.BenchRect)
+	UnmarshalRects func(*rt.Decoder) ([]ts.BenchRect, error)
+	MarshalDirs    func(*rt.Encoder, []ts.BenchDirEntry)
+	UnmarshalDirs  func(*rt.Decoder) ([]ts.BenchDirEntry, error)
+}
+
+var (
+	presOnce  sync.Once
+	presNodes map[string]*pres.Node
+	presErr   error
+)
+
+// benchPres returns the request PRES tree of a Bench operation for the
+// interpretive marshalers.
+func benchPres(op string) *pres.Node {
+	presOnce.Do(func() {
+		presNodes = map[string]*pres.Node{}
+		f, err := corbaidl.Parse("test.idl", ts.BenchIDL)
+		if err != nil {
+			presErr = err
+			return
+		}
+		pf, err := pgen.GenerateGo(f, presc.Client)
+		if err != nil {
+			presErr = err
+			return
+		}
+		for _, s := range pf.Stubs {
+			if len(s.Params) > 0 && s.Params[0].Request != nil {
+				presNodes[s.Op] = s.Params[0].Request
+			}
+		}
+	})
+	if presErr != nil {
+		panic(fmt.Sprintf("experiment: %v", presErr))
+	}
+	return presNodes[op]
+}
+
+func interpCompiler(name, origin, idl string, f wire.Format, style interp.Style) Compiler {
+	m := interp.New(f, style)
+	ints := benchPres("send_ints")
+	rects := benchPres("send_rects")
+	dirs := benchPres("send_dirs")
+	return Compiler{
+		Name: name, Origin: origin, IDL: idl,
+		Encoding: f.Name(), Wire: "TCP",
+		MarshalInts: func(e *rt.Encoder, v []int32) {
+			if err := m.Marshal(e, ints, v); err != nil {
+				panic(err)
+			}
+		},
+		UnmarshalInts: func(d *rt.Decoder) ([]int32, error) {
+			var out []int32
+			err := m.Unmarshal(d, ints, &out)
+			return out, err
+		},
+		MarshalRects: func(e *rt.Encoder, v []ts.BenchRect) {
+			if err := m.Marshal(e, rects, v); err != nil {
+				panic(err)
+			}
+		},
+		UnmarshalRects: func(d *rt.Decoder) ([]ts.BenchRect, error) {
+			var out []ts.BenchRect
+			err := m.Unmarshal(d, rects, &out)
+			return out, err
+		},
+		MarshalDirs: func(e *rt.Encoder, v []ts.BenchDirEntry) {
+			if err := m.Marshal(e, dirs, v); err != nil {
+				panic(err)
+			}
+		},
+		UnmarshalDirs: func(d *rt.Decoder) ([]ts.BenchDirEntry, error) {
+			var out []ts.BenchDirEntry
+			err := m.Unmarshal(d, dirs, &out)
+			return out, err
+		},
+	}
+}
+
+// Compilers returns the evaluation matrix of Table 3: the same compiler
+// stacks the paper measured, reproduced by structure.
+func Compilers() []Compiler {
+	return []Compiler{
+		{
+			Name: "rpcgen", Origin: "Sun", IDL: "ONC", Encoding: "XDR", Wire: "ONC/TCP",
+			MarshalInts:    ts.MarshalBenchSendIntsXDRNaiveRequest,
+			UnmarshalInts:  ts.UnmarshalBenchSendIntsXDRNaiveRequest,
+			MarshalRects:   ts.MarshalBenchSendRectsXDRNaiveRequest,
+			UnmarshalRects: ts.UnmarshalBenchSendRectsXDRNaiveRequest,
+			MarshalDirs:    ts.MarshalBenchSendDirsXDRNaiveRequest,
+			UnmarshalDirs:  ts.UnmarshalBenchSendDirsXDRNaiveRequest,
+		},
+		{
+			Name: "PowerRPC", Origin: "Netbula", IDL: "CORBA-like", Encoding: "XDR", Wire: "ONC/TCP",
+			MarshalInts:    ts.MarshalBenchSendIntsXDRPowRequest,
+			UnmarshalInts:  ts.UnmarshalBenchSendIntsXDRPowRequest,
+			MarshalRects:   ts.MarshalBenchSendRectsXDRPowRequest,
+			UnmarshalRects: ts.UnmarshalBenchSendRectsXDRPowRequest,
+			MarshalDirs:    ts.MarshalBenchSendDirsXDRPowRequest,
+			UnmarshalDirs:  ts.UnmarshalBenchSendDirsXDRPowRequest,
+		},
+		{
+			Name: "Flick/ONC", Origin: "Utah", IDL: "ONC", Encoding: "XDR", Wire: "ONC/TCP",
+			MarshalInts:    ts.MarshalBenchSendIntsXDRRequest,
+			UnmarshalInts:  ts.UnmarshalBenchSendIntsXDRRequest,
+			MarshalRects:   ts.MarshalBenchSendRectsXDRRequest,
+			UnmarshalRects: ts.UnmarshalBenchSendRectsXDRRequest,
+			MarshalDirs:    ts.MarshalBenchSendDirsXDRRequest,
+			UnmarshalDirs:  ts.UnmarshalBenchSendDirsXDRRequest,
+		},
+		interpCompiler("ORBeline", "Visigenic", "CORBA", wire.CDR{Little: true}, interp.ORBeline),
+		interpCompiler("ILU", "Xerox PARC", "CORBA", wire.CDR{Little: true}, interp.ILU),
+		{
+			Name: "Flick/CORBA", Origin: "Utah", IDL: "CORBA", Encoding: "IIOP", Wire: "TCP",
+			MarshalInts:    ts.MarshalBenchSendIntsCDRRequest,
+			UnmarshalInts:  ts.UnmarshalBenchSendIntsCDRRequest,
+			MarshalRects:   ts.MarshalBenchSendRectsCDRRequest,
+			UnmarshalRects: ts.UnmarshalBenchSendRectsCDRRequest,
+			MarshalDirs:    ts.MarshalBenchSendDirsCDRRequest,
+			UnmarshalDirs:  ts.UnmarshalBenchSendDirsCDRRequest,
+		},
+	}
+}
+
+// MeasureMarshal times one marshal of the given closure: the minimum of
+// several amortized rounds (minimum-of-N suppresses scheduler noise).
+func MeasureMarshal(f func(*rt.Encoder)) time.Duration {
+	var e rt.Encoder
+	// Warm up and size the buffer.
+	f(&e)
+	iters := calibrate(func() { e.Reset(); f(&e) })
+	best := time.Duration(1 << 62)
+	for round := 0; round < 3; round++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			e.Reset()
+			f(&e)
+		}
+		if per := time.Since(start) / time.Duration(iters); per < best {
+			best = per
+		}
+	}
+	return best
+}
+
+// MeasureUnmarshal times one decode of payload (minimum of three rounds).
+func MeasureUnmarshal(payload []byte, f func(*rt.Decoder) error) (time.Duration, error) {
+	d := rt.NewDecoder(payload)
+	if err := f(d); err != nil {
+		return 0, err
+	}
+	iters := calibrate(func() { d.Reset(payload); _ = f(d) })
+	best := time.Duration(1 << 62)
+	for round := 0; round < 3; round++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			d.Reset(payload)
+			if err := f(d); err != nil {
+				return 0, err
+			}
+		}
+		if per := time.Since(start) / time.Duration(iters); per < best {
+			best = per
+		}
+	}
+	return best, nil
+}
+
+// calibrate finds an iteration count filling roughly two milliseconds.
+func calibrate(f func()) int {
+	iters := 1
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		if time.Since(start) > 2*time.Millisecond || iters >= 1<<20 {
+			return iters
+		}
+		iters *= 4
+	}
+}

@@ -1,0 +1,119 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"flick/rt"
+)
+
+func TestWorkloadSizes(t *testing.T) {
+	// Encoded payload sizes must match the requested sizes exactly (the
+	// paper's x-axes are encoded message sizes).
+	compilers := Compilers()
+	var flickONC *Compiler
+	for i := range compilers {
+		if compilers[i].Name == "Flick/ONC" {
+			flickONC = &compilers[i]
+		}
+	}
+	if flickONC == nil {
+		t.Fatal("no Flick/ONC compiler")
+	}
+	var e rt.Encoder
+	for _, n := range []int{64, 1024, 64 << 10} {
+		e.Reset()
+		flickONC.MarshalInts(&e, IntArray(n))
+		if got := e.Len() - 4; got != n {
+			t.Errorf("int payload = %d, want %d", got, n)
+		}
+		e.Reset()
+		flickONC.MarshalRects(&e, RectArray(n))
+		if got := e.Len() - 4; got != n {
+			t.Errorf("rect payload = %d, want %d", got, n)
+		}
+	}
+	for _, n := range []int{256, 1024, 64 << 10} {
+		e.Reset()
+		flickONC.MarshalDirs(&e, DirArray(n))
+		if got := e.Len() - 4; got != n {
+			t.Errorf("dir payload = %d, want %d (each entry must encode to 256B)", got, n)
+		}
+	}
+}
+
+func TestCompilerMatrixConsistency(t *testing.T) {
+	// All compilers sharing an encoding must produce identical bytes.
+	in := IntArray(1024)
+	byEncoding := map[string][][]byte{}
+	for _, c := range Compilers() {
+		var e rt.Encoder
+		c.MarshalInts(&e, in)
+		key := c.Encoding
+		if key == "IIOP" {
+			key = "cdr-le"
+		}
+		byEncoding[key] = append(byEncoding[key], append([]byte(nil), e.Bytes()...))
+	}
+	for enc, all := range byEncoding {
+		for i := 1; i < len(all); i++ {
+			if string(all[i]) != string(all[0]) {
+				t.Errorf("%s: compiler %d produced different bytes", enc, i)
+			}
+		}
+	}
+}
+
+func TestMIGStubRoundTrip(t *testing.T) {
+	mig := &MIGStub{}
+	in := IntArray(1 << 10)
+	msg := mig.MarshalInts(in)
+	out, err := mig.UnmarshalInts(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("slot %d", i)
+		}
+	}
+	// Truncation detection.
+	if _, err := mig.UnmarshalInts(msg[:len(msg)-2]); err == nil {
+		t.Error("truncated MIG message accepted")
+	}
+	if _, err := mig.UnmarshalInts(msg[:10]); err == nil {
+		t.Error("headerless MIG message accepted")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{Title: "T", Cols: []string{"a", "bb"}, Notes: []string{"n"}}
+	r.AddRow("x", "1")
+	s := r.String()
+	for _, frag := range []string{"T\n=", "a", "bb", "x", "note: n"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("report missing %q:\n%s", frag, s)
+		}
+	}
+	if sizeLabel(64) != "64B" || sizeLabel(2048) != "2K" || sizeLabel(4<<20) != "4M" {
+		t.Error("size labels")
+	}
+}
+
+func TestTable2AndTable3(t *testing.T) {
+	t2 := Table2().String()
+	for _, frag := range []string{"rpcgen", "Flick/ONC", "interpreted"} {
+		if !strings.Contains(t2, frag) {
+			t.Errorf("table2 missing %q", frag)
+		}
+	}
+	t3 := Table3().String()
+	for _, frag := range []string{"PowerRPC", "MIG", "Mach3 IPC", "IIOP"} {
+		if !strings.Contains(t3, frag) {
+			t.Errorf("table3 missing %q", frag)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	ts "flick/internal/teststubs"
+	"flick/rt"
+)
+
+// Workload names the three test methods of the paper.
+type Workload string
+
+const (
+	Ints  Workload = "integer arrays"
+	Rects Workload = "rectangle structure arrays"
+	Dirs  Workload = "directory entry arrays"
+)
+
+// marshalCost measures one compiler's marshal time for one workload at
+// one encoded payload size.
+func marshalCost(c *Compiler, w Workload, size int) time.Duration {
+	switch w {
+	case Ints:
+		v := IntArray(size)
+		return MeasureMarshal(func(e *rt.Encoder) { c.MarshalInts(e, v) })
+	case Rects:
+		v := RectArray(size)
+		return MeasureMarshal(func(e *rt.Encoder) { c.MarshalRects(e, v) })
+	default:
+		v := DirArray(size)
+		return MeasureMarshal(func(e *rt.Encoder) { c.MarshalDirs(e, v) })
+	}
+}
+
+// unmarshalCost measures the decode time (payload produced by the same
+// compiler).
+func unmarshalCost(c *Compiler, w Workload, size int) (time.Duration, error) {
+	var e rt.Encoder
+	switch w {
+	case Ints:
+		v := IntArray(size)
+		c.MarshalInts(&e, v)
+		return MeasureUnmarshal(e.Bytes(), func(d *rt.Decoder) error {
+			_, err := c.UnmarshalInts(d)
+			return err
+		})
+	case Rects:
+		v := RectArray(size)
+		c.MarshalRects(&e, v)
+		return MeasureUnmarshal(e.Bytes(), func(d *rt.Decoder) error {
+			_, err := c.UnmarshalRects(d)
+			return err
+		})
+	default:
+		v := DirArray(size)
+		c.MarshalDirs(&e, v)
+		return MeasureUnmarshal(e.Bytes(), func(d *rt.Decoder) error {
+			_, err := c.UnmarshalDirs(d)
+			return err
+		})
+	}
+}
+
+// Fig3 regenerates the marshal-throughput figure for one workload:
+// throughput (MB/s) of each compiler's marshal code across message
+// sizes, independent of any transport.
+func Fig3(w Workload) *Report {
+	compilers := Compilers()
+	sizes := Fig3IntSizes()
+	if w == Dirs {
+		sizes = Fig3DirSizes()
+	}
+	rep := &Report{
+		Title: fmt.Sprintf("Figure 3: marshal throughput (MB/s), %s", w),
+		Cols:  []string{"size"},
+		Notes: []string{
+			"paper: Flick marshals 2-5x faster than other compilers for small messages, 5-17x for large",
+			"ORBeline/ILU are interpretive marshalers (reflection), as in the original systems",
+		},
+	}
+	for _, c := range compilers {
+		rep.Cols = append(rep.Cols, c.Name)
+	}
+	for _, size := range sizes {
+		row := []string{sizeLabel(size)}
+		for i := range compilers {
+			t := marshalCost(&compilers[i], w, size)
+			row = append(row, mbps(size, t.Seconds()))
+		}
+		rep.AddRow(row...)
+	}
+	return rep
+}
+
+// Table2 regenerates the object-code-size comparison: the paper measured
+// compiled stub bytes for the directory interface; we report generated
+// source bytes for the equivalent stubs (inlining can shrink stubs: the
+// Flick output stays comparable to the naive output despite doing far
+// more per call-site).
+func Table2() *Report {
+	rep := &Report{
+		Title: "Table 2: generated stub code sizes (bytes of stub source, directory interface)",
+		Cols:  []string{"compiler", "stub bytes", "runtime library"},
+		Notes: []string{
+			"paper reports compiled object bytes on SPARC; source bytes preserve the ordering argument",
+			"interpretive systems (ILU, ORBeline) have tiny per-interface stubs but carry the interpreter as runtime",
+		},
+	}
+	for _, cfg := range []struct {
+		name    string
+		style   string
+		runtime string
+	}{
+		{"rpcgen", "rpcgen", "rt (checked put/get path)"},
+		{"PowerRPC", "powerrpc", "rt + dispatch vtable"},
+		{"Flick/ONC", "flick", "rt (unchecked fast path)"},
+		{"ILU", "", "interp (reflective walker)"},
+		{"ORBeline", "", "interp + runtime layers"},
+	} {
+		if cfg.style == "" {
+			rep.AddRow(cfg.name, "~0 (interpreted)", cfg.runtime)
+			continue
+		}
+		n, err := generatedStubBytes(cfg.style)
+		if err != nil {
+			rep.AddRow(cfg.name, "error: "+err.Error(), cfg.runtime)
+			continue
+		}
+		rep.AddRow(cfg.name, fmt.Sprintf("%d", n), cfg.runtime)
+	}
+	return rep
+}
+
+// Table3 prints the tested-compiler matrix.
+func Table3() *Report {
+	rep := &Report{
+		Title: "Table 3: tested IDL compilers and their attributes",
+		Cols:  []string{"compiler", "origin (modeled)", "IDL", "encoding", "transport"},
+	}
+	for _, c := range Compilers() {
+		rep.AddRow(c.Name, c.Origin, c.IDL, c.Encoding, c.Wire)
+	}
+	rep.AddRow("Flick/Mach", "Utah", "ONC", "Mach3", "Mach3 IPC")
+	rep.AddRow("MIG", "CMU", "MIG", "Mach3", "Mach3 IPC")
+	return rep
+}
+
+var _ = ts.BenchIDL

@@ -1,0 +1,171 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+
+	"flick/internal/netsim"
+	ts "flick/internal/teststubs"
+	"flick/rt"
+)
+
+// cpuScale holds the factor by which this host outruns the paper's
+// 50MHz SPARCstation 20 at the baseline marshaling task: the measured
+// rpcgen-style int-array marshal throughput divided by the ~13MB/s the
+// paper's Figure 3 shows for rpcgen on large integer arrays. Links are
+// scaled by the same factor so the modeled CPU:network ratio matches the
+// paper's testbed.
+var (
+	cpuScaleOnce sync.Once
+	cpuScaleVal  float64
+)
+
+func cpuScale() float64 {
+	cpuScaleOnce.Do(func() {
+		// The paper's Figure 3 shows rpcgen marshaling large integer
+		// arrays at roughly 3-4 MB/s on the 50MHz SPARC test hosts
+		// (Flick reaches 5-17x that).
+		const paperRpcgenMBps = 3.5
+		v := IntArray(256 << 10)
+		t := MeasureMarshal(func(e *rt.Encoder) { ts.MarshalBenchSendIntsXDRNaiveRequest(e, v) })
+		measured := float64(256<<10) / t.Seconds() / 1e6
+		cpuScaleVal = measured / paperRpcgenMBps
+		if cpuScaleVal < 1 {
+			cpuScaleVal = 1
+		}
+	})
+	return cpuScaleVal
+}
+
+// EndToEnd regenerates one of Figures 4-6: modeled end-to-end throughput
+// of the ONC-transport compilers (rpcgen, PowerRPC, Flick/ONC) invoking
+// the int-array method across a link. Marshal and unmarshal costs are
+// measured on this host with the real generated stubs; the link
+// contributes its effective (OS-limited) bandwidth and per-message cost,
+// scaled so the CPU:network speed ratio matches the paper's testbed.
+func EndToEnd(raw netsim.Link) *Report {
+	scale := cpuScale()
+	link := raw.Scaled(scale)
+	rep := &Report{
+		Title: fmt.Sprintf("End-to-end throughput across %s (scaled x%.0f), integer arrays", raw.Name, scale),
+		Cols:  []string{"size", "rpcgen", "PowerRPC", "Flick/ONC", "Flick/rpcgen"},
+		Notes: []string{
+			"modeled link: " + link.String(),
+			fmt.Sprintf("link scaled x%.0f to hold the paper's CPU:network ratio on this host", scale),
+			"reported in scaled-link Mbps; divide by the scale factor for 1997-equivalent Mbps",
+			"paper: on 10Mbps Ethernet all compilers reach ~6-7.5Mbps (the wire dominates);",
+			"on 100Mbps/640Mbps links Flick gains 2-3.7x (marshaling dominates)",
+		},
+	}
+	compilers := Compilers()
+	var onc []*Compiler
+	for i := range compilers {
+		switch compilers[i].Name {
+		case "rpcgen", "PowerRPC", "Flick/ONC":
+			onc = append(onc, &compilers[i])
+		}
+	}
+	const oncHeader = 44 // record mark + ONC call header
+	for _, size := range Fig3IntSizes() {
+		row := []string{sizeLabel(size)}
+		for _, c := range onc {
+			m := marshalCost(c, Ints, size)
+			u, err := unmarshalCost(c, Ints, size)
+			if err != nil {
+				row = append(row, "err")
+				continue
+			}
+			trip := netsim.RoundTrip{
+				Link:            link,
+				RequestBytes:    size + 4 + oncHeader,
+				ReplyBytes:      28,
+				ClientMarshal:   m,
+				ServerUnmarshal: u,
+				ReplyCost:       0,
+				Stream:          true, // ONC record marking streams over TCP
+			}
+			row = append(row, fmt.Sprintf("%.1f", trip.ThroughputMbps(size)))
+		}
+		// Ratio column: Flick/ONC over rpcgen.
+		var vals [2]float64
+		fmt.Sscanf(row[1], "%f", &vals[0])
+		fmt.Sscanf(row[3], "%f", &vals[1])
+		if vals[0] > 0 {
+			row = append(row, fmt.Sprintf("%.2fx", vals[1]/vals[0]))
+		} else {
+			row = append(row, "-")
+		}
+		rep.AddRow(row...)
+	}
+	return rep
+}
+
+// Fig4 models 10Mbps Ethernet, Fig5 100Mbps Ethernet, Fig6 640Mbps
+// Myrinet.
+func Fig4() *Report { return EndToEnd(netsim.Ethernet10) }
+func Fig5() *Report { return EndToEnd(netsim.Ethernet100) }
+func Fig6() *Report { return EndToEnd(netsim.Myrinet) }
+
+// Ablation regenerates the §3 optimization measurements: each row is one
+// optimization switched off, with the slowdown relative to the fully
+// optimized stubs on the workload the paper quotes.
+func Ablation() *Report {
+	rep := &Report{
+		Title: "Section 3 ablations: marshal time with one optimization disabled",
+		Cols:  []string{"optimization", "workload", "full (µs)", "disabled (µs)", "slowdown"},
+		Notes: []string{
+			"paper: buffer management ≤12% (large complex messages), memcpy 60-70% (strings),",
+			"chunking ~14%, inlining ≤60% (complex data), stack allocation ~14% (small unmarshal)",
+		},
+	}
+	type cfg struct {
+		name     string
+		workload Workload
+		size     int
+		full     func(*rt.Encoder)
+		off      func(*rt.Encoder)
+	}
+	dirsL := DirArray(64 << 10)
+	dirsS := DirArray(1 << 10)
+	rects := RectArray(64 << 10)
+	cfgs := []cfg{
+		{
+			"grouped buffer management", Dirs, 64 << 10,
+			func(e *rt.Encoder) { marshalDirsAbl(e, dirsL, "full") },
+			func(e *rt.Encoder) { marshalDirsAbl(e, dirsL, "nogroup") },
+		},
+		{
+			"chunking", Rects, 64 << 10,
+			func(e *rt.Encoder) { marshalRectsAbl(e, rects, "full") },
+			func(e *rt.Encoder) { marshalRectsAbl(e, rects, "nochunk") },
+		},
+		{
+			"memcpy (strings/arrays)", Dirs, 64 << 10,
+			func(e *rt.Encoder) { marshalDirsAbl(e, dirsL, "full") },
+			func(e *rt.Encoder) { marshalDirsAbl(e, dirsL, "nomemcpy") },
+		},
+		{
+			"inline marshal code", Dirs, 1 << 10,
+			func(e *rt.Encoder) { marshalDirsAbl(e, dirsS, "full") },
+			func(e *rt.Encoder) { marshalDirsAbl(e, dirsS, "noinline") },
+		},
+	}
+	for _, c := range cfgs {
+		// Interleave the two variants and keep each one's minimum so a
+		// frequency ramp or scheduler blip cannot bias the comparison.
+		full := MeasureMarshal(c.full)
+		off := MeasureMarshal(c.off)
+		if f2 := MeasureMarshal(c.full); f2 < full {
+			full = f2
+		}
+		if o2 := MeasureMarshal(c.off); o2 < off {
+			off = o2
+		}
+		slow := float64(off-full) / float64(full) * 100
+		rep.AddRow(c.name, string(c.workload),
+			fmt.Sprintf("%.2f", float64(full.Nanoseconds())/1e3),
+			fmt.Sprintf("%.2f", float64(off.Nanoseconds())/1e3),
+			fmt.Sprintf("%+.0f%%", slow))
+	}
+	return rep
+}

@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is one regenerated table or figure, printable as aligned text.
+type Report struct {
+	Title string
+	Notes []string
+	Cols  []string
+	Rows  [][]string
+}
+
+// AddRow appends one formatted row.
+func (r *Report) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	b.WriteString(r.Title + "\n")
+	b.WriteString(strings.Repeat("=", len(r.Title)) + "\n")
+	widths := make([]int, len(r.Cols))
+	for i, c := range r.Cols {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			if i == 0 {
+				b.WriteString(c + strings.Repeat(" ", pad))
+			} else {
+				b.WriteString(strings.Repeat(" ", pad) + c)
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(r.Cols)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total) + "\n")
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		b.WriteString("note: " + n + "\n")
+	}
+	return b.String()
+}
+
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+func mbps(bytes int, secs float64) string {
+	if secs <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", float64(bytes)/secs/1e6)
+}

@@ -1,0 +1,26 @@
+package experiment
+
+import (
+	"flick"
+	ts "flick/internal/teststubs"
+)
+
+// generatedStubBytes compiles the evaluation interface with the given
+// code style and returns the generated stub source size (type
+// declarations excluded, mirroring the paper's object-code comparison of
+// stubs alone).
+func generatedStubBytes(style string) (int, error) {
+	src, err := flick.Compile("test.idl", ts.BenchIDL, flick.Options{
+		IDL:       "corba",
+		Lang:      "go",
+		Format:    "xdr",
+		Style:     style,
+		Package:   "sizes",
+		SkipDecls: true,
+		EmitRPC:   false,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return len(src), nil
+}

@@ -1,0 +1,83 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (Section 4): marshal throughput (Figure 3), end-to-end
+// throughput over 10/100Mbps Ethernet and 640Mbps Myrinet (Figures 4-6),
+// MIG versus Flick over Mach IPC (Figure 7), generated-code sizes
+// (Table 2), the tested-compiler matrix (Table 3), and the §3 ablation
+// measurements. Table 1 (code reuse) is produced by cmd/flick-loc.
+package experiment
+
+import (
+	"math/rand"
+
+	ts "flick/internal/teststubs"
+)
+
+// The paper's three test methods carry:
+//   - arrays of integers            (64B .. 4MB encoded)
+//   - arrays of rectangle structs   (four longs each; 64B .. 4MB)
+//   - arrays of directory entries   (256B encoded each; 256B .. 512KB)
+
+// IntArray builds an int workload of exactly n encoded payload bytes
+// (XDR/CDR: 4 bytes per element).
+func IntArray(n int) []int32 {
+	v := make([]int32, n/4)
+	r := rand.New(rand.NewSource(42))
+	for i := range v {
+		v[i] = r.Int31() - 1<<30
+	}
+	return v
+}
+
+// RectArray builds a rect workload of n encoded payload bytes (16 bytes
+// per rect: two points of two longs).
+func RectArray(n int) []ts.BenchRect {
+	v := make([]ts.BenchRect, n/16)
+	r := rand.New(rand.NewSource(43))
+	for i := range v {
+		v[i] = ts.BenchRect{
+			Min: ts.BenchPoint{X: r.Int31(), Y: r.Int31()},
+			Max: ts.BenchPoint{X: r.Int31(), Y: r.Int31()},
+		}
+	}
+	return v
+}
+
+// DirArray builds a directory-entry workload of n encoded payload bytes.
+// As in the paper, every entry encodes to exactly 256 bytes: 4 (name
+// count) + 116 (name+pad) + 136 (stat structure).
+func DirArray(n int) []ts.BenchDirEntry {
+	const nameLen = 116 // name + XDR pad = 116 (116 % 4 == 0)
+	v := make([]ts.BenchDirEntry, n/256)
+	r := rand.New(rand.NewSource(44))
+	name := make([]byte, nameLen)
+	for i := range v {
+		for j := range name {
+			name[j] = byte('a' + r.Intn(26))
+		}
+		v[i].Name = string(name)
+		for j := range v[i].Info.Fields {
+			v[i].Info.Fields[j] = r.Int31()
+		}
+		r.Read(v[i].Info.Tag[:])
+	}
+	return v
+}
+
+// Fig3IntSizes are the encoded payload sizes swept for int and rect
+// arrays (64B to 4MB, doubling), matching the paper's x-axis.
+func Fig3IntSizes() []int {
+	var out []int
+	for n := 64; n <= 4<<20; n *= 4 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Fig3DirSizes are the directory-entry sweep sizes (256B to 512KB).
+func Fig3DirSizes() []int {
+	var out []int
+	for n := 256; n <= 512<<10; n *= 4 {
+		out = append(out, n)
+	}
+	return out
+}

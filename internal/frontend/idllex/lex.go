@@ -1,0 +1,388 @@
+// Package idllex is the shared lexical analyzer for Flick's C-family IDL
+// front ends (CORBA IDL and the ONC RPC language). It is the front-end
+// analogue of Flick's shared front-end base library: each front end
+// supplies only its keyword set and grammar.
+package idllex
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Kind classifies tokens.
+type Kind int
+
+const (
+	EOF Kind = iota
+	Ident
+	Int
+	Str
+	CharLit
+	Punct
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "end of file"
+	case Ident:
+		return "identifier"
+	case Int:
+		return "integer"
+	case Str:
+		return "string"
+	case CharLit:
+		return "character"
+	case Punct:
+		return "punctuation"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	// Text is the token spelling; for Punct the operator itself, for Str
+	// the decoded string value.
+	Text string
+	// Val is the numeric value of Int and CharLit tokens.
+	Val int64
+	// Line and Col locate the token (1-based).
+	Line, Col int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case EOF:
+		return "end of file"
+	case Str:
+		return fmt.Sprintf("string %q", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// Error is a positioned lexical or syntax error.
+type Error struct {
+	File string
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%d:%d: %s", e.File, e.Line, e.Col, e.Msg)
+}
+
+// Lexer tokenizes IDL source.
+type Lexer struct {
+	file string
+	src  string
+	pos  int
+	line int
+	col  int
+	// puncts lists multi-character punctuation, longest first.
+	puncts []string
+}
+
+// New returns a Lexer over src. extraPuncts lists language-specific
+// multi-character operators (e.g. "::", "<<"); single characters are
+// always accepted.
+func New(file, src string, extraPuncts ...string) *Lexer {
+	l := &Lexer{file: file, src: src, line: 1, col: 1}
+	l.puncts = append(l.puncts, extraPuncts...)
+	// Longest-match-first.
+	for i := 0; i < len(l.puncts); i++ {
+		for j := i + 1; j < len(l.puncts); j++ {
+			if len(l.puncts[j]) > len(l.puncts[i]) {
+				l.puncts[i], l.puncts[j] = l.puncts[j], l.puncts[i]
+			}
+		}
+	}
+	return l
+}
+
+func (l *Lexer) errf(format string, args ...any) *Error {
+	return &Error{File: l.file, Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Errf builds a positioned error at the given token, for parsers.
+func (l *Lexer) Errf(tok Token, format string, args ...any) *Error {
+	return &Error{File: l.file, Line: tok.Line, Col: tok.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *Lexer) peekByte() (byte, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return nil
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for {
+				c, ok := l.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			startLine, startCol := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.src[l.pos] == '*' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return &Error{File: l.file, Line: startLine, Col: startCol, Msg: "unterminated comment"}
+			}
+		case c == '#':
+			// Preprocessor-style lines (#include, #define, %#...) are
+			// skipped; Flick's front ends run after cpp. We tolerate
+			// them for self-contained test inputs.
+			for {
+				c, ok := l.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				l.advance()
+			}
+		case c == '%':
+			// rpcgen pass-through lines.
+			for {
+				c, ok := l.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	tok := Token{Line: l.line, Col: l.col}
+	c, ok := l.peekByte()
+	if !ok {
+		tok.Kind = EOF
+		return tok, nil
+	}
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for {
+			c, ok := l.peekByte()
+			if !ok || !isIdentPart(c) {
+				break
+			}
+			l.advance()
+		}
+		tok.Kind = Ident
+		tok.Text = l.src[start:l.pos]
+		return tok, nil
+	case c >= '0' && c <= '9':
+		return l.number(tok)
+	case c == '"':
+		return l.stringLit(tok)
+	case c == '\'':
+		return l.charLit(tok)
+	default:
+		for _, p := range l.puncts {
+			if strings.HasPrefix(l.src[l.pos:], p) {
+				for range p {
+					l.advance()
+				}
+				tok.Kind = Punct
+				tok.Text = p
+				return tok, nil
+			}
+		}
+		if strings.ContainsRune("{}[]()<>;:,=*+-/%|&^~!.?", rune(c)) {
+			l.advance()
+			tok.Kind = Punct
+			tok.Text = string(c)
+			return tok, nil
+		}
+		return Token{}, l.errf("unexpected character %q", string(c))
+	}
+}
+
+func (l *Lexer) number(tok Token) (Token, error) {
+	start := l.pos
+	base := 10
+	if l.src[l.pos] == '0' && l.pos+1 < len(l.src) && (l.src[l.pos+1] == 'x' || l.src[l.pos+1] == 'X') {
+		base = 16
+		l.advance()
+		l.advance()
+	} else if l.src[l.pos] == '0' {
+		base = 8
+	}
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			break
+		}
+		if isDigitIn(c, base) || (base == 8 && c >= '0' && c <= '9') {
+			// Accept 8/9 in the scan so "08" reports a clean error below.
+			l.advance()
+			continue
+		}
+		break
+	}
+	text := l.src[start:l.pos]
+	parseText := text
+	if base == 16 {
+		parseText = text[2:]
+	} else if base == 8 && len(text) > 1 {
+		parseText = text[1:]
+	}
+	if parseText == "" {
+		return Token{}, l.errf("malformed number %q", text)
+	}
+	v, err := strconv.ParseInt(parseText, base, 64)
+	if err != nil {
+		// Retry as unsigned for full-range u64 literals.
+		u, uerr := strconv.ParseUint(parseText, base, 64)
+		if uerr != nil {
+			return Token{}, &Error{File: l.file, Line: tok.Line, Col: tok.Col,
+				Msg: fmt.Sprintf("malformed number %q", text)}
+		}
+		v = int64(u)
+	}
+	tok.Kind = Int
+	tok.Text = text
+	tok.Val = v
+	return tok, nil
+}
+
+func (l *Lexer) stringLit(tok Token) (Token, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		c, ok := l.peekByte()
+		if !ok || c == '\n' {
+			return Token{}, &Error{File: l.file, Line: tok.Line, Col: tok.Col, Msg: "unterminated string"}
+		}
+		l.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\\' {
+			e, err := l.escape(tok)
+			if err != nil {
+				return Token{}, err
+			}
+			b.WriteByte(e)
+			continue
+		}
+		b.WriteByte(c)
+	}
+	tok.Kind = Str
+	tok.Text = b.String()
+	return tok, nil
+}
+
+func (l *Lexer) charLit(tok Token) (Token, error) {
+	l.advance() // opening quote
+	c, ok := l.peekByte()
+	if !ok {
+		return Token{}, &Error{File: l.file, Line: tok.Line, Col: tok.Col, Msg: "unterminated character literal"}
+	}
+	l.advance()
+	var v byte
+	if c == '\\' {
+		e, err := l.escape(tok)
+		if err != nil {
+			return Token{}, err
+		}
+		v = e
+	} else {
+		v = c
+	}
+	c2, ok := l.peekByte()
+	if !ok || c2 != '\'' {
+		return Token{}, &Error{File: l.file, Line: tok.Line, Col: tok.Col, Msg: "unterminated character literal"}
+	}
+	l.advance()
+	tok.Kind = CharLit
+	tok.Val = int64(v)
+	tok.Text = string(rune(v))
+	return tok, nil
+}
+
+func (l *Lexer) escape(tok Token) (byte, error) {
+	c, ok := l.peekByte()
+	if !ok {
+		return 0, &Error{File: l.file, Line: tok.Line, Col: tok.Col, Msg: "unterminated escape"}
+	}
+	l.advance()
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\', '\'', '"':
+		return c, nil
+	}
+	return 0, &Error{File: l.file, Line: tok.Line, Col: tok.Col, Msg: fmt.Sprintf("unknown escape \\%c", c)}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || (c >= '0' && c <= '9')
+}
+
+func isDigitIn(c byte, base int) bool {
+	switch base {
+	case 8:
+		return c >= '0' && c <= '7'
+	case 10:
+		return c >= '0' && c <= '9'
+	case 16:
+		return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+	}
+	return false
+}

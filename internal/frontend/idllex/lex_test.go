@@ -1,0 +1,146 @@
+package idllex
+
+import (
+	"strings"
+	"testing"
+)
+
+func lexAll(t *testing.T, src string, puncts ...string) []Token {
+	t.Helper()
+	l := New("t", src, puncts...)
+	var out []Token
+	for {
+		tok, err := l.Next()
+		if err != nil {
+			t.Fatalf("lex %q: %v", src, err)
+		}
+		if tok.Kind == EOF {
+			return out
+		}
+		out = append(out, tok)
+	}
+}
+
+func TestTokens(t *testing.T) {
+	toks := lexAll(t, `interface Mail { void send(in string msg); };`, "::")
+	var texts []string
+	for _, tok := range toks {
+		texts = append(texts, tok.Text)
+	}
+	want := "interface Mail { void send ( in string msg ) ; } ;"
+	if got := strings.Join(texts, " "); got != want {
+		t.Errorf("tokens = %q", got)
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	tests := []struct {
+		src  string
+		want int64
+	}{
+		{"42", 42},
+		{"0", 0},
+		{"0x20000001", 0x20000001},
+		{"0XFF", 255},
+		{"017", 15},
+		{"0xFFFFFFFFFFFFFFFF", -1}, // full-range u64 wraps through int64
+	}
+	for _, tt := range tests {
+		toks := lexAll(t, tt.src)
+		if len(toks) != 1 || toks[0].Kind != Int || toks[0].Val != tt.want {
+			t.Errorf("lex(%q) = %+v, want %d", tt.src, toks, tt.want)
+		}
+	}
+}
+
+func TestStringsAndChars(t *testing.T) {
+	toks := lexAll(t, `"hello\nworld" 'a' '\\' '\0'`)
+	if toks[0].Kind != Str || toks[0].Text != "hello\nworld" {
+		t.Errorf("string = %+v", toks[0])
+	}
+	if toks[1].Kind != CharLit || toks[1].Val != 'a' {
+		t.Errorf("char = %+v", toks[1])
+	}
+	if toks[2].Val != '\\' || toks[3].Val != 0 {
+		t.Errorf("escapes = %+v %+v", toks[2], toks[3])
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks := lexAll(t, `
+		// line comment
+		a /* block
+		comment */ b
+		#pragma ignored
+		%passthrough ignored
+		c
+	`)
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" || toks[2].Text != "c" {
+		t.Errorf("tokens = %+v", toks)
+	}
+}
+
+func TestMultiCharPunct(t *testing.T) {
+	toks := lexAll(t, "a::b << c", "::", "<<")
+	if toks[1].Text != "::" || toks[3].Text != "<<" {
+		t.Errorf("puncts = %+v", toks)
+	}
+	// Without the extra puncts, "::" splits.
+	toks = lexAll(t, "a::b")
+	if toks[1].Text != ":" || toks[2].Text != ":" {
+		t.Errorf("split punct = %+v", toks)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks := lexAll(t, "a\n  b")
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("a at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("b at %d:%d", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"\"open", "'x", "/* open", "$", `"\q"`} {
+		l := New("e", src)
+		var err error
+		for err == nil {
+			var tok Token
+			tok, err = l.Next()
+			if err == nil && tok.Kind == EOF {
+				t.Errorf("lex(%q) reached EOF without error", src)
+				break
+			}
+		}
+	}
+}
+
+func TestParserHelpers(t *testing.T) {
+	l := New("p", "foo 42 ;")
+	p, err := NewParser(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, err := p.ExpectIdent()
+	if err != nil || name != "foo" {
+		t.Fatalf("ExpectIdent = %q, %v", name, err)
+	}
+	v, err := p.ExpectInt()
+	if err != nil || v != 42 {
+		t.Fatalf("ExpectInt = %d, %v", v, err)
+	}
+	if err := p.Expect(";"); err != nil {
+		t.Fatal(err)
+	}
+	if !p.AtEOF() {
+		t.Error("not at EOF")
+	}
+	// Expectation failures carry positions.
+	l2 := New("p2", "xyz")
+	p2, _ := NewParser(l2)
+	if err := p2.Expect("{"); err == nil || !strings.Contains(err.Error(), "p2:1:1") {
+		t.Errorf("error = %v", err)
+	}
+}

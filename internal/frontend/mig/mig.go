@@ -1,0 +1,293 @@
+// Package mig is Flick's MIG front end. MIG interface definitions carry
+// C- and Mach-specific idioms, so — exactly as in the paper — this front
+// end is conjoined with its presentation generator: it produces PRES-C
+// directly rather than AOI.
+//
+// The supported subset mirrors MIG's restrictions: a subsystem with a
+// base message id, routines and simpleroutines, and parameters limited to
+// scalars and arrays of scalars (MIG cannot express structured or
+// recursive types; the paper's Figure 7 notes it cannot even send arrays
+// of non-atomic types).
+//
+// Grammar:
+//
+//	subsystem <name> <base-id>;
+//	type <name> = <type>;
+//	routine <name>(<param>; <param>; ...);
+//	simpleroutine <name>(<param>; ...);
+//	param: [in|out|inout] <name> : <type>
+//	type:  int8_t|uint8_t|...|int|char|boolean_t|float|double
+//	     | array[] of <type> | array[N] of <type> | <typedef-name>
+package mig
+
+import (
+	"fmt"
+
+	"flick/internal/aoi"
+	"flick/internal/frontend/idllex"
+	"flick/internal/pgen"
+	"flick/internal/presc"
+)
+
+// Parse compiles a MIG subsystem definition directly to a PRES-C file
+// (the conjoined front end + presentation generator of the paper).
+func Parse(filename, src string, side presc.Side) (*presc.File, error) {
+	lex := idllex.New(filename, src)
+	base, err := idllex.NewParser(lex)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{Parser: base, types: map[string]aoi.Type{}}
+	iface, err := p.parseSubsystem()
+	if err != nil {
+		return nil, err
+	}
+	af := &aoi.File{Source: filename, IDL: "mig", Interfaces: []*aoi.Interface{iface}}
+	if err := aoi.Validate(af); err != nil {
+		return nil, err
+	}
+	pf, err := pgen.GenerateGo(af, side)
+	if err != nil {
+		return nil, err
+	}
+	pf.Presentation = "mig"
+	return pf, nil
+}
+
+type parser struct {
+	*idllex.Parser
+	types map[string]aoi.Type
+}
+
+func (p *parser) parseSubsystem() (*aoi.Interface, error) {
+	if err := p.Expect("subsystem"); err != nil {
+		return nil, err
+	}
+	name, err := p.ExpectIdent()
+	if err != nil {
+		return nil, err
+	}
+	baseID, err := p.ExpectInt()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Expect(";"); err != nil {
+		return nil, err
+	}
+	it := &aoi.Interface{
+		Name:    name,
+		ID:      fmt.Sprintf("mig:%s:%d", name, baseID),
+		Program: uint32(baseID),
+		Version: 1,
+	}
+	idx := uint32(0)
+	for !p.AtEOF() {
+		switch {
+		case p.At("type"):
+			if err := p.parseTypedef(); err != nil {
+				return nil, err
+			}
+		case p.At("routine"), p.At("simpleroutine"):
+			op, err := p.parseRoutine(idx)
+			if err != nil {
+				return nil, err
+			}
+			it.Ops = append(it.Ops, op)
+			idx++
+		case p.At("skip"):
+			// MIG's "skip;" reserves a message id.
+			if err := p.Advance(); err != nil {
+				return nil, err
+			}
+			if err := p.Expect(";"); err != nil {
+				return nil, err
+			}
+			idx++
+		default:
+			return nil, p.Unexpected("subsystem body")
+		}
+	}
+	if len(it.Ops) == 0 {
+		return nil, p.Errf("subsystem %s declares no routines", name)
+	}
+	return it, nil
+}
+
+func (p *parser) parseTypedef() error {
+	if err := p.Expect("type"); err != nil {
+		return err
+	}
+	name, err := p.ExpectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.Expect("="); err != nil {
+		return err
+	}
+	t, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	if _, dup := p.types[name]; dup {
+		return p.Errf("redefinition of type %q", name)
+	}
+	p.types[name] = t
+	return p.Expect(";")
+}
+
+func (p *parser) parseRoutine(idx uint32) (*aoi.Operation, error) {
+	simple := p.At("simpleroutine")
+	if err := p.Advance(); err != nil {
+		return nil, err
+	}
+	name, err := p.ExpectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Expect("("); err != nil {
+		return nil, err
+	}
+	op := &aoi.Operation{
+		Name:   name,
+		Code:   idx,
+		Oneway: simple,
+		Result: &aoi.Primitive{Kind: aoi.Void},
+	}
+	first := true
+	for !p.At(")") {
+		dir := aoi.In
+		switch {
+		case p.At("in"):
+			if err := p.Advance(); err != nil {
+				return nil, err
+			}
+		case p.At("out"):
+			dir = aoi.Out
+			if err := p.Advance(); err != nil {
+				return nil, err
+			}
+		case p.At("inout"):
+			dir = aoi.InOut
+			if err := p.Advance(); err != nil {
+				return nil, err
+			}
+		}
+		pname, err := p.ExpectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Expect(":"); err != nil {
+			return nil, err
+		}
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		// The conventional first parameter is the request port; it
+		// addresses the message rather than traveling in it.
+		isPort := false
+		if first {
+			if prim, okPort := t.(*portType); okPort {
+				_ = prim
+				isPort = true
+			}
+		}
+		first = false
+		if !isPort {
+			if simple && dir != aoi.In {
+				return nil, p.Errf("simpleroutine %s has %s parameter %q", name, dir, pname)
+			}
+			op.Params = append(op.Params, aoi.Param{Name: pname, Dir: dir, Type: t})
+		}
+		if ok, err := p.Accept(";"); err != nil {
+			return nil, err
+		} else if !ok {
+			break
+		}
+	}
+	if err := p.Expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.Expect(";"); err != nil {
+		return nil, err
+	}
+	return op, nil
+}
+
+// portType marks mach_port_t (never marshaled by value here).
+type portType struct{ aoi.Primitive }
+
+func (p *parser) parseType() (aoi.Type, error) {
+	tok := p.Tok()
+	if tok.Kind != idllex.Ident {
+		return nil, p.Unexpected("type")
+	}
+	switch tok.Text {
+	case "array":
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+		if err := p.Expect("["); err != nil {
+			return nil, err
+		}
+		length := int64(-1)
+		if !p.At("]") {
+			var err error
+			if length, err = p.ExpectInt(); err != nil {
+				return nil, err
+			}
+			if length <= 0 || length > 0xFFFFFFFF {
+				return nil, p.Errf("array length %d out of range", length)
+			}
+		}
+		if err := p.Expect("]"); err != nil {
+			return nil, err
+		}
+		if err := p.Expect("of"); err != nil {
+			return nil, err
+		}
+		elem, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		// MIG's restriction: arrays of scalars only.
+		if _, okPrim := elem.(*aoi.Primitive); !okPrim {
+			return nil, p.Errf("MIG arrays may contain only scalar types (got %s)", elem)
+		}
+		if length < 0 {
+			return &aoi.Sequence{Elem: elem}, nil
+		}
+		return &aoi.Array{Elem: elem, Length: uint32(length)}, nil
+	case "mach_port_t", "mach_port_move_send_t":
+		return &portType{aoi.Primitive{Kind: aoi.ULong}}, p.Advance()
+	case "int", "int32_t", "integer_t", "natural_t":
+		return &aoi.Primitive{Kind: aoi.Long}, p.Advance()
+	case "uint32_t", "unsigned32":
+		return &aoi.Primitive{Kind: aoi.ULong}, p.Advance()
+	case "int64_t":
+		return &aoi.Primitive{Kind: aoi.LongLong}, p.Advance()
+	case "uint64_t":
+		return &aoi.Primitive{Kind: aoi.ULongLong}, p.Advance()
+	case "int16_t":
+		return &aoi.Primitive{Kind: aoi.Short}, p.Advance()
+	case "uint16_t":
+		return &aoi.Primitive{Kind: aoi.UShort}, p.Advance()
+	case "int8_t":
+		return &aoi.Primitive{Kind: aoi.Char}, p.Advance()
+	case "uint8_t", "byte":
+		return &aoi.Primitive{Kind: aoi.Octet}, p.Advance()
+	case "char":
+		return &aoi.Primitive{Kind: aoi.Char}, p.Advance()
+	case "boolean_t":
+		return &aoi.Primitive{Kind: aoi.Boolean}, p.Advance()
+	case "float":
+		return &aoi.Primitive{Kind: aoi.Float}, p.Advance()
+	case "double":
+		return &aoi.Primitive{Kind: aoi.Double}, p.Advance()
+	default:
+		if t, ok := p.types[tok.Text]; ok {
+			return t, p.Advance()
+		}
+		return nil, p.Errf("unknown MIG type %q", tok.Text)
+	}
+}

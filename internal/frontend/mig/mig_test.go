@@ -1,0 +1,139 @@
+package mig
+
+import (
+	"strings"
+	"testing"
+
+	"flick/internal/presc"
+)
+
+const benchDefs = `
+	subsystem bench 2400;
+
+	type int_array = array[] of int32_t;
+
+	routine send_ints(
+		port : mach_port_t;
+		v    : int_array);
+
+	routine stats(
+		port  : mach_port_t;
+		which : int32_t;
+		out count : int32_t);
+
+	simpleroutine ping(
+		port  : mach_port_t;
+		nonce : int32_t);
+`
+
+func TestParseSubsystem(t *testing.T) {
+	pf, err := Parse("bench.defs", benchDefs, presc.Client)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if pf.Presentation != "mig" {
+		t.Errorf("presentation = %q", pf.Presentation)
+	}
+	if len(pf.Stubs) != 3 {
+		t.Fatalf("stubs = %d", len(pf.Stubs))
+	}
+	send := pf.Stubs[0]
+	if send.Op != "send_ints" || send.OpCode != 0 || send.Prog != 2400 {
+		t.Errorf("send stub = %+v", send)
+	}
+	// The port parameter does not travel in the message.
+	if len(send.Params) != 1 || send.Params[0].Name != "v" {
+		t.Errorf("send params = %+v", send.Params)
+	}
+	stats := pf.Stubs[1]
+	outs := stats.ReplyParams()
+	if len(outs) != 1 || outs[0].Name != "count" {
+		t.Errorf("stats outs = %+v", outs)
+	}
+	ping := pf.Stubs[2]
+	if !ping.Oneway {
+		t.Error("simpleroutine should be oneway")
+	}
+}
+
+func TestSkipReservesID(t *testing.T) {
+	pf, err := Parse("s.defs", `
+		subsystem s 100;
+		routine a(port : mach_port_t; x : int);
+		skip;
+		routine b(port : mach_port_t; x : int);
+	`, presc.Client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Stubs[1].OpCode != 2 {
+		t.Errorf("b code = %d, want 2 (skip reserves 1)", pf.Stubs[1].OpCode)
+	}
+}
+
+func TestMIGRestrictions(t *testing.T) {
+	tests := []struct {
+		src     string
+		wantSub string
+	}{
+		{
+			// The paper: "MIG cannot express arrays of non-atomic types".
+			`subsystem s 1;
+			 type pair = array[2] of int;
+			 routine f(port : mach_port_t; v : array[] of pair);`,
+			"only scalar types",
+		},
+		{
+			`subsystem s 1;
+			 simpleroutine f(port : mach_port_t; out x : int);`,
+			"simpleroutine",
+		},
+		{
+			`subsystem s 1;`,
+			"no routines",
+		},
+		{
+			`subsystem s 1;
+			 routine f(port : mach_port_t; x : wibble);`,
+			"unknown MIG type",
+		},
+		{
+			`routine f(port : mach_port_t);`,
+			"expected \"subsystem\"",
+		},
+		{
+			`subsystem s 1;
+			 type t = int; type t = int;
+			 routine f(port : mach_port_t; x : int);`,
+			"redefinition",
+		},
+	}
+	for _, tt := range tests {
+		_, err := Parse("err.defs", tt.src, presc.Client)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want %q", tt.src, tt.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.wantSub) {
+			t.Errorf("Parse(%q) = %v, want %q", tt.src, err, tt.wantSub)
+		}
+	}
+}
+
+func TestAllScalarTypes(t *testing.T) {
+	pf, err := Parse("t.defs", `
+		subsystem s 1;
+		routine f(
+			port : mach_port_t;
+			a : int8_t; b : uint8_t; c : int16_t; d : uint16_t;
+			e : int32_t; g : uint32_t; h : int64_t; i : uint64_t;
+			j : char; k : boolean_t; l : float; m : double;
+			n : array[4] of int; o : byte);
+	`, presc.Client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(pf.Stubs[0].Params); got != 14 {
+		t.Errorf("params = %d", got)
+	}
+}

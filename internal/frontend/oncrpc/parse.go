@@ -1,0 +1,750 @@
+// Package oncrpc is Flick's ONC RPC front end: it parses the rpcgen
+// interface language (the XDR data-description language of RFC 1832 plus
+// program/version/procedure declarations) and produces AOI.
+package oncrpc
+
+import (
+	"fmt"
+
+	"flick/internal/aoi"
+	"flick/internal/frontend/idllex"
+)
+
+// Parse converts an rpcgen ".x" source into AOI.
+func Parse(filename, src string) (*aoi.File, error) {
+	lex := idllex.New(filename, src, "<<", ">>")
+	base, err := idllex.NewParser(lex)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{
+		Parser: base,
+		file:   &aoi.File{Source: filename, IDL: "oncrpc"},
+		types:  map[string]aoi.Type{},
+		consts: map[string]int64{},
+	}
+	if err := p.parseSpec(); err != nil {
+		return nil, err
+	}
+	if err := aoi.Validate(p.file); err != nil {
+		return nil, err
+	}
+	return p.file, nil
+}
+
+type parser struct {
+	*idllex.Parser
+	file   *aoi.File
+	types  map[string]aoi.Type
+	consts map[string]int64
+}
+
+var xdrKeywords = map[string]bool{
+	"typedef": true, "enum": true, "struct": true, "union": true,
+	"const": true, "program": true, "version": true, "switch": true,
+	"case": true, "default": true, "unsigned": true, "int": true,
+	"hyper": true, "float": true, "double": true, "quadruple": true,
+	"bool": true, "opaque": true, "string": true, "void": true,
+	"TRUE": true, "FALSE": true,
+}
+
+func (p *parser) defineType(name string, t aoi.Type) error {
+	if _, dup := p.types[name]; dup {
+		return p.Errf("redefinition of %q", name)
+	}
+	p.types[name] = t
+	p.file.Types = append(p.file.Types, &aoi.TypeDef{Name: name, Type: t})
+	return nil
+}
+
+func (p *parser) parseSpec() error {
+	for !p.AtEOF() {
+		switch {
+		case p.At("typedef"):
+			if err := p.parseTypedef(); err != nil {
+				return err
+			}
+		case p.At("enum"):
+			t, err := p.parseEnumTypeDef()
+			if err != nil {
+				return err
+			}
+			if err := p.defineType(t.Name, t); err != nil {
+				return err
+			}
+			if err := p.Expect(";"); err != nil {
+				return err
+			}
+		case p.At("struct"):
+			if err := p.parseStructDef(); err != nil {
+				return err
+			}
+		case p.At("union"):
+			t, err := p.parseUnionTypeDef()
+			if err != nil {
+				return err
+			}
+			if err := p.defineType(t.Name, t); err != nil {
+				return err
+			}
+			if err := p.Expect(";"); err != nil {
+				return err
+			}
+		case p.At("const"):
+			if err := p.parseConst(); err != nil {
+				return err
+			}
+		case p.At("program"):
+			if err := p.parseProgram(); err != nil {
+				return err
+			}
+		default:
+			return p.Unexpected("specification")
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseConst() error {
+	if err := p.Expect("const"); err != nil {
+		return err
+	}
+	name, err := p.ExpectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.Expect("="); err != nil {
+		return err
+	}
+	v, err := p.parseValue()
+	if err != nil {
+		return err
+	}
+	if _, dup := p.consts[name]; dup {
+		return p.Errf("redefinition of constant %q", name)
+	}
+	p.consts[name] = v
+	p.file.Consts = append(p.file.Consts, &aoi.ConstDef{
+		Name: name, Type: &aoi.Primitive{Kind: aoi.Long}, Int: v,
+	})
+	return p.Expect(";")
+}
+
+// parseValue parses an integer constant: a literal, a named constant, or
+// an enum member. (XDR constants are simple values, not expressions.)
+func (p *parser) parseValue() (int64, error) {
+	neg := false
+	if p.At("-") {
+		neg = true
+		if err := p.Advance(); err != nil {
+			return 0, err
+		}
+	}
+	tok := p.Tok()
+	var v int64
+	switch tok.Kind {
+	case idllex.Int:
+		v = tok.Val
+		if err := p.Advance(); err != nil {
+			return 0, err
+		}
+	case idllex.Ident:
+		switch tok.Text {
+		case "TRUE":
+			v = 1
+		case "FALSE":
+			v = 0
+		default:
+			c, ok := p.consts[tok.Text]
+			if !ok {
+				if ev, found := p.lookupEnumMember(tok.Text); found {
+					c, ok = ev, true
+				}
+			}
+			if !ok {
+				return 0, p.Errf("undefined constant %q", tok.Text)
+			}
+			v = c
+		}
+		if err := p.Advance(); err != nil {
+			return 0, err
+		}
+	default:
+		return 0, p.Unexpected("constant value")
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func (p *parser) lookupEnumMember(name string) (int64, bool) {
+	for _, td := range p.file.Types {
+		if e, ok := td.Type.(*aoi.Enum); ok {
+			for i, m := range e.Members {
+				if m == name {
+					return e.Values[i], true
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+func (p *parser) parseEnumTypeDef() (*aoi.Enum, error) {
+	if err := p.Expect("enum"); err != nil {
+		return nil, err
+	}
+	name, err := p.ExpectIdent()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseEnumBody(name)
+	if err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+func (p *parser) parseEnumBody(name string) (*aoi.Enum, error) {
+	if err := p.Expect("{"); err != nil {
+		return nil, err
+	}
+	e := &aoi.Enum{Name: name}
+	next := int64(0)
+	for {
+		m, err := p.ExpectIdent()
+		if err != nil {
+			return nil, err
+		}
+		v := next
+		if ok, err := p.Accept("="); err != nil {
+			return nil, err
+		} else if ok {
+			if v, err = p.parseValue(); err != nil {
+				return nil, err
+			}
+		}
+		e.Members = append(e.Members, m)
+		e.Values = append(e.Values, v)
+		// Enum members are usable as constants.
+		p.consts[m] = v
+		next = v + 1
+		if ok, err := p.Accept(","); err != nil {
+			return nil, err
+		} else if !ok {
+			break
+		}
+	}
+	return e, p.Expect("}")
+}
+
+func (p *parser) parseStructDef() error {
+	if err := p.Expect("struct"); err != nil {
+		return err
+	}
+	name, err := p.ExpectIdent()
+	if err != nil {
+		return err
+	}
+	// Pre-register so the body can reference itself through optional
+	// data (XDR linked lists).
+	st := &aoi.Struct{Name: name}
+	if err := p.defineType(name, st); err != nil {
+		return err
+	}
+	fields, err := p.parseStructBody(name)
+	if err != nil {
+		return err
+	}
+	st.Fields = fields
+	return p.Expect(";")
+}
+
+func (p *parser) parseStructBody(name string) ([]aoi.Field, error) {
+	if err := p.Expect("{"); err != nil {
+		return nil, err
+	}
+	var fields []aoi.Field
+	for !p.At("}") {
+		if p.AtEOF() {
+			return nil, p.Errf("unexpected end of file in struct %s", name)
+		}
+		f, err := p.parseDeclaration()
+		if err != nil {
+			return nil, err
+		}
+		if aoi.IsVoid(f.Type) {
+			return nil, p.Errf("void member in struct %s", name)
+		}
+		fields = append(fields, f)
+		if err := p.Expect(";"); err != nil {
+			return nil, err
+		}
+	}
+	return fields, p.Expect("}")
+}
+
+func (p *parser) parseUnionTypeDef() (*aoi.Union, error) {
+	if err := p.Expect("union"); err != nil {
+		return nil, err
+	}
+	name, err := p.ExpectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return p.parseUnionBody(name)
+}
+
+func (p *parser) parseUnionBody(name string) (*aoi.Union, error) {
+	if err := p.Expect("switch"); err != nil {
+		return nil, err
+	}
+	if err := p.Expect("("); err != nil {
+		return nil, err
+	}
+	discrim, err := p.parseDeclaration()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.Expect("{"); err != nil {
+		return nil, err
+	}
+	u := &aoi.Union{Name: name, Discrim: discrim.Type}
+	for !p.At("}") {
+		if p.AtEOF() {
+			return nil, p.Errf("unexpected end of file in union %s", name)
+		}
+		var c aoi.UnionCase
+		for {
+			if p.At("case") {
+				if err := p.Advance(); err != nil {
+					return nil, err
+				}
+				v, err := p.parseValue()
+				if err != nil {
+					return nil, err
+				}
+				c.Labels = append(c.Labels, v)
+				if err := p.Expect(":"); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if p.At("default") {
+				if err := p.Advance(); err != nil {
+					return nil, err
+				}
+				c.IsDefault = true
+				if err := p.Expect(":"); err != nil {
+					return nil, err
+				}
+			}
+			break
+		}
+		if len(c.Labels) == 0 && !c.IsDefault {
+			return nil, p.Errf("expected case or default in union %s", name)
+		}
+		f, err := p.parseDeclaration()
+		if err != nil {
+			return nil, err
+		}
+		c.Field = f
+		u.Cases = append(u.Cases, c)
+		if err := p.Expect(";"); err != nil {
+			return nil, err
+		}
+	}
+	if len(u.Cases) == 0 {
+		return nil, p.Errf("expected case or default in union %s", name)
+	}
+	return u, p.Expect("}")
+}
+
+func (p *parser) parseTypedef() error {
+	if err := p.Expect("typedef"); err != nil {
+		return err
+	}
+	f, err := p.parseDeclaration()
+	if err != nil {
+		return err
+	}
+	if f.Name == "" {
+		return p.Errf("typedef requires a name")
+	}
+	if err := p.defineType(f.Name, f.Type); err != nil {
+		return err
+	}
+	return p.Expect(";")
+}
+
+// parseDeclaration parses an XDR declaration: a type applied to an
+// (optional, in procedure-argument position) identifier, with pointer,
+// fixed-array, and variable-array declarators.
+//
+//	type-specifier identifier
+//	type-specifier identifier [ value ]
+//	type-specifier identifier < value? >
+//	opaque identifier [ value ] | opaque identifier < value? >
+//	string identifier < value? >
+//	type-specifier * identifier
+//	void
+func (p *parser) parseDeclaration() (aoi.Field, error) {
+	switch {
+	case p.At("void"):
+		return aoi.Field{Type: &aoi.Primitive{Kind: aoi.Void}}, p.Advance()
+	case p.At("opaque"):
+		if err := p.Advance(); err != nil {
+			return aoi.Field{}, err
+		}
+		name, err := p.maybeIdent()
+		if err != nil {
+			return aoi.Field{}, err
+		}
+		switch {
+		case p.At("["):
+			n, err := p.parseArraySize()
+			if err != nil {
+				return aoi.Field{}, err
+			}
+			return aoi.Field{Name: name, Type: &aoi.Array{Elem: &aoi.Primitive{Kind: aoi.Octet}, Length: n}}, nil
+		case p.At("<"):
+			n, err := p.parseBound()
+			if err != nil {
+				return aoi.Field{}, err
+			}
+			return aoi.Field{Name: name, Type: &aoi.Sequence{Elem: &aoi.Primitive{Kind: aoi.Octet}, Bound: n}}, nil
+		default:
+			return aoi.Field{}, p.Errf("opaque requires [n] or <n>")
+		}
+	case p.At("string"):
+		if err := p.Advance(); err != nil {
+			return aoi.Field{}, err
+		}
+		name, err := p.maybeIdent()
+		if err != nil {
+			return aoi.Field{}, err
+		}
+		bound := uint32(0)
+		if p.At("<") {
+			if bound, err = p.parseBound(); err != nil {
+				return aoi.Field{}, err
+			}
+		}
+		return aoi.Field{Name: name, Type: &aoi.String{Bound: bound}}, nil
+	}
+	t, err := p.parseTypeSpecifier()
+	if err != nil {
+		return aoi.Field{}, err
+	}
+	if ok, err := p.Accept("*"); err != nil {
+		return aoi.Field{}, err
+	} else if ok {
+		name, err := p.maybeIdent()
+		if err != nil {
+			return aoi.Field{}, err
+		}
+		return aoi.Field{Name: name, Type: &aoi.Optional{Elem: t}}, nil
+	}
+	name, err := p.maybeIdent()
+	if err != nil {
+		return aoi.Field{}, err
+	}
+	switch {
+	case p.At("["):
+		n, err := p.parseArraySize()
+		if err != nil {
+			return aoi.Field{}, err
+		}
+		return aoi.Field{Name: name, Type: &aoi.Array{Elem: t, Length: n}}, nil
+	case p.At("<"):
+		n, err := p.parseBound()
+		if err != nil {
+			return aoi.Field{}, err
+		}
+		return aoi.Field{Name: name, Type: &aoi.Sequence{Elem: t, Bound: n}}, nil
+	}
+	return aoi.Field{Name: name, Type: t}, nil
+}
+
+// maybeIdent consumes an identifier if one is present (procedure argument
+// types appear without names).
+func (p *parser) maybeIdent() (string, error) {
+	if p.Tok().Kind == idllex.Ident && !xdrKeywords[p.Tok().Text] {
+		return p.ExpectIdent()
+	}
+	return "", nil
+}
+
+func (p *parser) parseArraySize() (uint32, error) {
+	if err := p.Expect("["); err != nil {
+		return 0, err
+	}
+	v, err := p.parseValue()
+	if err != nil {
+		return 0, err
+	}
+	if v <= 0 || v > 0xFFFFFFFF {
+		return 0, p.Errf("array size %d out of range", v)
+	}
+	return uint32(v), p.Expect("]")
+}
+
+func (p *parser) parseBound() (uint32, error) {
+	if err := p.Expect("<"); err != nil {
+		return 0, err
+	}
+	if ok, err := p.Accept(">"); err != nil {
+		return 0, err
+	} else if ok {
+		return 0, nil // unbounded
+	}
+	v, err := p.parseValue()
+	if err != nil {
+		return 0, err
+	}
+	if v <= 0 || v > 0xFFFFFFFF {
+		return 0, p.Errf("bound %d out of range", v)
+	}
+	return uint32(v), p.Expect(">")
+}
+
+func (p *parser) parseTypeSpecifier() (aoi.Type, error) {
+	tok := p.Tok()
+	if tok.Kind != idllex.Ident {
+		return nil, p.Unexpected("type specifier")
+	}
+	switch tok.Text {
+	case "int":
+		return &aoi.Primitive{Kind: aoi.Long}, p.Advance()
+	case "hyper":
+		return &aoi.Primitive{Kind: aoi.LongLong}, p.Advance()
+	case "float":
+		return &aoi.Primitive{Kind: aoi.Float}, p.Advance()
+	case "double":
+		return &aoi.Primitive{Kind: aoi.Double}, p.Advance()
+	case "bool":
+		return &aoi.Primitive{Kind: aoi.Boolean}, p.Advance()
+	case "char":
+		// Common rpcgen extension.
+		return &aoi.Primitive{Kind: aoi.Char}, p.Advance()
+	case "short":
+		return &aoi.Primitive{Kind: aoi.Short}, p.Advance()
+	case "quadruple":
+		return nil, p.Errf("quadruple is not supported")
+	case "unsigned":
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+		switch {
+		case p.At("int"):
+			return &aoi.Primitive{Kind: aoi.ULong}, p.Advance()
+		case p.At("hyper"):
+			return &aoi.Primitive{Kind: aoi.ULongLong}, p.Advance()
+		case p.At("char"):
+			return &aoi.Primitive{Kind: aoi.Octet}, p.Advance()
+		case p.At("short"):
+			return &aoi.Primitive{Kind: aoi.UShort}, p.Advance()
+		default:
+			// Bare "unsigned" means unsigned int.
+			return &aoi.Primitive{Kind: aoi.ULong}, nil
+		}
+	case "enum":
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+		// Inline enum body (anonymous in a declaration).
+		return p.parseEnumBody("")
+	case "struct":
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+		// "struct name" reference.
+		name, err := p.ExpectIdent()
+		if err != nil {
+			return nil, err
+		}
+		def, ok := p.types[name]
+		if !ok {
+			return nil, p.Errf("undefined struct %q", name)
+		}
+		return &aoi.NamedRef{Name: name, Def: def}, nil
+	case "void", "opaque", "string":
+		return nil, p.Errf("%s is not valid here", tok.Text)
+	default:
+		if xdrKeywords[tok.Text] {
+			return nil, p.Unexpected("type specifier")
+		}
+		def, ok := p.types[tok.Text]
+		if !ok {
+			return nil, p.Errf("undefined type %q", tok.Text)
+		}
+		return &aoi.NamedRef{Name: tok.Text, Def: def}, p.Advance()
+	}
+}
+
+func (p *parser) parseProgram() error {
+	if err := p.Expect("program"); err != nil {
+		return err
+	}
+	progName, err := p.ExpectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.Expect("{"); err != nil {
+		return err
+	}
+	type versionDecl struct {
+		name string
+		ops  []*aoi.Operation
+		num  int64
+	}
+	var versions []versionDecl
+	for p.At("version") {
+		if err := p.Advance(); err != nil {
+			return err
+		}
+		vName, err := p.ExpectIdent()
+		if err != nil {
+			return err
+		}
+		if err := p.Expect("{"); err != nil {
+			return err
+		}
+		var ops []*aoi.Operation
+		for !p.At("}") {
+			if p.AtEOF() {
+				return p.Errf("unexpected end of file in version %s", vName)
+			}
+			op, err := p.parseProcedure()
+			if err != nil {
+				return err
+			}
+			ops = append(ops, op)
+		}
+		if err := p.Expect("}"); err != nil {
+			return err
+		}
+		if err := p.Expect("="); err != nil {
+			return err
+		}
+		vNum, err := p.parseValue()
+		if err != nil {
+			return err
+		}
+		if err := p.Expect(";"); err != nil {
+			return err
+		}
+		versions = append(versions, versionDecl{name: vName, ops: ops, num: vNum})
+	}
+	if err := p.Expect("}"); err != nil {
+		return err
+	}
+	if err := p.Expect("="); err != nil {
+		return err
+	}
+	progNum, err := p.parseValue()
+	if err != nil {
+		return err
+	}
+	if err := p.Expect(";"); err != nil {
+		return err
+	}
+	if len(versions) == 0 {
+		return p.Errf("program %s has no versions", progName)
+	}
+	for _, v := range versions {
+		name := progName
+		if len(versions) > 1 {
+			name = fmt.Sprintf("%s_%d", progName, v.num)
+		}
+		p.file.Interfaces = append(p.file.Interfaces, &aoi.Interface{
+			Name:    name,
+			ID:      fmt.Sprintf("%d,%d", uint32(progNum), uint32(v.num)),
+			Program: uint32(progNum),
+			Version: uint32(v.num),
+			Ops:     v.ops,
+		})
+	}
+	return nil
+}
+
+func (p *parser) parseProcedure() (*aoi.Operation, error) {
+	result, err := p.parseResultType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.ExpectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Expect("("); err != nil {
+		return nil, err
+	}
+	op := &aoi.Operation{Name: name, Result: result}
+	argIdx := 1
+	for !p.At(")") {
+		f, err := p.parseDeclaration()
+		if err != nil {
+			return nil, err
+		}
+		if !aoi.IsVoid(f.Type) {
+			pname := f.Name
+			if pname == "" {
+				pname = fmt.Sprintf("arg%d", argIdx)
+			}
+			op.Params = append(op.Params, aoi.Param{Name: pname, Dir: aoi.In, Type: f.Type})
+			argIdx++
+		}
+		if ok, err := p.Accept(","); err != nil {
+			return nil, err
+		} else if !ok {
+			break
+		}
+	}
+	if err := p.Expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.Expect("="); err != nil {
+		return nil, err
+	}
+	num, err := p.parseValue()
+	if err != nil {
+		return nil, err
+	}
+	if num < 0 || num > 0xFFFFFFFF {
+		return nil, p.Errf("procedure number %d out of range", num)
+	}
+	op.Code = uint32(num)
+	return op, p.Expect(";")
+}
+
+// parseResultType parses a procedure result: void, string, or a type
+// specifier with an optional "*". It must not consume the procedure name
+// that follows, so it cannot reuse parseDeclaration.
+func (p *parser) parseResultType() (aoi.Type, error) {
+	switch {
+	case p.At("void"):
+		return &aoi.Primitive{Kind: aoi.Void}, p.Advance()
+	case p.At("string"):
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+		return &aoi.String{}, nil
+	case p.At("opaque"):
+		return nil, p.Errf("opaque is not a valid result type (use a typedef)")
+	}
+	t, err := p.parseTypeSpecifier()
+	if err != nil {
+		return nil, err
+	}
+	if ok, err := p.Accept("*"); err != nil {
+		return nil, err
+	} else if ok {
+		return &aoi.Optional{Elem: t}, nil
+	}
+	return t, nil
+}

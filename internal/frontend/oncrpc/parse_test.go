@@ -1,0 +1,263 @@
+package oncrpc
+
+import (
+	"strings"
+	"testing"
+
+	"flick/internal/aoi"
+)
+
+func mustParse(t *testing.T, src string) *aoi.File {
+	t.Helper()
+	f, err := Parse("test.x", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return f
+}
+
+func TestParseMailProgram(t *testing.T) {
+	// The paper's introductory ONC RPC example.
+	f := mustParse(t, `
+		program Mail {
+			version MailVers {
+				void send(string) = 1;
+			} = 1;
+		} = 0x20000001;
+	`)
+	it := f.LookupInterface("Mail")
+	if it == nil {
+		t.Fatal("no Mail interface")
+	}
+	if it.Program != 0x20000001 || it.Version != 1 {
+		t.Errorf("prog/vers = %d,%d", it.Program, it.Version)
+	}
+	if it.ID != "536870913,1" {
+		t.Errorf("ID = %q", it.ID)
+	}
+	op := it.LookupOp("send")
+	if op == nil {
+		t.Fatal("no send op")
+	}
+	if op.Code != 1 {
+		t.Errorf("code = %d", op.Code)
+	}
+	if len(op.Params) != 1 {
+		t.Fatalf("params = %+v", op.Params)
+	}
+	if op.Params[0].Name != "arg1" {
+		t.Errorf("param name = %q", op.Params[0].Name)
+	}
+	if _, ok := op.Params[0].Type.(*aoi.String); !ok {
+		t.Errorf("param type = %T", op.Params[0].Type)
+	}
+}
+
+func TestXDRTypes(t *testing.T) {
+	f := mustParse(t, `
+		const MAXNAME = 255;
+		typedef int int_arr<>;
+		typedef opaque fhandle[32];
+		typedef opaque data<1024>;
+		typedef string name_t<MAXNAME>;
+		enum ftype { NFREG = 1, NFDIR = 2, NFLNK };
+		struct stat_info {
+			int fields[30];
+			opaque tag[16];
+		};
+		struct dir_entry {
+			name_t     name;
+			stat_info  info;
+		};
+		union result switch (int status) {
+			case 0:  dir_entry entry;
+			case 1:  void;
+			default: string message<>;
+		};
+	`)
+	if arr, ok := f.LookupType("int_arr").Type.(*aoi.Sequence); !ok || arr.Bound != 0 {
+		t.Errorf("int_arr = %v", f.LookupType("int_arr").Type)
+	}
+	fh := f.LookupType("fhandle").Type.(*aoi.Array)
+	if fh.Length != 32 {
+		t.Errorf("fhandle = %v", fh)
+	}
+	if p, ok := fh.Elem.(*aoi.Primitive); !ok || p.Kind != aoi.Octet {
+		t.Errorf("fhandle elem = %v", fh.Elem)
+	}
+	data := f.LookupType("data").Type.(*aoi.Sequence)
+	if data.Bound != 1024 {
+		t.Errorf("data bound = %d", data.Bound)
+	}
+	nm := f.LookupType("name_t").Type.(*aoi.String)
+	if nm.Bound != 255 {
+		t.Errorf("name_t bound = %d (const ref)", nm.Bound)
+	}
+	e := f.LookupType("ftype").Type.(*aoi.Enum)
+	if len(e.Members) != 3 || e.Values[0] != 1 || e.Values[2] != 3 {
+		t.Errorf("enum = %+v", e)
+	}
+	u := f.LookupType("result").Type.(*aoi.Union)
+	if len(u.Cases) != 3 {
+		t.Fatalf("union cases = %d", len(u.Cases))
+	}
+	if !u.Cases[2].IsDefault {
+		t.Error("no default arm")
+	}
+	if !aoi.IsVoid(u.Cases[1].Field.Type) {
+		t.Error("case 1 should be void")
+	}
+}
+
+func TestRecursiveList(t *testing.T) {
+	// The classic XDR linked list.
+	f := mustParse(t, `
+		struct intlist {
+			int        value;
+			intlist    *next;
+		};
+	`)
+	st := f.LookupType("intlist").Type.(*aoi.Struct)
+	if len(st.Fields) != 2 {
+		t.Fatalf("fields = %+v", st.Fields)
+	}
+	opt, ok := st.Fields[1].Type.(*aoi.Optional)
+	if !ok {
+		t.Fatalf("next = %T", st.Fields[1].Type)
+	}
+	if aoi.Resolve(opt.Elem) != st {
+		t.Error("next does not point back to intlist")
+	}
+}
+
+func TestMultipleVersions(t *testing.T) {
+	f := mustParse(t, `
+		program CALC {
+			version CALC_V1 {
+				int add(int, int) = 1;
+			} = 1;
+			version CALC_V2 {
+				int add(int, int) = 1;
+				int mul(int, int) = 2;
+			} = 2;
+		} = 0x20000099;
+	`)
+	if len(f.Interfaces) != 2 {
+		t.Fatalf("interfaces = %d", len(f.Interfaces))
+	}
+	v1 := f.LookupInterface("CALC_1")
+	v2 := f.LookupInterface("CALC_2")
+	if v1 == nil || v2 == nil {
+		t.Fatal("missing versioned interfaces")
+	}
+	if len(v1.Ops) != 1 || len(v2.Ops) != 2 {
+		t.Errorf("ops = %d,%d", len(v1.Ops), len(v2.Ops))
+	}
+	add := v2.LookupOp("add")
+	if len(add.Params) != 2 || add.Params[1].Name != "arg2" {
+		t.Errorf("add params = %+v", add.Params)
+	}
+}
+
+func TestOptionalResult(t *testing.T) {
+	f := mustParse(t, `
+		struct entry { int v; };
+		program P {
+			version V {
+				entry *lookup(int) = 1;
+			} = 1;
+		} = 99;
+	`)
+	op := f.Interfaces[0].LookupOp("lookup")
+	if _, ok := op.Result.(*aoi.Optional); !ok {
+		t.Errorf("result = %T, want optional", op.Result)
+	}
+}
+
+func TestPrimitives(t *testing.T) {
+	f := mustParse(t, `
+		struct all {
+			int a; unsigned int b; unsigned c;
+			hyper d; unsigned hyper e;
+			float f; double g; bool h;
+			char i; unsigned char j; short k; unsigned short l;
+		};
+	`)
+	st := f.LookupType("all").Type.(*aoi.Struct)
+	kinds := []aoi.PrimKind{
+		aoi.Long, aoi.ULong, aoi.ULong, aoi.LongLong, aoi.ULongLong,
+		aoi.Float, aoi.Double, aoi.Boolean, aoi.Char, aoi.Octet,
+		aoi.Short, aoi.UShort,
+	}
+	for i, k := range kinds {
+		p, ok := st.Fields[i].Type.(*aoi.Primitive)
+		if !ok || p.Kind != k {
+			t.Errorf("field %d = %v, want %v", i, st.Fields[i].Type, k)
+		}
+	}
+}
+
+func TestBoolConstants(t *testing.T) {
+	f := mustParse(t, `
+		union maybe switch (bool set) {
+			case TRUE:  int value;
+			case FALSE: void;
+		};
+	`)
+	u := f.LookupType("maybe").Type.(*aoi.Union)
+	if u.Cases[0].Labels[0] != 1 || u.Cases[1].Labels[0] != 0 {
+		t.Errorf("labels = %+v", u.Cases)
+	}
+}
+
+func TestRpcgenPassThrough(t *testing.T) {
+	mustParse(t, `
+		%#include "extra.h"
+		#define FOO 1
+		const X = 5;
+	`)
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		src     string
+		wantSub string
+	}{
+		{`typedef wibble x;`, "undefined type"},
+		{`struct s { void; };`, "void member"},
+		{`typedef opaque x;`, "opaque requires"},
+		{`const X = Y;`, "undefined constant"},
+		{`program P { } = 1;`, "no versions"},
+		{`struct s { int a; struct nope b; };`, "undefined struct"},
+		{`typedef quadruple q;`, "not supported"},
+		{`program P { version V { opaque f(int) = 1; } = 1; } = 2;`, "not a valid result"},
+		{`struct s { int a[0]; };`, "out of range"},
+		{`union u switch (int d) { };`, "case or default"},
+		{`const X = 1; const X = 2;`, "redefinition"},
+		{`struct s { int v; };  struct s { int w; };`, "redefinition"},
+	}
+	for _, tt := range tests {
+		_, err := Parse("err.x", tt.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error %q", tt.src, tt.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.wantSub) {
+			t.Errorf("Parse(%q) = %v, want error containing %q", tt.src, err, tt.wantSub)
+		}
+	}
+}
+
+func TestInlineEnumDeclaration(t *testing.T) {
+	f := mustParse(t, `
+		struct s {
+			enum { A = 1, B = 2 } kind;
+			int v;
+		};
+	`)
+	st := f.LookupType("s").Type.(*aoi.Struct)
+	e, ok := st.Fields[0].Type.(*aoi.Enum)
+	if !ok || len(e.Members) != 2 {
+		t.Errorf("inline enum = %v", st.Fields[0].Type)
+	}
+}

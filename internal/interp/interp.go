@@ -1,0 +1,393 @@
+// Package interp is the interpretive marshaler: it walks PRES trees at
+// runtime with reflection, the way ILU's stubs walk their AST and the way
+// ORBeline's runtime marshals through its layered presentation code.
+//
+// The paper uses these systems as baselines: interpretation pays a
+// per-datum dispatch cost that compiled stubs do not, and the interpreter
+// can perform none of Flick's static optimizations (grouped checks,
+// chunking, memcpy, inlining). The wire bytes produced are identical to
+// the compiled stubs' — only the cost differs.
+package interp
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+
+	"flick/internal/mint"
+	"flick/internal/pres"
+	"flick/internal/wire"
+	"flick/rt"
+)
+
+// Style selects which historical system's runtime structure is modeled.
+type Style int
+
+const (
+	// ILU: pure interpretation, one dynamic dispatch per datum.
+	ILU Style = iota
+	// ORBeline: interpretation plus runtime layers — per-operation
+	// locking (multi-thread synchronization) and an extra copy through
+	// a presentation buffer.
+	ORBeline
+)
+
+func (s Style) String() string {
+	if s == ILU {
+		return "ilu"
+	}
+	return "orbeline"
+}
+
+// Marshaler interprets PRES trees over a wire format.
+type Marshaler struct {
+	Format wire.Format
+	Style  Style
+
+	mu      sync.Mutex
+	scratch rt.Encoder
+}
+
+// New returns an interpreter for the format and style.
+func New(f wire.Format, s Style) *Marshaler {
+	return &Marshaler{Format: f, Style: s}
+}
+
+// Marshal encodes v (a Go value matching the presentation) into e.
+func (m *Marshaler) Marshal(e *rt.Encoder, n *pres.Node, v any) error {
+	if m.Style == ORBeline {
+		// Runtime layering: synchronize, marshal into the presentation
+		// buffer, then copy into the transport buffer.
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		m.scratch.Reset()
+		if err := m.value(&m.scratch, n, reflect.ValueOf(v)); err != nil {
+			return err
+		}
+		b := m.scratch.Bytes()
+		e.Grow(len(b))
+		e.PutBytes(b)
+		return nil
+	}
+	return m.value(e, n, reflect.ValueOf(v))
+}
+
+// Unmarshal decodes into *v.
+func (m *Marshaler) Unmarshal(d *rt.Decoder, n *pres.Node, v any) error {
+	if m.Style == ORBeline {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+	}
+	rv := reflect.ValueOf(v)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return fmt.Errorf("interp: Unmarshal target must be a non-nil pointer, got %T", v)
+	}
+	if err := m.read(d, n, rv.Elem()); err != nil {
+		return err
+	}
+	return d.Err()
+}
+
+func (m *Marshaler) big() bool { return m.Format.Order() == wire.BigEndian }
+
+// putAtom writes one checked scalar.
+func (m *Marshaler) putAtom(e *rt.Encoder, a wire.Atom, w int, v reflect.Value) {
+	e.Align(m.Format.Align(a))
+	var u uint64
+	switch a.Kind {
+	case wire.BoolAtom:
+		if v.Bool() {
+			u = 1
+		}
+	case wire.Float:
+		bits := v.Float()
+		if a.Bits == 32 {
+			u = uint64(f32bits(float32(bits)))
+		} else {
+			u = f64bits(bits)
+		}
+	case wire.SInt:
+		u = uint64(v.Int())
+	default:
+		switch v.Kind() {
+		case reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64, reflect.Int:
+			u = uint64(v.Int())
+		default:
+			u = v.Uint()
+		}
+	}
+	m.putRaw(e, w, u)
+}
+
+func (m *Marshaler) putRaw(e *rt.Encoder, w int, u uint64) {
+	switch w {
+	case 1:
+		e.PutU8C(byte(u))
+	case 2:
+		if m.big() {
+			e.PutU16BEC(uint16(u))
+		} else {
+			e.PutU16LEC(uint16(u))
+		}
+	case 4:
+		if m.big() {
+			e.PutU32BEC(uint32(u))
+		} else {
+			e.PutU32LEC(uint32(u))
+		}
+	default:
+		if m.big() {
+			e.PutU64BEC(u)
+		} else {
+			e.PutU64LEC(u)
+		}
+	}
+}
+
+func (m *Marshaler) getRaw(d *rt.Decoder, w int) uint64 {
+	switch w {
+	case 1:
+		return uint64(d.U8C())
+	case 2:
+		if m.big() {
+			return uint64(d.U16BEC())
+		}
+		return uint64(d.U16LEC())
+	case 4:
+		if m.big() {
+			return uint64(d.U32BEC())
+		}
+		return uint64(d.U32LEC())
+	default:
+		if m.big() {
+			return d.U64BEC()
+		}
+		return d.U64LEC()
+	}
+}
+
+// atomOf mirrors the back-end lowering's atom extraction.
+func atomOf(mt mint.Type) (wire.Atom, *uint64, bool) {
+	switch mt := mint.Deref(mt).(type) {
+	case *mint.Integer:
+		bits, signed := mt.Bits()
+		k := wire.UInt
+		if signed {
+			k = wire.SInt
+		}
+		if mt.Range == 0 {
+			v := uint64(mt.Min)
+			return wire.Atom{Kind: k, Bits: 32}, &v, true
+		}
+		return wire.Atom{Kind: k, Bits: bits}, nil, true
+	case *mint.Scalar:
+		switch mt.Kind {
+		case mint.Boolean:
+			return wire.Bool, nil, true
+		case mint.Char8:
+			return wire.Char, nil, true
+		case mint.Float32:
+			return wire.F32, nil, true
+		case mint.Float64:
+			return wire.F64, nil, true
+		}
+	case *mint.Const:
+		a, _, ok := atomOf(mt.Of)
+		if !ok {
+			return wire.Atom{}, nil, false
+		}
+		v := uint64(mt.Value)
+		return a, &v, true
+	}
+	return wire.Atom{}, nil, false
+}
+
+// value marshals one presented value.
+func (m *Marshaler) value(e *rt.Encoder, n *pres.Node, v reflect.Value) error {
+	n = n.Resolve()
+	switch n.Kind {
+	case pres.VoidKind:
+		return nil
+	case pres.DirectKind, pres.EnumKind:
+		a, cv, ok := atomOf(n.Mint)
+		if !ok {
+			return fmt.Errorf("interp: non-atomic mint %s", n.Mint)
+		}
+		w := m.Format.WireSize(a)
+		if cv != nil {
+			e.Align(m.Format.Align(a))
+			m.putRaw(e, w, *cv)
+			return nil
+		}
+		m.putAtom(e, a, w, v)
+		return nil
+	case pres.CountedKind, pres.TerminatedKind:
+		return m.putArray(e, n, v, -1)
+	case pres.FixedArrayKind:
+		arr := mint.Deref(n.Mint).(*mint.Array)
+		return m.putArray(e, n, v, int(arr.FixedLen()))
+	case pres.StructKind:
+		for i, c := range n.Children {
+			f := v.FieldByName(n.FieldNames[i])
+			if !f.IsValid() {
+				return fmt.Errorf("interp: %s: missing field %s", v.Type(), n.FieldNames[i])
+			}
+			if err := m.value(e, c, f); err != nil {
+				return err
+			}
+		}
+		return nil
+	case pres.UnionKind:
+		return m.putUnion(e, n, v)
+	case pres.OptPtrKind:
+		a := wire.Bool
+		w := m.Format.WireSize(a)
+		e.Align(m.Format.Align(a))
+		if v.IsNil() {
+			m.putRaw(e, w, 0)
+			return nil
+		}
+		m.putRaw(e, w, 1)
+		return m.value(e, n.Elem(), v.Elem())
+	default:
+		return fmt.Errorf("interp: unhandled pres kind %s", n.Kind)
+	}
+}
+
+func (m *Marshaler) putArray(e *rt.Encoder, n *pres.Node, v reflect.Value, fixed int) error {
+	arr, ok := mint.Deref(n.Mint).(*mint.Array)
+	if !ok {
+		return fmt.Errorf("interp: array node over %s", n.Mint)
+	}
+	count := fixed
+	if fixed < 0 {
+		count = v.Len()
+		nul := m.Format.StringNul() && isChar(arr)
+		e.Align(m.Format.Align(wire.U32))
+		rt.CheckBound(count, boundOf(arr))
+		l := uint32(count)
+		if nul {
+			l++
+		}
+		m.putRaw(e, 4, uint64(l))
+	}
+	elem := n.Elem().Resolve()
+	ea, _, isAtom := atomOf(elem.Mint)
+	if isAtom {
+		ew := m.Format.ArrayElemSize(ea)
+		if ew == m.Format.WireSize(ea) {
+			e.Align(m.Format.Align(ea))
+		}
+		// Interpretation: one dispatch per element, no bulk copy.
+		for i := 0; i < count; i++ {
+			var u uint64
+			el := v.Index(i)
+			switch ea.Kind {
+			case wire.BoolAtom:
+				if el.Bool() {
+					u = 1
+				}
+			case wire.Float:
+				if ea.Bits == 32 {
+					u = uint64(f32bits(float32(el.Float())))
+				} else {
+					u = f64bits(el.Float())
+				}
+			case wire.SInt:
+				u = uint64(el.Int())
+			default:
+				switch el.Kind() {
+				case reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64, reflect.Int:
+					u = uint64(el.Int())
+				default:
+					u = el.Uint()
+				}
+			}
+			m.putRaw(e, ew, u)
+		}
+		if ew == 1 {
+			if pad := m.Format.ArrayPad(); pad > 1 {
+				e.Align(pad)
+			}
+		}
+	} else {
+		for i := 0; i < count; i++ {
+			if err := m.value(e, elem, v.Index(i)); err != nil {
+				return err
+			}
+		}
+	}
+	if fixed < 0 && m.Format.StringNul() && isChar(arr) {
+		e.PutU8C(0)
+	}
+	return nil
+}
+
+func (m *Marshaler) putUnion(e *rt.Encoder, n *pres.Node, v reflect.Value) error {
+	u := mint.Deref(n.Mint).(*mint.Union)
+	da, _, ok := atomOf(u.Discrim)
+	if !ok {
+		return fmt.Errorf("interp: bad union discriminator %s", u.Discrim)
+	}
+	w := m.Format.WireSize(da)
+	dv := v.FieldByName("D")
+	if !dv.IsValid() {
+		return fmt.Errorf("interp: %s: union without D field", v.Type())
+	}
+	m.putAtom(e, da, w, dv)
+	tag := tagValue(dv)
+	for i, c := range u.Cases {
+		if c.Value == tag {
+			return m.putArm(e, n, i, v)
+		}
+	}
+	if u.Default != nil {
+		return m.putArm(e, n, len(u.Cases), v)
+	}
+	return fmt.Errorf("interp: unknown union discriminator %d", tag)
+}
+
+func (m *Marshaler) putArm(e *rt.Encoder, n *pres.Node, idx int, v reflect.Value) error {
+	if idx >= len(n.Children) {
+		return nil
+	}
+	child := n.Children[idx]
+	name := ""
+	if idx < len(n.FieldNames) {
+		name = n.FieldNames[idx]
+	}
+	if name == "" {
+		return nil // void arm
+	}
+	f := v.FieldByName(name)
+	if !f.IsValid() {
+		return fmt.Errorf("interp: %s: missing union arm %s", v.Type(), name)
+	}
+	return m.value(e, child, f)
+}
+
+func tagValue(v reflect.Value) int64 {
+	switch v.Kind() {
+	case reflect.Bool:
+		if v.Bool() {
+			return 1
+		}
+		return 0
+	case reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64, reflect.Int:
+		return v.Int()
+	default:
+		return int64(v.Uint())
+	}
+}
+
+func isChar(arr *mint.Array) bool {
+	s, ok := mint.Deref(arr.Elem).(*mint.Scalar)
+	return ok && s.Kind == mint.Char8
+}
+
+func boundOf(arr *mint.Array) uint32 {
+	if arr.Length.Range >= uint64(0xFFFFFFFF) {
+		return 0
+	}
+	return uint32(arr.Length.Range)
+}

@@ -1,0 +1,125 @@
+package interp
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"flick/internal/mint"
+	"flick/internal/pres"
+	"flick/internal/wire"
+	"flick/rt"
+)
+
+func TestStyleString(t *testing.T) {
+	if ILU.String() != "ilu" || ORBeline.String() != "orbeline" {
+		t.Error("style names")
+	}
+}
+
+// unionNoDefault builds a PRES union with no default arm.
+func unionNoDefault() *pres.Node {
+	m := &mint.Union{
+		Discrim: mint.I32(),
+		Cases: []mint.UnionCase{
+			{Value: 1, Type: mint.I32()},
+			{Value: 2, Type: mint.VoidT()},
+		},
+	}
+	return &pres.Node{
+		Kind: pres.UnionKind, Mint: m, CType: "U", DiscrimCType: "int32",
+		Children: []*pres.Node{
+			{Kind: pres.DirectKind, Mint: m.Cases[0].Type, CType: "int32"},
+			{Kind: pres.VoidKind, Mint: m.Cases[1].Type},
+		},
+		FieldNames: []string{"A", ""},
+	}
+}
+
+type U struct {
+	D int32
+	A int32
+}
+
+func TestUnionWithoutDefault(t *testing.T) {
+	n := unionNoDefault()
+	m := New(wire.XDR{}, ILU)
+	var e rt.Encoder
+	if err := m.Marshal(&e, n, U{D: 1, A: 7}); err != nil {
+		t.Fatal(err)
+	}
+	var out U
+	if err := m.Unmarshal(rt.NewDecoder(e.Bytes()), n, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != (U{D: 1, A: 7}) {
+		t.Errorf("out = %+v", out)
+	}
+
+	// Marshaling an unknown discriminator fails.
+	e.Reset()
+	if err := m.Marshal(&e, n, U{D: 9}); err == nil {
+		t.Error("unknown discriminator marshaled")
+	}
+
+	// Decoding an unknown discriminator fails cleanly.
+	e.Reset()
+	e.Grow(4)
+	e.PutU32BE(9)
+	if err := m.Unmarshal(rt.NewDecoder(e.Bytes()), n, &out); err == nil {
+		t.Error("unknown discriminator decoded")
+	}
+
+	// A void arm carries nothing.
+	e.Reset()
+	if err := m.Marshal(&e, n, U{D: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Len() != 4 {
+		t.Errorf("void arm bytes = %d", e.Len())
+	}
+}
+
+func TestMismatchedValueShape(t *testing.T) {
+	n := &pres.Node{
+		Kind:       pres.StructKind,
+		Mint:       &mint.Struct{Slots: []mint.Slot{{Name: "x", Type: mint.I32()}}},
+		CType:      "S",
+		Children:   []*pres.Node{{Kind: pres.DirectKind, Mint: mint.I32(), CType: "int32"}},
+		FieldNames: []string{"Missing"},
+	}
+	m := New(wire.XDR{}, ILU)
+	var e rt.Encoder
+	if err := m.Marshal(&e, n, struct{ X int32 }{1}); err == nil {
+		t.Error("missing field not reported")
+	}
+}
+
+func TestORBelineConcurrentSafety(t *testing.T) {
+	// The ORBeline model serializes through its runtime lock; concurrent
+	// marshals must not corrupt the shared presentation buffer.
+	n := &pres.Node{Kind: pres.DirectKind, Mint: mint.I32(), CType: "int32"}
+	m := New(wire.XDR{}, ORBeline)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				var e rt.Encoder
+				if err := m.Marshal(&e, n, int32(g)); err != nil {
+					t.Error(err)
+					return
+				}
+				var want rt.Encoder
+				want.Grow(4)
+				want.PutU32BE(uint32(g))
+				if !bytes.Equal(e.Bytes(), want.Bytes()) {
+					t.Errorf("corrupted marshal: %x", e.Bytes())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

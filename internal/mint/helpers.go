@@ -1,0 +1,49 @@
+package mint
+
+// Convenience constructors for the integer and array shapes that appear
+// throughout presentation generation.
+
+// I8..U64 build the standard two's-complement integer types.
+func I8() *Integer  { return Signed(8) }
+func I16() *Integer { return Signed(16) }
+func I32() *Integer { return Signed(32) }
+func I64() *Integer { return Signed(64) }
+func U8() *Integer  { return Unsigned(8) }
+func U16() *Integer { return Unsigned(16) }
+func U32() *Integer { return Unsigned(32) }
+func U64() *Integer { return Unsigned(64) }
+
+// VoidT, Bool, Char, F32, F64 build the scalar types.
+func VoidT() *Scalar { return &Scalar{Kind: Void} }
+func Bool() *Scalar  { return &Scalar{Kind: Boolean} }
+func Char() *Scalar  { return &Scalar{Kind: Char8} }
+func F32() *Scalar   { return &Scalar{Kind: Float32} }
+func F64() *Scalar   { return &Scalar{Kind: Float64} }
+
+// NewString builds the MINT shape of a string: a counted array of 8-bit
+// characters. bound==0 means unbounded (full u32 length range).
+func NewString(bound uint32) *Array {
+	return &Array{Elem: Char(), Length: lengthType(bound)}
+}
+
+// NewOpaque builds a counted array of octets.
+func NewOpaque(bound uint32) *Array {
+	return &Array{Elem: U8(), Length: lengthType(bound)}
+}
+
+// NewSeq builds a counted array of elem.
+func NewSeq(elem Type, bound uint32) *Array {
+	return &Array{Elem: elem, Length: lengthType(bound)}
+}
+
+// NewFixed builds a fixed-length array of elem.
+func NewFixed(elem Type, n uint32) *Array {
+	return &Array{Elem: elem, Length: &Integer{Min: int64(n), Range: 0}}
+}
+
+func lengthType(bound uint32) *Integer {
+	if bound == 0 {
+		return Bounded(0xFFFFFFFF)
+	}
+	return Bounded(uint64(bound))
+}

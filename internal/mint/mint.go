@@ -1,0 +1,339 @@
+// Package mint defines Flick's Message INterface Types: abstract
+// descriptions of the messages (requests and replies) exchanged between
+// client and server. A MINT type is a directed graph — potentially cyclic
+// — whose nodes are atomic types, aggregates, or typed literal constants.
+//
+// MINT types do not represent target-language types, nor on-the-wire
+// encodings. They represent high-level message formats: the "glue" layer
+// between transport encoding types (chosen by a back end) and target
+// language types (chosen by a presentation generator).
+package mint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is the interface satisfied by every MINT node.
+type Type interface {
+	mintType()
+	String() string
+}
+
+// Integer represents integral values in the inclusive range
+// [Min, Min+Range]. The classic MINT examples:
+//
+//	signed 32-bit:   Min = -1<<31, Range = 1<<32 - 1
+//	unsigned 32-bit: Min = 0,      Range = 1<<32 - 1
+//	array length:    Min = 0,      Range = bound
+type Integer struct {
+	Min   int64
+	Range uint64
+}
+
+// Signed32, Unsigned32, and friends build the common integer shapes.
+func Signed(bits uint) *Integer {
+	return &Integer{Min: -1 << (bits - 1), Range: 1<<bits - 1}
+}
+
+// Unsigned returns the unsigned integer type of the given bit width.
+func Unsigned(bits uint) *Integer {
+	if bits >= 64 {
+		return &Integer{Min: 0, Range: ^uint64(0)}
+	}
+	return &Integer{Min: 0, Range: 1<<bits - 1}
+}
+
+// Bounded returns the integer type holding [0, bound].
+func Bounded(bound uint64) *Integer { return &Integer{Min: 0, Range: bound} }
+
+// Contains reports whether v lies within the integer's range.
+func (t *Integer) Contains(v int64) bool {
+	if v < t.Min {
+		return false
+	}
+	return uint64(v-t.Min) <= t.Range
+}
+
+// Bits returns the minimum power-of-two bit width (8, 16, 32, or 64) that
+// can represent every value of the type, and whether that representation
+// must be signed.
+func (t *Integer) Bits() (bits uint, signed bool) {
+	if t.Min >= 0 {
+		max := uint64(t.Min) + t.Range
+		if max < t.Range { // overflow: top of range exceeds u64
+			return 64, false
+		}
+		switch {
+		case max <= 0xFF:
+			return 8, false
+		case max <= 0xFFFF:
+			return 16, false
+		case max <= 0xFFFFFFFF:
+			return 32, false
+		default:
+			return 64, false
+		}
+	}
+	// Signed: find the smallest width whose [-2^(w-1), 2^(w-1)-1]
+	// contains [Min, Min+Range].
+	neg := -uint64(t.Min) // magnitude of Min, correct even for MinInt64
+	for _, w := range []uint{8, 16, 32, 64} {
+		lo := uint64(1) << (w - 1) // magnitude of the most negative value
+		hi := uint64(1)<<(w-1) - 1 // the most positive value
+		if neg <= lo && t.Range <= hi+neg {
+			return w, true
+		}
+	}
+	return 64, true
+}
+
+// ScalarKind enumerates the non-integer atomic MINT types.
+type ScalarKind int
+
+const (
+	Void ScalarKind = iota
+	Boolean
+	Char8
+	Float32
+	Float64
+)
+
+func (k ScalarKind) String() string {
+	switch k {
+	case Void:
+		return "void"
+	case Boolean:
+		return "boolean"
+	case Char8:
+		return "char8"
+	case Float32:
+		return "float32"
+	case Float64:
+		return "float64"
+	}
+	return fmt.Sprintf("ScalarKind(%d)", int(k))
+}
+
+// Scalar is a non-integer atomic type.
+type Scalar struct{ Kind ScalarKind }
+
+// Array is a counted array: a length drawn from Length's range followed by
+// that many elements. A fixed-length array has Length.Range == 0; a
+// bounded array has a finite positive Range; an unbounded array uses
+// the full u32 range. Strings are arrays of Char8.
+type Array struct {
+	Elem   Type
+	Length *Integer
+}
+
+// Fixed reports whether the array length is a single value.
+func (t *Array) Fixed() bool { return t.Length.Range == 0 }
+
+// FixedLen returns the length of a fixed array.
+func (t *Array) FixedLen() uint64 {
+	if !t.Fixed() {
+		panic("mint: FixedLen of non-fixed array")
+	}
+	return uint64(t.Length.Min)
+}
+
+// Slot is one member of a Struct.
+type Slot struct {
+	Name string
+	Type Type
+}
+
+// Struct is an ordered aggregate of slots.
+type Struct struct {
+	Name  string
+	Slots []Slot
+}
+
+// UnionCase is one arm of a discriminated union: when the discriminator
+// equals Value, the body has type Type.
+type UnionCase struct {
+	Value int64
+	Type  Type
+}
+
+// Union is a discriminated union: a discriminator followed by the body
+// selected by its value. Default may be nil (no default arm; other
+// discriminator values are a protocol error) or a Type (possibly Void).
+type Union struct {
+	Name    string
+	Discrim Type
+	Cases   []UnionCase
+	Default Type
+}
+
+// CaseFor returns the body type selected by discriminator value v, or
+// (Default, false) when no explicit case matches.
+func (t *Union) CaseFor(v int64) (Type, bool) {
+	for _, c := range t.Cases {
+		if c.Value == v {
+			return c.Type, true
+		}
+	}
+	return t.Default, false
+}
+
+// Const is a typed literal constant: a value that must appear in the
+// message at this position (e.g. a protocol magic number or an operation
+// discriminator in a request). Of is the underlying type; Value its
+// required value.
+type Const struct {
+	Of    Type
+	Value int64
+}
+
+// TypeRef is an indirection enabling recursive message types (linked
+// lists and trees marshaled through XDR optional data). Target is set
+// after construction.
+type TypeRef struct {
+	Name   string
+	Target Type
+}
+
+// Deref follows TypeRef chains.
+func Deref(t Type) Type {
+	for {
+		r, ok := t.(*TypeRef)
+		if !ok {
+			return t
+		}
+		if r.Target == nil {
+			panic(fmt.Sprintf("mint: unresolved TypeRef %q", r.Name))
+		}
+		t = r.Target
+	}
+}
+
+func (*Integer) mintType() {}
+func (*Scalar) mintType()  {}
+func (*Array) mintType()   {}
+func (*Struct) mintType()  {}
+func (*Union) mintType()   {}
+func (*Const) mintType()   {}
+func (*TypeRef) mintType() {}
+
+func (t *Integer) String() string {
+	bits, signed := t.Bits()
+	prefix := "u"
+	if signed {
+		prefix = "i"
+	}
+	if t.Range == 0 {
+		return fmt.Sprintf("const[%d]", t.Min)
+	}
+	if t.Min == 0 && t.Range != 1<<bits-1 && t.Range != ^uint64(0) {
+		return fmt.Sprintf("int[0..%d]", t.Range)
+	}
+	return fmt.Sprintf("%s%d", prefix, bits)
+}
+
+func (t *Scalar) String() string { return t.Kind.String() }
+
+func (t *Array) String() string {
+	switch {
+	case t.Fixed():
+		return fmt.Sprintf("%s[%d]", t.Elem, t.FixedLen())
+	case t.Length.Range == uint64(0xFFFFFFFF):
+		return fmt.Sprintf("%s[*]", t.Elem)
+	default:
+		return fmt.Sprintf("%s[..%d]", t.Elem, t.Length.Range)
+	}
+}
+
+func (t *Struct) String() string {
+	if t.Name != "" {
+		return "struct " + t.Name
+	}
+	parts := make([]string, len(t.Slots))
+	for i, s := range t.Slots {
+		parts[i] = s.Type.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func (t *Union) String() string {
+	if t.Name != "" {
+		return "union " + t.Name
+	}
+	return fmt.Sprintf("union(%d cases)", len(t.Cases))
+}
+
+func (t *Const) String() string   { return fmt.Sprintf("const %s = %d", t.Of, t.Value) }
+func (t *TypeRef) String() string { return "ref " + t.Name }
+
+// Equal reports structural equality of two MINT graphs. Recursive graphs
+// are compared up to bisimulation over TypeRef pairs.
+func Equal(a, b Type) bool {
+	return equal(a, b, map[[2]*TypeRef]bool{})
+}
+
+func equal(a, b Type, assumed map[[2]*TypeRef]bool) bool {
+	ra, aIsRef := a.(*TypeRef)
+	rb, bIsRef := b.(*TypeRef)
+	if aIsRef && bIsRef {
+		key := [2]*TypeRef{ra, rb}
+		if assumed[key] {
+			return true
+		}
+		assumed[key] = true
+		return equal(ra.Target, rb.Target, assumed)
+	}
+	if aIsRef {
+		return equal(ra.Target, b, assumed)
+	}
+	if bIsRef {
+		return equal(a, rb.Target, assumed)
+	}
+	switch a := a.(type) {
+	case *Integer:
+		b, ok := b.(*Integer)
+		return ok && a.Min == b.Min && a.Range == b.Range
+	case *Scalar:
+		b, ok := b.(*Scalar)
+		return ok && a.Kind == b.Kind
+	case *Array:
+		b, ok := b.(*Array)
+		return ok && equal(a.Length, b.Length, assumed) && equal(a.Elem, b.Elem, assumed)
+	case *Struct:
+		b, ok := b.(*Struct)
+		if !ok || len(a.Slots) != len(b.Slots) {
+			return false
+		}
+		for i := range a.Slots {
+			if !equal(a.Slots[i].Type, b.Slots[i].Type, assumed) {
+				return false
+			}
+		}
+		return true
+	case *Union:
+		b, ok := b.(*Union)
+		if !ok || len(a.Cases) != len(b.Cases) {
+			return false
+		}
+		if !equal(a.Discrim, b.Discrim, assumed) {
+			return false
+		}
+		for i := range a.Cases {
+			if a.Cases[i].Value != b.Cases[i].Value ||
+				!equal(a.Cases[i].Type, b.Cases[i].Type, assumed) {
+				return false
+			}
+		}
+		if (a.Default == nil) != (b.Default == nil) {
+			return false
+		}
+		if a.Default != nil && !equal(a.Default, b.Default, assumed) {
+			return false
+		}
+		return true
+	case *Const:
+		b, ok := b.(*Const)
+		return ok && a.Value == b.Value && equal(a.Of, b.Of, assumed)
+	}
+	return false
+}

@@ -1,0 +1,213 @@
+package mint
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIntegerBits(t *testing.T) {
+	tests := []struct {
+		in     *Integer
+		bits   uint
+		signed bool
+	}{
+		{Signed(8), 8, true},
+		{Signed(16), 16, true},
+		{Signed(32), 32, true},
+		{Signed(64), 64, true},
+		{Unsigned(8), 8, false},
+		{Unsigned(16), 16, false},
+		{Unsigned(32), 32, false},
+		{Unsigned(64), 64, false},
+		{Bounded(0), 8, false},
+		{Bounded(255), 8, false},
+		{Bounded(256), 16, false},
+		{Bounded(65535), 16, false},
+		{Bounded(65536), 32, false},
+		{Bounded(1 << 32), 64, false},
+		{&Integer{Min: -1, Range: 2}, 8, true}, // [-1,1]
+		{&Integer{Min: -200, Range: 400}, 16, true},
+		{&Integer{Min: 5, Range: 10}, 8, false}, // [5,15]
+	}
+	for _, tt := range tests {
+		bits, signed := tt.in.Bits()
+		if bits != tt.bits || signed != tt.signed {
+			t.Errorf("%+v.Bits() = (%d,%v), want (%d,%v)", tt.in, bits, signed, tt.bits, tt.signed)
+		}
+	}
+}
+
+func TestIntegerContains(t *testing.T) {
+	i := Signed(32)
+	for _, v := range []int64{0, -1 << 31, 1<<31 - 1, 42} {
+		if !i.Contains(v) {
+			t.Errorf("i32.Contains(%d) = false", v)
+		}
+	}
+	for _, v := range []int64{1 << 31, -1<<31 - 1} {
+		if i.Contains(v) {
+			t.Errorf("i32.Contains(%d) = true", v)
+		}
+	}
+	b := Bounded(10)
+	if b.Contains(-1) || b.Contains(11) || !b.Contains(10) || !b.Contains(0) {
+		t.Error("Bounded(10) range check wrong")
+	}
+}
+
+func TestContainsQuick(t *testing.T) {
+	// Property: v in [Min, Min+Range] iff Contains(v), for moderate ranges.
+	f := func(min int32, rng uint16, v int32) bool {
+		i := &Integer{Min: int64(min), Range: uint64(rng)}
+		want := int64(v) >= int64(min) && int64(v) <= int64(min)+int64(rng)
+		return i.Contains(int64(v)) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArrayShapes(t *testing.T) {
+	fixed := NewFixed(U8(), 16)
+	if !fixed.Fixed() || fixed.FixedLen() != 16 {
+		t.Errorf("NewFixed: Fixed=%v len=%d", fixed.Fixed(), fixed.FixedLen())
+	}
+	varr := NewSeq(I32(), 100)
+	if varr.Fixed() {
+		t.Error("bounded sequence reported fixed")
+	}
+	if varr.Length.Range != 100 {
+		t.Errorf("bound = %d, want 100", varr.Length.Range)
+	}
+	unb := NewString(0)
+	if unb.Length.Range != 0xFFFFFFFF {
+		t.Errorf("unbounded string range = %d", unb.Length.Range)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("FixedLen on variable array should panic")
+		}
+	}()
+	varr.FixedLen()
+}
+
+func TestUnionCaseFor(t *testing.T) {
+	u := &Union{
+		Discrim: U32(),
+		Cases: []UnionCase{
+			{Value: 0, Type: VoidT()},
+			{Value: 1, Type: I32()},
+		},
+		Default: NewString(0),
+	}
+	if got, ok := u.CaseFor(1); !ok || !Equal(got, I32()) {
+		t.Errorf("CaseFor(1) = %v,%v", got, ok)
+	}
+	if got, ok := u.CaseFor(7); ok || got != u.Default {
+		t.Errorf("CaseFor(7) = %v,%v, want default", got, ok)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	mkDir := func() Type {
+		return &Struct{Slots: []Slot{
+			{Name: "name", Type: NewString(255)},
+			{Name: "info", Type: NewFixed(I32(), 30)},
+		}}
+	}
+	if !Equal(mkDir(), mkDir()) {
+		t.Error("identical structs not Equal")
+	}
+	if Equal(mkDir(), I32()) {
+		t.Error("struct Equal to int")
+	}
+	if Equal(I32(), U32()) {
+		t.Error("i32 Equal to u32")
+	}
+	if Equal(NewString(10), NewString(11)) {
+		t.Error("different bounds Equal")
+	}
+	a := &Const{Of: U32(), Value: 5}
+	b := &Const{Of: U32(), Value: 5}
+	if !Equal(a, b) {
+		t.Error("equal consts not Equal")
+	}
+	b.Value = 6
+	if Equal(a, b) {
+		t.Error("different consts Equal")
+	}
+}
+
+func TestEqualRecursive(t *testing.T) {
+	mkList := func() Type {
+		ref := &TypeRef{Name: "node"}
+		node := &Struct{Name: "node", Slots: []Slot{
+			{Name: "v", Type: I32()},
+			{Name: "next", Type: &Union{ // optional encoding: bool then maybe node
+				Discrim: Bool(),
+				Cases:   []UnionCase{{Value: 0, Type: VoidT()}, {Value: 1, Type: ref}},
+			}},
+		}}
+		ref.Target = node
+		return node
+	}
+	if !Equal(mkList(), mkList()) {
+		t.Error("isomorphic recursive graphs not Equal")
+	}
+	// Different payload type deep in the cycle.
+	other := mkList().(*Struct)
+	other.Slots[0].Type = I64()
+	if Equal(mkList(), other) {
+		t.Error("different recursive graphs Equal")
+	}
+}
+
+func TestDeref(t *testing.T) {
+	base := I32()
+	r1 := &TypeRef{Name: "a", Target: base}
+	r2 := &TypeRef{Name: "b", Target: r1}
+	if Deref(r2) != base {
+		t.Error("Deref chain failed")
+	}
+	if Deref(base) != base {
+		t.Error("Deref non-ref failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Deref of unresolved ref should panic")
+		}
+	}()
+	Deref(&TypeRef{Name: "dangling"})
+}
+
+func TestStrings(t *testing.T) {
+	tests := []struct {
+		t    Type
+		want string
+	}{
+		{I32(), "i32"},
+		{U16(), "u16"},
+		{U64(), "u64"},
+		{Bounded(100), "int[0..100]"},
+		{&Integer{Min: 7, Range: 0}, "const[7]"},
+		{VoidT(), "void"},
+		{Bool(), "boolean"},
+		{Char(), "char8"},
+		{F32(), "float32"},
+		{F64(), "float64"},
+		{NewFixed(I32(), 4), "i32[4]"},
+		{NewSeq(I32(), 0), "i32[*]"},
+		{NewSeq(I32(), 9), "i32[..9]"},
+		{&Struct{Name: "rect"}, "struct rect"},
+		{&Struct{Slots: []Slot{{Type: I32()}, {Type: F64()}}}, "{i32, float64}"},
+		{&Union{Name: "u"}, "union u"},
+		{&Union{Cases: make([]UnionCase, 3)}, "union(3 cases)"},
+		{&Const{Of: U32(), Value: 2}, "const u32 = 2"},
+		{&TypeRef{Name: "n"}, "ref n"},
+	}
+	for _, tt := range tests {
+		if got := tt.t.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}

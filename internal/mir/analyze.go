@@ -1,0 +1,160 @@
+package mir
+
+import (
+	"flick/internal/mint"
+	"flick/internal/pres"
+	"flick/internal/wire"
+)
+
+// classify computes the paper's storage-size classification for the whole
+// payload: fixed, variable-but-bounded, or variable-and-unbounded, plus
+// the byte totals. Back ends use it to size marshal buffers up front.
+func classify(prog *Program, roots []Root, f wire.Format) {
+	cls := FixedSize
+	var fixed, bound int64
+	for _, r := range roots {
+		c, fx, bd := sizeOfNode(r.Pres, f, map[*pres.Node]bool{})
+		if c > cls {
+			cls = c
+		}
+		fixed += fx
+		bound = addClamp(bound, bd)
+	}
+	prog.Class = cls
+	prog.FixedBytes = int(clampInt(fixed))
+	prog.BoundBytes = int(clampInt(bound))
+}
+
+const sizeCap = int64(1) << 40
+
+func addClamp(a, b int64) int64 {
+	s := a + b
+	if s > sizeCap || s < 0 {
+		return sizeCap
+	}
+	return s
+}
+
+func mulClamp(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > sizeCap/b {
+		return sizeCap
+	}
+	return a * b
+}
+
+func clampInt(v int64) int64 {
+	if v > sizeCap {
+		return sizeCap
+	}
+	return v
+}
+
+// sizeOfNode returns the storage class of the encoding of n, its size
+// when fixed (fx), and an upper bound (bd) on its size (valid unless the
+// class is unbounded). Sizes include worst-case alignment padding.
+func sizeOfNode(n *pres.Node, f wire.Format, seen map[*pres.Node]bool) (SizeClass, int64, int64) {
+	n = n.Resolve()
+	if seen[n] {
+		// Recursion: unbounded.
+		return UnboundedSize, 0, sizeCap
+	}
+	seen[n] = true
+	defer delete(seen, n)
+
+	switch n.Kind {
+	case pres.VoidKind:
+		return FixedSize, 0, 0
+
+	case pres.DirectKind, pres.EnumKind:
+		a, _, ok := atomOf(n.Mint)
+		if !ok {
+			return UnboundedSize, 0, sizeCap
+		}
+		sz := int64(f.WireSize(a) + f.Align(a) - 1)
+		return FixedSize, sz, sz
+
+	case pres.CountedKind, pres.TerminatedKind:
+		arr := mint.Deref(n.Mint).(*mint.Array)
+		lenBytes := int64(f.LenSize() + 3)
+		ec, _, ebd := sizeOfNode(n.Elem(), f, seen)
+		if ec == UnboundedSize || arr.Length.Range >= uint64(0xFFFFFFFF) {
+			return UnboundedSize, 0, sizeCap
+		}
+		payload := mulClamp(int64(arr.Length.Range), ebd)
+		total := addClamp(addClamp(lenBytes, payload), int64(f.ArrayPad()))
+		return BoundedSize, 0, total
+
+	case pres.FixedArrayKind:
+		arr := mint.Deref(n.Mint).(*mint.Array)
+		ec, efx, ebd := sizeOfNode(n.Elem(), f, seen)
+		count := int64(arr.FixedLen())
+		switch ec {
+		case FixedSize:
+			sz := mulClamp(count, efx)
+			return FixedSize, sz, sz
+		case BoundedSize:
+			return BoundedSize, 0, mulClamp(count, ebd)
+		default:
+			return UnboundedSize, 0, sizeCap
+		}
+
+	case pres.StructKind:
+		cls := FixedSize
+		var fx, bd int64
+		for _, c := range n.Children {
+			cc, cfx, cbd := sizeOfNode(c, f, seen)
+			if cc > cls {
+				cls = cc
+			}
+			fx = addClamp(fx, cfx)
+			bd = addClamp(bd, cbd)
+		}
+		if cls == UnboundedSize {
+			return UnboundedSize, 0, sizeCap
+		}
+		if cls == FixedSize {
+			return FixedSize, fx, fx
+		}
+		return BoundedSize, 0, bd
+
+	case pres.UnionKind:
+		u := mint.Deref(n.Mint).(*mint.Union)
+		da, _, _ := atomOf(u.Discrim)
+		head := int64(f.WireSize(da) + f.Align(da) - 1)
+		var maxBd int64
+		cls := FixedSize
+		for _, c := range n.Children {
+			cc, _, cbd := sizeOfNode(c, f, seen)
+			if cc == UnboundedSize {
+				return UnboundedSize, 0, sizeCap
+			}
+			if cc > cls {
+				cls = cc
+			}
+			if cbd > maxBd {
+				maxBd = cbd
+			}
+		}
+		// Arms may differ in size, so a union is at best bounded
+		// (unless it has exactly one possible shape).
+		total := addClamp(head, maxBd)
+		if cls == FixedSize && len(n.Children) == 1 {
+			return FixedSize, total, total
+		}
+		return BoundedSize, 0, total
+
+	case pres.OptPtrKind:
+		flag := int64(f.WireSize(wire.Bool) + f.Align(wire.Bool) - 1)
+		ec, _, ebd := sizeOfNode(n.Elem(), f, seen)
+		if ec == UnboundedSize {
+			return UnboundedSize, 0, sizeCap
+		}
+		return BoundedSize, 0, addClamp(flag, ebd)
+
+	default:
+		return UnboundedSize, 0, sizeCap
+	}
+}

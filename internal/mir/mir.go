@@ -1,0 +1,321 @@
+// Package mir defines Flick's marshal intermediate representation: the
+// language- and transport-independent programs that encode (marshal) or
+// decode (unmarshal) message payloads. Back ends lower PRES trees plus a
+// wire format into mir programs; emitters then render the programs as C
+// (through CAST) or Go source, and the interpretive baselines deliberately
+// bypass this layer.
+//
+// The §3 optimizations of the paper live here:
+//
+//   - grouped buffer management (one Ensure per maximal fixed-size or
+//     bounded message segment instead of one per atom),
+//   - chunking (constant chunk pointer + constant offsets inside
+//     fixed-layout regions),
+//   - memcpy/bulk copying of byte-compatible arrays,
+//   - inlining (aggregate marshal code expanded in place; out-of-line
+//     subprograms only for recursion, or everywhere when disabled).
+//
+// Each is independently switchable through Options so the ablation
+// benchmarks can quantify it.
+package mir
+
+import (
+	"fmt"
+
+	"flick/internal/pres"
+	"flick/internal/wire"
+)
+
+// Dir says whether a program encodes or decodes.
+type Dir int
+
+const (
+	Marshal Dir = iota
+	Unmarshal
+)
+
+func (d Dir) String() string {
+	if d == Marshal {
+		return "marshal"
+	}
+	return "unmarshal"
+}
+
+// Options toggle the optimizations (all on in production; selectively off
+// for ablation benchmarks and for modeling naive compilers).
+type Options struct {
+	// GroupEnsures emits one buffer-space check per maximal statically
+	// bounded segment. Off: one check per atomic datum (rpcgen style).
+	GroupEnsures bool
+	// Chunk merges runs of statically placed atoms into fixed-layout
+	// chunks addressed by constant offsets from a chunk pointer.
+	Chunk bool
+	// Memcpy bulk-copies arrays whose element encoding is
+	// byte-compatible with the presented layout.
+	Memcpy bool
+	// Inline expands aggregate marshal code in place; off, every named
+	// aggregate becomes an out-of-line subprogram call.
+	Inline bool
+	// BoundedThreshold is the byte limit under which a
+	// variable-but-bounded segment is treated like a fixed segment for
+	// Ensure grouping (the paper's 8KB threshold).
+	BoundedThreshold int
+}
+
+// AllOptimizations returns the production option set.
+func AllOptimizations() Options {
+	return Options{
+		GroupEnsures:     true,
+		Chunk:            true,
+		Memcpy:           true,
+		Inline:           true,
+		BoundedThreshold: 8 << 10,
+	}
+}
+
+// NoOptimizations returns the fully naive option set.
+func NoOptimizations() Options {
+	return Options{BoundedThreshold: 8 << 10}
+}
+
+// SizeClass is the paper's storage classification of a message region.
+type SizeClass int
+
+const (
+	FixedSize SizeClass = iota
+	BoundedSize
+	UnboundedSize
+)
+
+func (c SizeClass) String() string {
+	switch c {
+	case FixedSize:
+		return "fixed"
+	case BoundedSize:
+		return "bounded"
+	case UnboundedSize:
+		return "unbounded"
+	}
+	return fmt.Sprintf("SizeClass(%d)", int(c))
+}
+
+// Ref is a path to presented data relative to the stub's parameters.
+type Ref interface {
+	refNode()
+	String() string
+}
+
+// Param is a root value: one stub parameter (or the subprogram argument).
+type Param struct {
+	Name  string
+	Index int
+}
+
+// Field selects a struct member.
+type Field struct {
+	Base Ref
+	// Name is the presented field name (a Go field or C member name).
+	Name string
+	// Index is the slot position.
+	Index int
+}
+
+// Elem is the current element of the enclosing Loop with variable Var.
+type Elem struct{ Var string }
+
+// Len is the element count of a counted value (len(x) in Go, the
+// _length member or strlen in C).
+type Len struct{ Base Ref }
+
+// Deref is the target of an optional pointer.
+type Deref struct{ Base Ref }
+
+func (*Param) refNode() {}
+func (*Field) refNode() {}
+func (*Elem) refNode()  {}
+func (*Len) refNode()   {}
+func (*Deref) refNode() {}
+
+func (r *Param) String() string { return r.Name }
+func (r *Field) String() string { return r.Base.String() + "." + r.Name }
+func (r *Elem) String() string  { return r.Var }
+func (r *Len) String() string   { return "len(" + r.Base.String() + ")" }
+func (r *Deref) String() string { return "*" + r.Base.String() }
+
+// Op is one marshal-program operation.
+type Op interface{ isOp() }
+
+// Align pads the cursor to an N-byte boundary (writing zeros when
+// marshaling, skipping when unmarshaling).
+type Align struct{ N int }
+
+// Ensure requires Bytes of buffer space (marshal: grow; unmarshal: check
+// remaining).
+type Ensure struct{ Bytes int }
+
+// EnsureDyn requires Base + PerElem*len(Count) bytes.
+type EnsureDyn struct {
+	Base    int
+	PerElem int
+	Count   Ref
+	// Pres presents the counted value (emitters derive the count
+	// expression from it).
+	Pres *pres.Node
+}
+
+// Item transfers one atom between Val and the wire.
+type Item struct {
+	Atom wire.Atom
+	// Wire is the encoded byte width (≥ the presented width for XDR).
+	Wire int
+	Val  Ref
+	// Pres is the presenting node (emitters use its target type).
+	Pres *pres.Node
+}
+
+// ConstItem writes (marshal) or checks (unmarshal) a literal value.
+type ConstItem struct {
+	Atom  wire.Atom
+	Wire  int
+	Value uint64
+}
+
+// LenItem transfers the element count of the counted value Val.
+// Marshaling writes len(Val) (plus one when Nul); unmarshaling reads the
+// count, validates it against Bound, and allocates Val.
+type LenItem struct {
+	Wire  int
+	Val   Ref
+	Bound uint64
+	// Nul marks CDR strings: the count includes a terminating NUL.
+	Nul  bool
+	Pres *pres.Node
+}
+
+// Bulk copies the whole element payload of an array at once (the memcpy
+// optimization). Count is the static element count, or -1 to use
+// len(Val). Pad pads the payload to a multiple (XDR opaque padding); Nul
+// appends/consumes a NUL byte (CDR strings).
+type Bulk struct {
+	Val      Ref
+	Atom     wire.Atom
+	ElemWire int
+	Count    int
+	Pad      int
+	Nul      bool
+	// Pres presents the element; OverPres presents the whole array.
+	Pres     *pres.Node
+	OverPres *pres.Node
+}
+
+// Loop runs Body once per element of Over, binding the element to Var.
+// Count is the static trip count or -1 when dynamic.
+type Loop struct {
+	Over  Ref
+	Var   string
+	Count int
+	Body  []Op
+	// ElemPres presents the element type; OverPres the whole array.
+	ElemPres *pres.Node
+	OverPres *pres.Node
+}
+
+// Opt is optional data: a presence boolean followed, when present, by
+// Body (which addresses Deref(Val)).
+type Opt struct {
+	Val  Ref
+	Wire int // encoded width of the presence flag
+	Body []Op
+	Pres *pres.Node
+}
+
+// Switch is a discriminated union: the discriminator travels as an atom,
+// then the arm selected by its value.
+type Switch struct {
+	On    Ref
+	Atom  wire.Atom
+	Wire  int
+	Cases []SwitchCase
+	// HasDefault selects Default for unmatched values; otherwise an
+	// unmatched discriminator is a protocol error on unmarshal (and a
+	// caller bug on marshal).
+	HasDefault bool
+	Default    []Op
+	Pres       *pres.Node
+}
+
+// SwitchCase is one union arm.
+type SwitchCase struct {
+	Values []int64
+	Body   []Op
+}
+
+// Chunk is a fixed-layout region: Size bytes transferred through a chunk
+// pointer with constant offsets (the chunking optimization). The region
+// begins aligned; Items' offsets are relative to it.
+type Chunk struct {
+	Size  int
+	Items []ChunkItem
+}
+
+// ChunkItem is one statically placed atom within a Chunk.
+type ChunkItem struct {
+	Off  int
+	Atom wire.Atom
+	Wire int
+	// Exactly one of Val / Const is meaningful; IsLen marks length
+	// prefixes (with Bound/Nul as in LenItem).
+	Val   Ref
+	Const *uint64
+	IsLen bool
+	Bound uint64
+	Nul   bool
+	Pres  *pres.Node
+}
+
+// CallSub invokes an out-of-line subprogram (recursive types; every named
+// aggregate when inlining is off) with Arg as its root value.
+type CallSub struct {
+	Sub int
+	Arg Ref
+}
+
+func (*Align) isOp()     {}
+func (*Ensure) isOp()    {}
+func (*EnsureDyn) isOp() {}
+func (*Item) isOp()      {}
+func (*ConstItem) isOp() {}
+func (*LenItem) isOp()   {}
+func (*Bulk) isOp()      {}
+func (*Loop) isOp()      {}
+func (*Opt) isOp()       {}
+func (*Switch) isOp()    {}
+func (*Chunk) isOp()     {}
+func (*CallSub) isOp()   {}
+
+// Sub is an out-of-line marshal routine for one presented type.
+type Sub struct {
+	// Name is a stable identifier derived from the presented type.
+	Name string
+	Pres *pres.Node
+	Ops  []Op
+}
+
+// Program is a complete marshal or unmarshal routine for one message
+// payload.
+type Program struct {
+	Dir  Dir
+	Ops  []Op
+	Subs []*Sub
+	// Class, FixedBytes, and BoundBytes summarize the payload's storage
+	// requirements (the paper's fixed / bounded / unbounded analysis).
+	Class      SizeClass
+	FixedBytes int
+	BoundBytes int
+}
+
+// Root pairs a root value name with the PRES tree presenting it.
+type Root struct {
+	Name string
+	Pres *pres.Node
+}

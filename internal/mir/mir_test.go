@@ -1,0 +1,351 @@
+package mir
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"flick/internal/frontend/corbaidl"
+	"flick/internal/pgen"
+	"flick/internal/presc"
+	"flick/internal/wire"
+)
+
+func presOf(t *testing.T, idlType string) Root {
+	t.Helper()
+	src := fmt.Sprintf(`
+		struct point { long x; long y; };
+		struct rect { point min; point max; };
+		struct stat_info { long fields[30]; char tag[16]; };
+		struct dir_entry { string<255> name; stat_info info; };
+		interface I { void f(in %s v); };
+	`, idlType)
+	f, err := corbaidl.Parse("t.idl", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pf, err := pgen.GenerateGo(f, presc.Client)
+	if err != nil {
+		t.Fatalf("pgen: %v", err)
+	}
+	p := pf.Stubs[0].Params[0]
+	return Root{Name: "v", Pres: p.Request}
+}
+
+func dump(ops []Op) string {
+	var b strings.Builder
+	dumpOps(&b, ops, 0)
+	return b.String()
+}
+
+func dumpOps(b *strings.Builder, ops []Op, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, op := range ops {
+		switch op := op.(type) {
+		case *Ensure:
+			fmt.Fprintf(b, "%sensure %d\n", ind, op.Bytes)
+		case *EnsureDyn:
+			fmt.Fprintf(b, "%sensuredyn %d+%d*n\n", ind, op.Base, op.PerElem)
+		case *Align:
+			fmt.Fprintf(b, "%salign %d\n", ind, op.N)
+		case *Item:
+			fmt.Fprintf(b, "%sitem %s w%d %s\n", ind, op.Atom.Kind, op.Wire, op.Val)
+		case *ConstItem:
+			fmt.Fprintf(b, "%sconst w%d %d\n", ind, op.Wire, op.Value)
+		case *LenItem:
+			fmt.Fprintf(b, "%slen w%d %s bound=%d\n", ind, op.Wire, op.Val, op.Bound)
+		case *Bulk:
+			fmt.Fprintf(b, "%sbulk w%d count=%d %s\n", ind, op.ElemWire, op.Count, op.Val)
+		case *Loop:
+			fmt.Fprintf(b, "%sloop %s count=%d\n", ind, op.Over, op.Count)
+			dumpOps(b, op.Body, depth+1)
+		case *Opt:
+			fmt.Fprintf(b, "%sopt %s\n", ind, op.Val)
+			dumpOps(b, op.Body, depth+1)
+		case *Switch:
+			fmt.Fprintf(b, "%sswitch %s\n", ind, op.On)
+			for _, c := range op.Cases {
+				fmt.Fprintf(b, "%s case %v\n", ind, c.Values)
+				dumpOps(b, c.Body, depth+1)
+			}
+		case *Chunk:
+			fmt.Fprintf(b, "%schunk %d bytes, %d items\n", ind, op.Size, len(op.Items))
+		case *CallSub:
+			fmt.Fprintf(b, "%scall %d %s\n", ind, op.Sub, op.Arg)
+		}
+	}
+}
+
+func TestFixedStructBecomesOneChunk(t *testing.T) {
+	r := presOf(t, "rect")
+	prog, err := Lower(Marshal, []Root{r}, wire.XDR{}, AllOptimizations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A rect is 4 ints = 16 fixed bytes: one Ensure and one Chunk.
+	if len(prog.Ops) != 2 {
+		t.Fatalf("ops:\n%s", dump(prog.Ops))
+	}
+	ens, ok := prog.Ops[0].(*Ensure)
+	if !ok || ens.Bytes != 16 {
+		t.Errorf("first op = %#v, want Ensure{16}", prog.Ops[0])
+	}
+	ch, ok := prog.Ops[1].(*Chunk)
+	if !ok || ch.Size != 16 || len(ch.Items) != 4 {
+		t.Fatalf("second op:\n%s", dump(prog.Ops))
+	}
+	for i, it := range ch.Items {
+		if it.Off != i*4 {
+			t.Errorf("item %d offset = %d", i, it.Off)
+		}
+	}
+	if prog.Class != FixedSize || prog.FixedBytes != 16 {
+		t.Errorf("class=%v fixed=%d", prog.Class, prog.FixedBytes)
+	}
+}
+
+func TestIntSeqBecomesBulk(t *testing.T) {
+	r := presOf(t, "sequence<long>")
+	prog, err := Lower(Marshal, []Root{r}, wire.XDR{}, AllOptimizations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dump(prog.Ops)
+	if !strings.Contains(s, "bulk w4 count=-1") {
+		t.Errorf("no bulk transfer:\n%s", s)
+	}
+	if strings.Contains(s, "loop") {
+		t.Errorf("loop survived memcpy pass:\n%s", s)
+	}
+	if prog.Class != UnboundedSize {
+		t.Errorf("class = %v", prog.Class)
+	}
+}
+
+func TestNoMemcpyKeepsLoop(t *testing.T) {
+	r := presOf(t, "sequence<long>")
+	opts := AllOptimizations()
+	opts.Memcpy = false
+	prog, err := Lower(Marshal, []Root{r}, wire.XDR{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dump(prog.Ops)
+	if !strings.Contains(s, "loop") || strings.Contains(s, "bulk") {
+		t.Errorf("memcpy=off should keep the loop:\n%s", s)
+	}
+}
+
+func TestNaiveModePerDatumEnsures(t *testing.T) {
+	r := presOf(t, "rect")
+	prog, err := Lower(Marshal, []Root{r}, wire.XDR{}, NoOptimizations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dump(prog.Ops)
+	// rpcgen style: the named struct goes out of line.
+	if !strings.Contains(s, "call") {
+		t.Errorf("no out-of-line call in naive mode:\n%s", s)
+	}
+	if len(prog.Subs) == 0 {
+		t.Fatal("no subprograms in naive mode")
+	}
+	// rpcgen structure: xdr_rect calls xdr_point per field; xdr_point
+	// checks space per datum.
+	var rectSub, pointSub *Sub
+	for _, su := range prog.Subs {
+		if strings.Contains(su.Name, "Rect") {
+			rectSub = su
+		}
+		if strings.Contains(su.Name, "Point") {
+			pointSub = su
+		}
+	}
+	if rectSub == nil || pointSub == nil {
+		t.Fatalf("missing subs: %v", subNames(prog))
+	}
+	if got := strings.Count(dump(rectSub.Ops), "call"); got != 2 {
+		t.Errorf("rect sub should call point per field:\n%s", dump(rectSub.Ops))
+	}
+	pointDump := dump(pointSub.Ops)
+	if got := strings.Count(pointDump, "ensure"); got != 2 {
+		t.Errorf("point sub should check per datum:\n%s", pointDump)
+	}
+	if strings.Contains(pointDump, "chunk") {
+		t.Errorf("chunk in naive mode:\n%s", pointDump)
+	}
+}
+
+func subNames(p *Program) []string {
+	var out []string
+	for _, s := range p.Subs {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+func TestDirEntryGrouping(t *testing.T) {
+	r := presOf(t, "sequence<dir_entry>")
+	prog, err := Lower(Marshal, []Root{r}, wire.XDR{}, AllOptimizations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dump(prog.Ops)
+	// The bounded name (255) plus the fixed 136-byte stat area should
+	// collapse into one per-entry ensure on the marshal side.
+	if got := strings.Count(s, "ensure"); got > 3 {
+		t.Errorf("too many ensures (%d):\n%s", got, s)
+	}
+	// The 30-int fields area must be a bulk transfer.
+	if !strings.Contains(s, "bulk w4 count=30") {
+		t.Errorf("fields not bulk-copied:\n%s", s)
+	}
+	// The 16-char tag is packed (1-byte elements).
+	if !strings.Contains(s, "bulk w1 count=16") {
+		t.Errorf("tag not packed:\n%s", s)
+	}
+}
+
+func TestUnmarshalEnsuresAreExact(t *testing.T) {
+	// On the unmarshal side, bounded segments must NOT be provisioned
+	// by their bound: a valid message may be smaller.
+	r := presOf(t, "dir_entry")
+	prog, err := Lower(Unmarshal, []Root{r}, wire.XDR{}, AllOptimizations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, op := range prog.Ops {
+		if e, ok := op.(*Ensure); ok {
+			total += e.Bytes
+		}
+	}
+	// Exact minimum: 4 (length) + 136 (stat) = 140; the 255-byte bound
+	// must not appear in any static check.
+	if total > 160 {
+		t.Errorf("unmarshal ensures total %d (over-reserved):\n%s", total, dump(prog.Ops))
+	}
+}
+
+func TestRecursiveTypeOutlines(t *testing.T) {
+	src := `
+		struct node;
+		struct node { long v; };
+	`
+	_ = src
+	// Recursive structures come from the ONC front end; build directly.
+	f, err := corbaidl.Parse("t.idl", `interface I { void f(in string s); };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = f
+	// The gostub tests cover recursion end to end; here check strings:
+	r := presOf(t, "string<64>")
+	prog, err := Lower(Marshal, []Root{r}, wire.XDR{}, AllOptimizations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dump(prog.Ops)
+	if !strings.Contains(s, "len w4 v bound=64") {
+		t.Errorf("missing bounded length:\n%s", s)
+	}
+	if !strings.Contains(s, "bulk w1") {
+		t.Errorf("string payload not bulk:\n%s", s)
+	}
+}
+
+func TestCDRAlignmentOps(t *testing.T) {
+	// CDR: a string followed by a long needs a runtime Align(4) because
+	// the string length is dynamic.
+	src := `
+		struct mixed { string name; long v; };
+		interface I { void f(in mixed m); };
+	`
+	f, err := corbaidl.Parse("t.idl", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := pgen.GenerateGo(f, presc.Client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Root{Name: "m", Pres: pf.Stubs[0].Params[0].Request}
+	prog, err := Lower(Marshal, []Root{r}, wire.CDR{Little: true}, AllOptimizations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dump(prog.Ops)
+	if !strings.Contains(s, "align 4") {
+		t.Errorf("missing align after dynamic string:\n%s", s)
+	}
+	// XDR never needs explicit alignment here (strings pad to 4).
+	progX, err := Lower(Marshal, []Root{r}, wire.XDR{}, AllOptimizations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx := dump(progX.Ops)
+	// The XDR string pad appears as align 4 after the payload; the
+	// following int needs no additional alignment. Count: exactly one.
+	if got := strings.Count(sx, "align 4"); got != 1 {
+		t.Errorf("XDR aligns = %d, want 1 (payload pad only):\n%s", got, sx)
+	}
+}
+
+func TestSizeClasses(t *testing.T) {
+	tests := []struct {
+		idl  string
+		want SizeClass
+	}{
+		{"long", FixedSize},
+		{"rect", FixedSize},
+		{"stat_info", FixedSize},
+		{"string<10>", BoundedSize},
+		{"dir_entry", BoundedSize},
+		{"string", UnboundedSize},
+		{"sequence<long>", UnboundedSize},
+		{"sequence<long, 5>", BoundedSize},
+	}
+	for _, tt := range tests {
+		r := presOf(t, tt.idl)
+		prog, err := Lower(Marshal, []Root{r}, wire.XDR{}, AllOptimizations())
+		if err != nil {
+			t.Fatalf("%s: %v", tt.idl, err)
+		}
+		if prog.Class != tt.want {
+			t.Errorf("%s: class = %v, want %v", tt.idl, prog.Class, tt.want)
+		}
+	}
+}
+
+func TestFixedSizeBytes(t *testing.T) {
+	r := presOf(t, "stat_info")
+	prog, err := Lower(Marshal, []Root{r}, wire.XDR{}, AllOptimizations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30*4 + 16 packed = 136: exactly the paper's stat structure size.
+	if prog.FixedBytes != 136 {
+		t.Errorf("stat_info fixed bytes = %d, want 136", prog.FixedBytes)
+	}
+}
+
+func TestMarshalUnmarshalSymmetry(t *testing.T) {
+	// Every root must lower in both directions without error for every
+	// format.
+	idls := []string{"long", "rect", "dir_entry", "sequence<dir_entry>",
+		"sequence<rect>", "string<255>", "double", "sequence<octet>"}
+	formats := []wire.Format{wire.XDR{}, wire.CDR{}, wire.CDR{Little: true}, wire.Mach3{}, wire.Fluke{}}
+	for _, idl := range idls {
+		r := presOf(t, idl)
+		for _, f := range formats {
+			for _, dir := range []Dir{Marshal, Unmarshal} {
+				if _, err := Lower(dir, []Root{r}, f, AllOptimizations()); err != nil {
+					t.Errorf("%s/%s/%s: %v", idl, f.Name(), dir, err)
+				}
+				if _, err := Lower(dir, []Root{r}, f, NoOptimizations()); err != nil {
+					t.Errorf("%s/%s/%s naive: %v", idl, f.Name(), dir, err)
+				}
+			}
+		}
+	}
+}

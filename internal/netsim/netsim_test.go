@@ -1,0 +1,86 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWireTime(t *testing.T) {
+	l := Link{EffectiveMbps: 8, PerMessage: time.Millisecond} // 1 byte/µs
+	if got := l.WireTime(0); got != time.Millisecond {
+		t.Errorf("WireTime(0) = %v", got)
+	}
+	// 1000 bytes at 8Mbps = 1ms transmission + 1ms fixed.
+	if got := l.WireTime(1000); got != 2*time.Millisecond {
+		t.Errorf("WireTime(1000) = %v", got)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	l := Ethernet10.Scaled(10)
+	if l.EffectiveMbps != 68 {
+		t.Errorf("scaled bandwidth = %v", l.EffectiveMbps)
+	}
+	if l.PerMessage != 40*time.Microsecond {
+		t.Errorf("scaled per-message = %v", l.PerMessage)
+	}
+	if got := Ethernet10.Scaled(0); got.EffectiveMbps != Ethernet10.EffectiveMbps {
+		t.Error("non-positive factor should be identity")
+	}
+}
+
+func TestRoundTripSerialVsPipelined(t *testing.T) {
+	link := Link{EffectiveMbps: 80, PerMessage: 0} // 10 bytes/µs
+	rt := RoundTrip{
+		Link:            link,
+		RequestBytes:    100_000,
+		ClientMarshal:   10 * time.Millisecond,
+		ServerUnmarshal: 10 * time.Millisecond,
+	}
+	serial := rt.Time()
+	rt.Stream = true
+	pipelined := rt.Time()
+	if pipelined >= serial {
+		t.Errorf("pipelined (%v) should beat serial (%v) for large messages", pipelined, serial)
+	}
+	// The pipelined time approaches the bottleneck stage (10ms) rather
+	// than the 30ms sum.
+	if pipelined > 15*time.Millisecond {
+		t.Errorf("pipelined = %v, want near the 10ms bottleneck", pipelined)
+	}
+}
+
+func TestThroughputMonotoneInMarshalSpeed(t *testing.T) {
+	link := Myrinet.Scaled(100)
+	fast := RoundTrip{Link: link, RequestBytes: 1 << 20, ReplyBytes: 28,
+		ClientMarshal: time.Millisecond, ServerUnmarshal: time.Millisecond, Stream: true}
+	slow := fast
+	slow.ClientMarshal = 10 * time.Millisecond
+	slow.ServerUnmarshal = 10 * time.Millisecond
+	if fast.ThroughputMbps(1<<20) <= slow.ThroughputMbps(1<<20) {
+		t.Error("faster marshaling must not lower throughput")
+	}
+}
+
+func TestSlowLinkEqualizesCompilers(t *testing.T) {
+	// The Figure 4 effect: when the wire is the bottleneck, marshal
+	// speed differences vanish.
+	link := Ethernet10
+	mk := func(m time.Duration) float64 {
+		r := RoundTrip{Link: link, RequestBytes: 1 << 20, ReplyBytes: 28,
+			ClientMarshal: m, ServerUnmarshal: m, Stream: true}
+		return r.ThroughputMbps(1 << 20)
+	}
+	fast := mk(10 * time.Millisecond)  // flick-ish
+	slow := mk(100 * time.Millisecond) // naive-ish; still below the 1.2s wire time
+	if ratio := fast / slow; ratio > 1.05 {
+		t.Errorf("slow link should equalize; ratio = %.2f", ratio)
+	}
+}
+
+func TestLinkString(t *testing.T) {
+	if !strings.Contains(Ethernet100.String(), "100Mbps Ethernet") {
+		t.Error("String() should carry the name")
+	}
+}

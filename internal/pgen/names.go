@@ -1,0 +1,37 @@
+package pgen
+
+import (
+	"strings"
+	"unicode"
+)
+
+// GoName converts a (possibly "::"-qualified, possibly snake_case) IDL
+// name into an exported Go identifier: "Test::dir_entry" → "TestDirEntry".
+func GoName(idl string) string {
+	var b strings.Builder
+	upper := true
+	for _, r := range idl {
+		switch {
+		case r == ':' || r == '_':
+			upper = true
+		case upper:
+			b.WriteRune(unicode.ToUpper(r))
+			upper = false
+		default:
+			b.WriteRune(r)
+		}
+	}
+	if b.Len() == 0 {
+		return "X"
+	}
+	return b.String()
+}
+
+// GoField converts an IDL member name into an exported Go field name.
+func GoField(idl string) string { return GoName(idl) }
+
+// CName converts a qualified IDL name into a C identifier following the
+// CORBA C mapping: "Post::Office" → "Post_Office".
+func CName(idl string) string {
+	return strings.ReplaceAll(idl, "::", "_")
+}

@@ -1,0 +1,243 @@
+// Package pres defines Flick's PRES nodes: the mapping layer that
+// connects MINT message types with target-language types. A PRES node is
+// a type conversion between a MINT type and a presented type; different
+// node kinds describe different presentation styles (direct mapping,
+// optional pointers, counted arrays, NUL-terminated strings, ...).
+//
+// PRES itself is target-language independent; the attached target type is
+// an opaque handle (a cast.Type for C presentations, a Go type spelling
+// for Go presentations).
+package pres
+
+import (
+	"fmt"
+
+	"flick/internal/mint"
+)
+
+// Kind enumerates the presentation styles.
+type Kind int
+
+const (
+	// DirectKind maps a MINT atomic type directly onto a target scalar:
+	// no data transformation.
+	DirectKind Kind = iota
+	// EnumKind maps a MINT integer onto a target enum type.
+	EnumKind
+	// FixedArrayKind maps a fixed-length MINT array onto a target array.
+	FixedArrayKind
+	// CountedKind maps a variable-length MINT array onto a
+	// length-carrying aggregate (a CORBA sequence struct or a Go slice).
+	CountedKind
+	// TerminatedKind maps a variable-length MINT char array onto a
+	// NUL-terminated C string (char *) or a Go string.
+	TerminatedKind
+	// OptPtrKind maps a MINT union{void, T} onto a nullable pointer:
+	// when the arm is absent the pointer is NULL (the paper's OPT_PTR).
+	OptPtrKind
+	// StructKind maps a MINT struct onto a target struct, slot by slot.
+	StructKind
+	// UnionKind maps a MINT union onto a target tagged union.
+	UnionKind
+	// RefKind is an indirection for recursive presentations.
+	RefKind
+	// VoidKind maps MINT void onto nothing.
+	VoidKind
+)
+
+var kindNames = [...]string{
+	DirectKind:     "direct",
+	EnumKind:       "enum",
+	FixedArrayKind: "fixed_array",
+	CountedKind:    "counted",
+	TerminatedKind: "terminated",
+	OptPtrKind:     "opt_ptr",
+	StructKind:     "struct",
+	UnionKind:      "union",
+	RefKind:        "ref",
+	VoidKind:       "void",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// AllocSem describes who owns storage for unmarshaled data and how long
+// it lives — the behavioral property that licenses Flick's parameter
+// management optimizations (stack allocation, marshal-buffer reuse).
+type AllocSem int
+
+const (
+	// AllocCaller: the caller provides storage (out parameters).
+	AllocCaller AllocSem = iota
+	// AllocStub: the stub allocates; the callee must not keep a
+	// reference after returning, so the stub may use the runtime stack
+	// or reuse the marshal buffer (server-side in parameters).
+	AllocStub
+	// AllocHeap: the stub allocates on the heap and ownership passes to
+	// the receiver (client-side out/return data).
+	AllocHeap
+)
+
+func (a AllocSem) String() string {
+	switch a {
+	case AllocCaller:
+		return "caller"
+	case AllocStub:
+		return "stub"
+	case AllocHeap:
+		return "heap"
+	}
+	return fmt.Sprintf("AllocSem(%d)", int(a))
+}
+
+// Node relates one MINT node to one presented type.
+type Node struct {
+	Kind Kind
+	// Mint is the message type this node presents.
+	Mint mint.Type
+	// CType is the presented target type: a *cast.Type for C, or a Go
+	// type spelling (string) for Go presentations. Opaque to this
+	// package.
+	CType any
+	// Alloc is the allocation contract for unmarshaled data.
+	Alloc AllocSem
+	// Children presents subcomponents: struct fields in order, the
+	// element of an array (single child), union arms in case order
+	// (default last when present), or the target of a ref.
+	Children []*Node
+	// FieldNames names the presented struct fields or union arms,
+	// parallel to Children (StructKind/UnionKind only).
+	FieldNames []string
+	// LengthField names the length member for CountedKind aggregates
+	// ("_length" for CORBA sequences, "len" metadata for Go slices).
+	LengthField string
+	// BufferField names the data member for CountedKind aggregates.
+	BufferField string
+	// DiscrimCType is the presented type of a union's discriminator
+	// (UnionKind only).
+	DiscrimCType any
+	// Name tags RefKind nodes and named aggregates for diagnostics and
+	// emitted helper-function names.
+	Name string
+	// Target is the referenced node for RefKind.
+	Target *Node
+}
+
+// Elem returns the single child of an array-like node.
+func (n *Node) Elem() *Node {
+	if len(n.Children) != 1 {
+		panic(fmt.Sprintf("pres: %s node has %d children, want 1", n.Kind, len(n.Children)))
+	}
+	return n.Children[0]
+}
+
+// Resolve follows RefKind indirections.
+func (n *Node) Resolve() *Node {
+	seen := 0
+	for n.Kind == RefKind {
+		if n.Target == nil {
+			panic(fmt.Sprintf("pres: unresolved ref %q", n.Name))
+		}
+		n = n.Target
+		if seen++; seen > 1000 {
+			panic("pres: ref cycle")
+		}
+	}
+	return n
+}
+
+// Validate checks structural invariants of a PRES tree against its MINT
+// types.
+func Validate(n *Node) error {
+	return validate(n, map[*Node]bool{})
+}
+
+func validate(n *Node, seen map[*Node]bool) error {
+	if n == nil {
+		return fmt.Errorf("pres: nil node")
+	}
+	if seen[n] {
+		return nil
+	}
+	seen[n] = true
+	if n.Mint == nil && n.Kind != VoidKind && n.Kind != RefKind {
+		return fmt.Errorf("pres: %s node with nil mint type", n.Kind)
+	}
+	switch n.Kind {
+	case DirectKind, EnumKind:
+		switch mint.Deref(n.Mint).(type) {
+		case *mint.Integer, *mint.Scalar, *mint.Const:
+		default:
+			return fmt.Errorf("pres: %s node over non-atomic mint %s", n.Kind, n.Mint)
+		}
+	case FixedArrayKind:
+		arr, ok := mint.Deref(n.Mint).(*mint.Array)
+		if !ok || !arr.Fixed() {
+			return fmt.Errorf("pres: fixed_array node over %s", n.Mint)
+		}
+		return validate(n.Elem(), seen)
+	case CountedKind, TerminatedKind:
+		arr, ok := mint.Deref(n.Mint).(*mint.Array)
+		if !ok {
+			return fmt.Errorf("pres: %s node over non-array mint %s", n.Kind, n.Mint)
+		}
+		if arr.Fixed() {
+			return fmt.Errorf("pres: %s node over fixed array %s", n.Kind, n.Mint)
+		}
+		return validate(n.Elem(), seen)
+	case OptPtrKind:
+		u, ok := mint.Deref(n.Mint).(*mint.Union)
+		if !ok || len(u.Cases) != 2 {
+			return fmt.Errorf("pres: opt_ptr node over %s (want 2-case union)", n.Mint)
+		}
+		return validate(n.Elem(), seen)
+	case StructKind:
+		st, ok := mint.Deref(n.Mint).(*mint.Struct)
+		if !ok {
+			return fmt.Errorf("pres: struct node over %s", n.Mint)
+		}
+		if len(n.Children) != len(st.Slots) {
+			return fmt.Errorf("pres: struct node has %d children for %d slots",
+				len(n.Children), len(st.Slots))
+		}
+		if len(n.FieldNames) != len(n.Children) {
+			return fmt.Errorf("pres: struct node has %d field names for %d children",
+				len(n.FieldNames), len(n.Children))
+		}
+		for _, c := range n.Children {
+			if err := validate(c, seen); err != nil {
+				return err
+			}
+		}
+	case UnionKind:
+		u, ok := mint.Deref(n.Mint).(*mint.Union)
+		if !ok {
+			return fmt.Errorf("pres: union node over %s", n.Mint)
+		}
+		want := len(u.Cases)
+		if u.Default != nil {
+			want++
+		}
+		if len(n.Children) != want {
+			return fmt.Errorf("pres: union node has %d children for %d arms", len(n.Children), want)
+		}
+		for _, c := range n.Children {
+			if err := validate(c, seen); err != nil {
+				return err
+			}
+		}
+	case RefKind:
+		if n.Target == nil {
+			return fmt.Errorf("pres: unresolved ref %q", n.Name)
+		}
+		return validate(n.Target, seen)
+	case VoidKind:
+	default:
+		return fmt.Errorf("pres: unknown kind %d", n.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package pres
+
+import (
+	"strings"
+	"testing"
+
+	"flick/internal/mint"
+)
+
+func direct(m mint.Type) *Node {
+	return &Node{Kind: DirectKind, Mint: m, CType: "int32"}
+}
+
+func TestValidateOK(t *testing.T) {
+	counted := &Node{
+		Kind: CountedKind, Mint: mint.NewSeq(mint.I32(), 10), CType: "[]int32",
+		Children: []*Node{direct(mint.I32())},
+	}
+	st := &Node{
+		Kind: StructKind,
+		Mint: &mint.Struct{Slots: []mint.Slot{
+			{Name: "a", Type: mint.I32()},
+			{Name: "b", Type: mint.NewSeq(mint.I32(), 10)},
+		}},
+		CType:      "S",
+		Children:   []*Node{direct(mint.I32()), counted},
+		FieldNames: []string{"A", "B"},
+	}
+	if err := Validate(st); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		node *Node
+		sub  string
+	}{
+		{"nil node", nil, "nil node"},
+		{"nil mint", &Node{Kind: DirectKind}, "nil mint"},
+		{"direct over aggregate", &Node{Kind: DirectKind, Mint: &mint.Struct{}}, "non-atomic"},
+		{
+			"fixed over variable",
+			&Node{Kind: FixedArrayKind, Mint: mint.NewSeq(mint.I32(), 5),
+				Children: []*Node{direct(mint.I32())}},
+			"fixed_array",
+		},
+		{
+			"counted over fixed",
+			&Node{Kind: CountedKind, Mint: mint.NewFixed(mint.I32(), 5),
+				Children: []*Node{direct(mint.I32())}},
+			"fixed array",
+		},
+		{
+			"struct arity",
+			&Node{Kind: StructKind, Mint: &mint.Struct{Slots: []mint.Slot{{Name: "a", Type: mint.I32()}}}},
+			"children",
+		},
+		{
+			"struct names",
+			&Node{Kind: StructKind,
+				Mint:     &mint.Struct{Slots: []mint.Slot{{Name: "a", Type: mint.I32()}}},
+				Children: []*Node{direct(mint.I32())}},
+			"field names",
+		},
+		{
+			"optptr shape",
+			&Node{Kind: OptPtrKind, Mint: mint.I32(), Children: []*Node{direct(mint.I32())}},
+			"opt_ptr",
+		},
+		{"unresolved ref", &Node{Kind: RefKind, Name: "x"}, "unresolved"},
+		{
+			"union arity",
+			&Node{Kind: UnionKind, Mint: &mint.Union{
+				Discrim: mint.I32(),
+				Cases:   []mint.UnionCase{{Value: 1, Type: mint.I32()}},
+			}},
+			"arms",
+		},
+	}
+	for _, tt := range tests {
+		err := Validate(tt.node)
+		if err == nil {
+			t.Errorf("%s: no error", tt.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.sub) {
+			t.Errorf("%s: err = %v, want %q", tt.name, err, tt.sub)
+		}
+	}
+}
+
+func TestResolveAndElem(t *testing.T) {
+	target := direct(mint.I32())
+	ref := &Node{Kind: RefKind, Name: "r", Target: target}
+	ref2 := &Node{Kind: RefKind, Name: "r2", Target: ref}
+	if ref2.Resolve() != target {
+		t.Error("Resolve chain")
+	}
+	arr := &Node{Kind: FixedArrayKind, Mint: mint.NewFixed(mint.I32(), 3), Children: []*Node{target}}
+	if arr.Elem() != target {
+		t.Error("Elem")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Elem on 0-child node should panic")
+		}
+	}()
+	(&Node{Kind: CountedKind}).Elem()
+}
+
+func TestValidateRecursive(t *testing.T) {
+	// A self-referential graph must validate (cycles cut by the seen set).
+	inner := &mint.TypeRef{Name: "n"}
+	m := &mint.Struct{Slots: []mint.Slot{{Name: "next", Type: &mint.Union{
+		Discrim: mint.Bool(),
+		Cases:   []mint.UnionCase{{Value: 0, Type: mint.VoidT()}, {Value: 1, Type: inner}},
+	}}}}
+	inner.Target = m
+	node := &Node{Kind: StructKind, Mint: m, CType: "N", FieldNames: []string{"Next"}}
+	opt := &Node{Kind: OptPtrKind, Mint: m.Slots[0].Type, CType: "*N", Children: []*Node{node}}
+	node.Children = []*Node{opt}
+	if err := Validate(node); err != nil {
+		t.Errorf("recursive pres: %v", err)
+	}
+}
+
+func TestKindAndAllocStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		DirectKind: "direct", EnumKind: "enum", FixedArrayKind: "fixed_array",
+		CountedKind: "counted", TerminatedKind: "terminated", OptPtrKind: "opt_ptr",
+		StructKind: "struct", UnionKind: "union", RefKind: "ref", VoidKind: "void",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d) = %q", int(k), k.String())
+		}
+	}
+	if AllocCaller.String() != "caller" || AllocStub.String() != "stub" || AllocHeap.String() != "heap" {
+		t.Error("AllocSem names")
+	}
+}

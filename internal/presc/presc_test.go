@@ -1,0 +1,103 @@
+package presc
+
+import (
+	"strings"
+	"testing"
+
+	"flick/internal/mint"
+	"flick/internal/pres"
+)
+
+func stub(name string) *Stub {
+	return &Stub{
+		Kind:    ClientCall,
+		Name:    name,
+		Op:      "op",
+		Request: &mint.Struct{},
+		Reply:   &mint.Union{Discrim: mint.U32()},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	s := stub("A_f")
+	s.Params = []ParamPres{{
+		Name: "x", Role: RoleRequest,
+		Request: &pres.Node{Kind: pres.DirectKind, Mint: mint.I32(), CType: "int32"},
+	}}
+	f := &File{Side: Client, Lang: "go", Stubs: []*Stub{s}}
+	if err := Validate(f); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	mk := func(mut func(*File)) error {
+		s := stub("A_f")
+		f := &File{Side: Client, Lang: "go", Stubs: []*Stub{s}}
+		mut(f)
+		return Validate(f)
+	}
+	tests := []struct {
+		name string
+		mut  func(*File)
+		sub  string
+	}{
+		{"empty name", func(f *File) { f.Stubs[0].Name = "" }, "empty name"},
+		{"dup name", func(f *File) { f.Stubs = append(f.Stubs, stub("A_f")) }, "duplicate"},
+		{"nil request", func(f *File) { f.Stubs[0].Request = nil }, "nil request"},
+		{"oneway mismatch", func(f *File) { f.Stubs[0].Oneway = true }, "oneway"},
+		{
+			"role without pres",
+			func(f *File) { f.Stubs[0].Params = []ParamPres{{Name: "x", Role: RoleRequest}} },
+			"without request pres",
+		},
+		{
+			"reply role without pres",
+			func(f *File) { f.Stubs[0].Params = []ParamPres{{Name: "x", Role: RoleReply}} },
+			"without reply pres",
+		},
+		{"bad side", func(f *File) { f.Side = Side(9) }, "bad side"},
+	}
+	for _, tt := range tests {
+		err := mk(tt.mut)
+		if err == nil {
+			t.Errorf("%s: no error", tt.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.sub) {
+			t.Errorf("%s: err = %v, want %q", tt.name, err, tt.sub)
+		}
+	}
+}
+
+func TestParamSelectors(t *testing.T) {
+	n := &pres.Node{Kind: pres.DirectKind, Mint: mint.I32(), CType: "int32"}
+	s := stub("A_f")
+	s.Params = []ParamPres{
+		{Name: "in1", Role: RoleRequest, Request: n},
+		{Name: "out1", Role: RoleReply, Reply: n},
+		{Name: "io", Role: RoleBoth, Request: n, Reply: n},
+	}
+	reqs := s.RequestParams()
+	if len(reqs) != 2 || reqs[0].Name != "in1" || reqs[1].Name != "io" {
+		t.Errorf("RequestParams = %+v", reqs)
+	}
+	reps := s.ReplyParams()
+	if len(reps) != 2 || reps[0].Name != "out1" || reps[1].Name != "io" {
+		t.Errorf("ReplyParams = %+v", reps)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if Client.String() != "client" || Server.String() != "server" {
+		t.Error("Side names")
+	}
+	for k, want := range map[StubKind]string{
+		ClientCall: "client_call", ServerDispatch: "server_dispatch",
+		ServerWork: "server_work", SendOnly: "send_only",
+	} {
+		if k.String() != want {
+			t.Errorf("StubKind %d = %q", int(k), k.String())
+		}
+	}
+}

@@ -1,0 +1,20 @@
+// Package teststubs holds flick-generated stubs for the paper's
+// evaluation interface (internal/teststubs/test.idl), committed for use
+// by integration tests and benchmarks. Regenerate with go generate.
+package teststubs
+
+import _ "embed"
+
+// BenchIDL is the evaluation interface source, exported so the
+// experiment harness can rebuild PRES trees for the interpretive
+// marshalers.
+//
+//go:embed test.idl
+var BenchIDL string
+
+//go:generate go run flick/cmd/flick -idl corba -lang go -format xdr -style flick -package teststubs -suffix XDR -o stubs_xdr.go test.idl
+//go:generate go run flick/cmd/flick -idl corba -lang go -format xdr -style rpcgen -package teststubs -suffix XDRNaive -skip-decls -o stubs_xdr_naive.go test.idl
+//go:generate go run flick/cmd/flick -idl corba -lang go -format xdr -style powerrpc -package teststubs -suffix XDRPow -skip-decls -o stubs_xdr_pow.go test.idl
+//go:generate go run flick/cmd/flick -idl corba -lang go -format cdr-le -style flick -package teststubs -suffix CDR -skip-decls -o stubs_cdr.go test.idl
+//go:generate go run flick/cmd/flick -idl corba -lang go -format mach3 -style flick -package teststubs -suffix Mach -skip-decls -o stubs_mach.go test.idl
+//go:generate go run flick/cmd/flick -idl corba -lang go -format fluke -style flick -package teststubs -suffix Fluke -skip-decls -o stubs_fluke.go test.idl

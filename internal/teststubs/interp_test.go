@@ -1,0 +1,126 @@
+package teststubs
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"reflect"
+	"testing"
+
+	"flick/internal/frontend/corbaidl"
+	"flick/internal/interp"
+	"flick/internal/pgen"
+	"flick/internal/pres"
+	"flick/internal/presc"
+	"flick/internal/wire"
+	"flick/rt"
+)
+
+// presFor returns the request PRES tree of the named Bench operation.
+func presFor(t *testing.T, op string) *pres.Node {
+	t.Helper()
+	src, err := os.ReadFile("test.idl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := corbaidl.Parse("test.idl", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := pgen.GenerateGo(f, presc.Client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range pf.Stubs {
+		if s.Op == op {
+			return s.Params[0].Request
+		}
+	}
+	t.Fatalf("no stub for op %s", op)
+	return nil
+}
+
+// TestInterpreterMatchesCompiledStubs is the central cross-check of the
+// paper's comparison methodology: the interpretive marshaler (ILU/ORBeline
+// model) and the compiled Flick stubs must produce byte-identical
+// messages and decode each other's output.
+func TestInterpreterMatchesCompiledStubs(t *testing.T) {
+	dirsNode := presFor(t, "send_dirs")
+	intsNode := presFor(t, "send_ints")
+
+	formats := []struct {
+		f     wire.Format
+		mDirs func(*rt.Encoder, []BenchDirEntry)
+		uDirs func(*rt.Decoder) ([]BenchDirEntry, error)
+		mInts func(*rt.Encoder, []int32)
+	}{
+		{wire.XDR{}, MarshalBenchSendDirsXDRRequest, UnmarshalBenchSendDirsXDRRequest, MarshalBenchSendIntsXDRRequest},
+		{wire.CDR{Little: true}, MarshalBenchSendDirsCDRRequest, UnmarshalBenchSendDirsCDRRequest, MarshalBenchSendIntsCDRRequest},
+		{wire.Mach3{}, MarshalBenchSendDirsMachRequest, UnmarshalBenchSendDirsMachRequest, MarshalBenchSendIntsMachRequest},
+		{wire.Fluke{}, MarshalBenchSendDirsFlukeRequest, UnmarshalBenchSendDirsFlukeRequest, MarshalBenchSendIntsFlukeRequest},
+	}
+	for _, tc := range formats {
+		for _, style := range []interp.Style{interp.ILU, interp.ORBeline} {
+			name := tc.f.Name() + "/" + style.String()
+			t.Run(name, func(t *testing.T) {
+				m := interp.New(tc.f, style)
+				dirs := randDirs(rand.New(rand.NewSource(11)), 6)
+
+				var compiled, interpreted rt.Encoder
+				tc.mDirs(&compiled, dirs)
+				if err := m.Marshal(&interpreted, dirsNode, dirs); err != nil {
+					t.Fatalf("interp marshal: %v", err)
+				}
+				if !bytes.Equal(compiled.Bytes(), interpreted.Bytes()) {
+					t.Fatalf("wire bytes differ:\ncompiled    %x\ninterpreted %x",
+						compiled.Bytes(), interpreted.Bytes())
+				}
+
+				// Interpreter decodes compiled bytes.
+				var out []BenchDirEntry
+				if err := m.Unmarshal(rt.NewDecoder(compiled.Bytes()), dirsNode, &out); err != nil {
+					t.Fatalf("interp unmarshal: %v", err)
+				}
+				if !reflect.DeepEqual(dirs, out) {
+					t.Error("interp decode mismatch")
+				}
+
+				// Compiled stub decodes interpreter bytes.
+				back, err := tc.uDirs(rt.NewDecoder(interpreted.Bytes()))
+				if err != nil || !reflect.DeepEqual(dirs, back) {
+					t.Errorf("compiled decode of interp bytes: err=%v", err)
+				}
+
+				// Int arrays too.
+				ints := []int32{-1, 0, 7, 1 << 30}
+				var ce, ie rt.Encoder
+				tc.mInts(&ce, ints)
+				if err := m.Marshal(&ie, intsNode, ints); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(ce.Bytes(), ie.Bytes()) {
+					t.Errorf("int arrays differ: %x vs %x", ce.Bytes(), ie.Bytes())
+				}
+			})
+		}
+	}
+}
+
+func TestInterpreterErrors(t *testing.T) {
+	m := interp.New(wire.XDR{}, interp.ILU)
+	node := presFor(t, "send_dirs")
+	// Non-pointer target.
+	if err := m.Unmarshal(rt.NewDecoder(nil), node, []BenchDirEntry{}); err == nil {
+		t.Error("non-pointer target accepted")
+	}
+	// Truncated input.
+	dirs := randDirs(rand.New(rand.NewSource(2)), 2)
+	var e rt.Encoder
+	if err := m.Marshal(&e, node, dirs); err != nil {
+		t.Fatal(err)
+	}
+	var out []BenchDirEntry
+	if err := m.Unmarshal(rt.NewDecoder(e.Bytes()[:9]), node, &out); err == nil {
+		t.Error("truncated input accepted")
+	}
+}

@@ -1,0 +1,275 @@
+package teststubs
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"flick/rt"
+)
+
+func randDirs(r *rand.Rand, n int) []BenchDirEntry {
+	v := make([]BenchDirEntry, n)
+	for i := range v {
+		name := make([]byte, r.Intn(40))
+		for j := range name {
+			name[j] = byte('a' + r.Intn(26))
+		}
+		v[i].Name = string(name)
+		for j := range v[i].Info.Fields {
+			v[i].Info.Fields[j] = r.Int31() - 1<<30
+		}
+		r.Read(v[i].Info.Tag[:])
+	}
+	return v
+}
+
+func TestIntsRoundTripXDR(t *testing.T) {
+	in := []int32{0, 1, -1, 1 << 30, -1 << 31, 42}
+	var e rt.Encoder
+	MarshalBenchSendIntsXDRRequest(&e, in)
+	if got, want := e.Len(), 4+4*len(in); got != want {
+		t.Errorf("encoded %d bytes, want %d", got, want)
+	}
+	b := e.Bytes()
+	if !bytes.Equal(b[:8], []byte{0, 0, 0, 6, 0, 0, 0, 0}) {
+		t.Errorf("header bytes = %x", b[:8])
+	}
+	out, err := UnmarshalBenchSendIntsXDRRequest(rt.NewDecoder(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip: %v != %v", out, in)
+	}
+}
+
+func TestDirsRoundTripXDR(t *testing.T) {
+	in := randDirs(rand.New(rand.NewSource(1)), 17)
+	var e rt.Encoder
+	MarshalBenchSendDirsXDRRequest(&e, in)
+	out, err := UnmarshalBenchSendDirsXDRRequest(rt.NewDecoder(e.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Error("dirs round trip mismatch")
+	}
+}
+
+func TestDirEntryWireSizeMatchesPaper(t *testing.T) {
+	// The paper: each directory entry carries a 136-byte stat-like
+	// structure (30 4-byte integers + one 16-byte character array) and
+	// the test entries total exactly 256 encoded bytes: 4 (count) +
+	// 116 (name+pad) + 136.
+	entry := BenchDirEntry{Name: string(make([]byte, 116))}
+	var e rt.Encoder
+	MarshalBenchSendDirsXDRRequest(&e, []BenchDirEntry{entry})
+	if got := e.Len() - 4; got != 256 {
+		t.Errorf("encoded dir entry = %d bytes, want 256", got)
+	}
+}
+
+func TestCrossCompilerWireCompatibility(t *testing.T) {
+	in := randDirs(rand.New(rand.NewSource(7)), 9)
+	var opt, naive, pow rt.Encoder
+	MarshalBenchSendDirsXDRRequest(&opt, in)
+	MarshalBenchSendDirsXDRNaiveRequest(&naive, in)
+	MarshalBenchSendDirsXDRPowRequest(&pow, in)
+	if !bytes.Equal(opt.Bytes(), naive.Bytes()) {
+		t.Error("flick and rpcgen-style encodings differ")
+	}
+	if !bytes.Equal(opt.Bytes(), pow.Bytes()) {
+		t.Error("flick and powerrpc-style encodings differ")
+	}
+	out, err := UnmarshalBenchSendDirsXDRNaiveRequest(rt.NewDecoder(opt.Bytes()))
+	if err != nil || !reflect.DeepEqual(in, out) {
+		t.Errorf("naive decode of flick bytes: err=%v match=%v", err, reflect.DeepEqual(in, out))
+	}
+	out, err = UnmarshalBenchSendDirsXDRRequest(rt.NewDecoder(naive.Bytes()))
+	if err != nil || !reflect.DeepEqual(in, out) {
+		t.Errorf("flick decode of naive bytes: err=%v match=%v", err, reflect.DeepEqual(in, out))
+	}
+}
+
+func TestRectsRoundTripAllFormats(t *testing.T) {
+	in := []BenchRect{
+		{Min: BenchPoint{X: -5, Y: 10}, Max: BenchPoint{X: 1 << 20, Y: -1}},
+		{Min: BenchPoint{X: 0, Y: 0}, Max: BenchPoint{X: 3, Y: 4}},
+	}
+	type cfg struct {
+		name string
+		m    func(*rt.Encoder, []BenchRect)
+		u    func(*rt.Decoder) ([]BenchRect, error)
+	}
+	for _, c := range []cfg{
+		{"xdr", MarshalBenchSendRectsXDRRequest, UnmarshalBenchSendRectsXDRRequest},
+		{"cdr-le", MarshalBenchSendRectsCDRRequest, UnmarshalBenchSendRectsCDRRequest},
+		{"mach3", MarshalBenchSendRectsMachRequest, UnmarshalBenchSendRectsMachRequest},
+		{"fluke", MarshalBenchSendRectsFlukeRequest, UnmarshalBenchSendRectsFlukeRequest},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			var e rt.Encoder
+			c.m(&e, in)
+			out, err := c.u(rt.NewDecoder(e.Bytes()))
+			if err != nil || !reflect.DeepEqual(in, out) {
+				t.Errorf("err=%v out=%v", err, out)
+			}
+		})
+	}
+}
+
+func TestDirsRoundTripAllFormatsQuick(t *testing.T) {
+	cfgs := []struct {
+		name string
+		m    func(*rt.Encoder, []BenchDirEntry)
+		u    func(*rt.Decoder) ([]BenchDirEntry, error)
+	}{
+		{"xdr", MarshalBenchSendDirsXDRRequest, UnmarshalBenchSendDirsXDRRequest},
+		{"xdr-naive", MarshalBenchSendDirsXDRNaiveRequest, UnmarshalBenchSendDirsXDRNaiveRequest},
+		{"xdr-pow", MarshalBenchSendDirsXDRPowRequest, UnmarshalBenchSendDirsXDRPowRequest},
+		{"cdr-le", MarshalBenchSendDirsCDRRequest, UnmarshalBenchSendDirsCDRRequest},
+		{"mach3", MarshalBenchSendDirsMachRequest, UnmarshalBenchSendDirsMachRequest},
+		{"fluke", MarshalBenchSendDirsFlukeRequest, UnmarshalBenchSendDirsFlukeRequest},
+	}
+	for _, cfg := range cfgs {
+		t.Run(cfg.name, func(t *testing.T) {
+			f := func(seed int64, n uint8) bool {
+				in := randDirs(rand.New(rand.NewSource(seed)), int(n%16))
+				var e rt.Encoder
+				cfg.m(&e, in)
+				out, err := cfg.u(rt.NewDecoder(e.Bytes()))
+				if err != nil {
+					t.Logf("decode error: %v", err)
+					return false
+				}
+				if len(in) == 0 && len(out) == 0 {
+					return true
+				}
+				return reflect.DeepEqual(in, out)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestReplyWithOutParamAndResult(t *testing.T) {
+	dirs := randDirs(rand.New(rand.NewSource(3)), 4)
+	var e rt.Encoder
+	MarshalBenchListDirXDRReply(&e, dirs, 99)
+	ret, total, err := UnmarshalBenchListDirXDRReply(rt.NewDecoder(e.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 99 || !reflect.DeepEqual(ret, dirs) {
+		t.Errorf("total=%d match=%v", total, reflect.DeepEqual(ret, dirs))
+	}
+}
+
+func TestExceptionReply(t *testing.T) {
+	var e rt.Encoder
+	MarshalBenchSumXDRErrBadSize(&e, &BenchBadSize{Wanted: 12})
+	_, err := UnmarshalBenchSumXDRReply(rt.NewDecoder(e.Bytes()))
+	ex, ok := err.(*BenchBadSize)
+	if !ok {
+		t.Fatalf("err = %v (%T), want *BenchBadSize", err, err)
+	}
+	if ex.Wanted != 12 {
+		t.Errorf("Wanted = %d", ex.Wanted)
+	}
+
+	e.Reset()
+	MarshalBenchSumXDRReply(&e, 77)
+	ret, err := UnmarshalBenchSumXDRReply(rt.NewDecoder(e.Bytes()))
+	if err != nil || ret != 77 {
+		t.Errorf("ret=%d err=%v", ret, err)
+	}
+
+	e.Reset()
+	e.Grow(4)
+	e.PutU32BE(9)
+	if _, err := UnmarshalBenchSumXDRReply(rt.NewDecoder(e.Bytes())); err == nil {
+		t.Error("unknown status should fail")
+	}
+}
+
+func TestTruncatedMessages(t *testing.T) {
+	in := randDirs(rand.New(rand.NewSource(5)), 3)
+	var e rt.Encoder
+	MarshalBenchSendDirsXDRRequest(&e, in)
+	full := e.Bytes()
+	for _, cut := range []int{0, 1, 3, 4, 7, len(full) / 2, len(full) - 1} {
+		if _, err := UnmarshalBenchSendDirsXDRRequest(rt.NewDecoder(full[:cut])); err == nil {
+			t.Errorf("truncation at %d bytes not detected", cut)
+		}
+	}
+}
+
+func TestBoundViolations(t *testing.T) {
+	long := BenchDirEntry{Name: string(make([]byte, 300))}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("marshal of over-bound string did not panic")
+			}
+		}()
+		var e rt.Encoder
+		MarshalBenchSendDirsXDRRequest(&e, []BenchDirEntry{long})
+	}()
+	var e rt.Encoder
+	e.Grow(8 + 300)
+	e.PutU32BE(1)
+	e.PutU32BE(300)
+	e.PutBytes(make([]byte, 300))
+	if _, err := UnmarshalBenchSendDirsXDRRequest(rt.NewDecoder(e.Bytes())); err == nil {
+		t.Error("over-bound count not rejected")
+	}
+}
+
+func TestHostileLengthDoesNotOOM(t *testing.T) {
+	var e rt.Encoder
+	e.Grow(8)
+	e.PutU32BE(0xFFFFFF)
+	e.PutU32BE(1)
+	if _, err := UnmarshalBenchSendIntsXDRRequest(rt.NewDecoder(e.Bytes())); err == nil {
+		t.Error("hostile count not rejected")
+	}
+}
+
+func TestCDRStringNul(t *testing.T) {
+	var e rt.Encoder
+	MarshalBenchListDirCDRRequest(&e, "ab")
+	b := e.Bytes()
+	want := []byte{3, 0, 0, 0, 'a', 'b', 0}
+	if !bytes.Equal(b, want) {
+		t.Fatalf("CDR string = %x, want %x", b, want)
+	}
+	path, err := UnmarshalBenchListDirCDRRequest(rt.NewDecoder(b))
+	if err != nil || path != "ab" {
+		t.Errorf("path=%q err=%v", path, err)
+	}
+}
+
+func TestOnewayHasNoReply(t *testing.T) {
+	var e rt.Encoder
+	MarshalBenchPingXDRRequest(&e, 5)
+	nonce, err := UnmarshalBenchPingXDRRequest(rt.NewDecoder(e.Bytes()))
+	if err != nil || nonce != 5 {
+		t.Errorf("nonce=%d err=%v", nonce, err)
+	}
+}
+
+func TestEncoderReuse(t *testing.T) {
+	var e rt.Encoder
+	MarshalBenchSendIntsXDRRequest(&e, []int32{1, 2, 3})
+	first := append([]byte(nil), e.Bytes()...)
+	e.Reset()
+	MarshalBenchSendIntsXDRRequest(&e, []int32{1, 2, 3})
+	if !bytes.Equal(first, e.Bytes()) {
+		t.Error("re-encoding after Reset differs")
+	}
+}

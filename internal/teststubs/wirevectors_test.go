@@ -1,0 +1,87 @@
+package teststubs
+
+import (
+	"bytes"
+	"testing"
+
+	"flick/rt"
+)
+
+// TestXDRReferenceVectors pins the generated XDR encoding against
+// RFC 1832's rules using hand-computed byte sequences.
+func TestXDRReferenceVectors(t *testing.T) {
+	var e rt.Encoder
+
+	// A variable-length array of three signed integers (RFC 1832 §3.12
+	// + §3.4): count then big-endian two's-complement values.
+	MarshalBenchSendIntsXDRRequest(&e, []int32{1, -2, 3})
+	want := []byte{
+		0, 0, 0, 3,
+		0, 0, 0, 1,
+		0xFF, 0xFF, 0xFF, 0xFE,
+		0, 0, 0, 3,
+	}
+	if !bytes.Equal(e.Bytes(), want) {
+		t.Errorf("ints = %x\nwant   %x", e.Bytes(), want)
+	}
+
+	// A string (§3.11): length, bytes, zero-padded to a multiple of 4,
+	// no NUL. "abcde" → 5 + data + 3 pad. The dir entry then carries
+	// the 136-byte stat area: 30 big-endian ints + 16 packed tag bytes.
+	e.Reset()
+	entry := BenchDirEntry{Name: "abcde"}
+	entry.Info.Fields[0] = 0x01020304
+	entry.Info.Tag[0] = 0xAA
+	entry.Info.Tag[15] = 0xBB
+	MarshalBenchSendDirsXDRRequest(&e, []BenchDirEntry{entry})
+	b := e.Bytes()
+	header := []byte{
+		0, 0, 0, 1, // one entry
+		0, 0, 0, 5, 'a', 'b', 'c', 'd', 'e', 0, 0, 0, // name + pad
+		1, 2, 3, 4, // fields[0]
+	}
+	if !bytes.Equal(b[:len(header)], header) {
+		t.Errorf("dir prefix = %x\nwant       %x", b[:len(header)], header)
+	}
+	// Total: 4 + (4+5+3) + 120 + 16 = 152.
+	if len(b) != 152 {
+		t.Errorf("total = %d, want 152", len(b))
+	}
+	if b[136] != 0xAA || b[151] != 0xBB {
+		t.Errorf("tag placement wrong: b[136]=%x b[151]=%x", b[136], b[151])
+	}
+}
+
+// TestCDRLayout pins the little-endian CDR layout: natural alignment
+// relative to the payload origin.
+func TestCDRLayout(t *testing.T) {
+	var e rt.Encoder
+	MarshalBenchSendRectsCDRRequest(&e, []BenchRect{{
+		Min: BenchPoint{X: 1, Y: 2}, Max: BenchPoint{X: 3, Y: 4},
+	}})
+	want := []byte{
+		1, 0, 0, 0, // count (LE)
+		1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0, 4, 0, 0, 0,
+	}
+	if !bytes.Equal(e.Bytes(), want) {
+		t.Errorf("cdr rects = %x\nwant       %x", e.Bytes(), want)
+	}
+}
+
+// TestMachAndFlukePayloadShapes pins the remaining formats' array
+// encodings (natural little-endian; Fluke fully packed).
+func TestMachAndFlukePayloadShapes(t *testing.T) {
+	var e rt.Encoder
+	MarshalBenchSendIntsMachRequest(&e, []int32{0x11223344})
+	want := []byte{1, 0, 0, 0, 0x44, 0x33, 0x22, 0x11}
+	if !bytes.Equal(e.Bytes(), want) {
+		t.Errorf("mach ints = %x", e.Bytes())
+	}
+	e.Reset()
+	// Fluke packs the dir entry with no padding at all: 4 (count) +
+	// 4+5 (name) + 120 + 16 = 149 for a 5-char name.
+	MarshalBenchSendDirsFlukeRequest(&e, []BenchDirEntry{{Name: "abcde"}})
+	if e.Len() != 149 {
+		t.Errorf("fluke dir bytes = %d, want 149 (packed)", e.Len())
+	}
+}

@@ -1,0 +1,16 @@
+// Package typestubs holds flick-generated stubs for the type-zoo
+// interface (internal/typestubs/zoo.x): unions, enums, optionals,
+// recursion, floats — the constructs the evaluation interface does not
+// cover. Regenerate with go generate.
+package typestubs
+
+import _ "embed"
+
+// ZooIDL is the source, exported for the interpreter cross-checks.
+//
+//go:embed zoo.x
+var ZooIDL string
+
+//go:generate go run flick/cmd/flick -idl oncrpc -lang go -format xdr -style flick -package typestubs -suffix XDR -o zoo_xdr.go zoo.x
+//go:generate go run flick/cmd/flick -idl oncrpc -lang go -format xdr -style rpcgen -rpc=false -package typestubs -suffix XDRNaive -skip-decls -o zoo_xdr_naive.go zoo.x
+//go:generate go run flick/cmd/flick -idl oncrpc -lang go -format cdr-le -style flick -rpc=false -package typestubs -suffix CDR -skip-decls -o zoo_cdr.go zoo.x

@@ -1,0 +1,315 @@
+package typestubs
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"flick/internal/frontend/oncrpc"
+	"flick/internal/interp"
+	"flick/internal/pgen"
+	"flick/internal/pres"
+	"flick/internal/presc"
+	"flick/internal/wire"
+	"flick/rt"
+)
+
+func randShape(r *rand.Rand) Shape {
+	switch r.Intn(4) {
+	case 0:
+		return Shape{D: 1, L: Leaf{
+			F: float32(r.NormFloat64()), D: r.NormFloat64(),
+			Flag: r.Intn(2) == 0, C: Color(1 << r.Intn(3)),
+			S: int16(r.Int31()), Us: uint16(r.Uint32()),
+			H: r.Int63() - 1<<62, Uh: r.Uint64(),
+		}}
+	case 1:
+		n := r.Intn(32)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('A' + r.Intn(26))
+		}
+		return Shape{D: 2, Label: string(b)}
+	case 2:
+		return Shape{D: 3}
+	default:
+		return Shape{D: 7 + int32(r.Intn(100)), Other: r.Int31()}
+	}
+}
+
+func randShapes(r *rand.Rand, n int) []Shape {
+	v := make([]Shape, n)
+	for i := range v {
+		v[i] = randShape(r)
+	}
+	return v
+}
+
+func randList(r *rand.Rand, n int) *Node {
+	var head *Node
+	for i := 0; i < n; i++ {
+		head = &Node{S: randShape(r), Next: head}
+	}
+	return head
+}
+
+func TestShapesRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		in := randShapes(r, r.Intn(9))
+		var e rt.Encoder
+		MarshalZOOReorderXDRRequest(&e, in)
+		out, err := UnmarshalZOOReorderXDRRequest(rt.NewDecoder(e.Bytes()))
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if len(in) == 0 && len(out) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("iter %d mismatch:\nin  %+v\nout %+v", i, in, out)
+		}
+	}
+}
+
+func TestRecursiveListRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 2, 17, 200} {
+		in := randList(r, n)
+		var e rt.Encoder
+		MarshalZOOReverseXDRRequest(&e, in)
+		out, err := UnmarshalZOOReverseXDRRequest(rt.NewDecoder(e.Bytes()))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("n=%d: list mismatch", n)
+		}
+	}
+}
+
+func TestNaiveAndOptimizedShareTheWire(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	in := randList(r, 12)
+	var a, b rt.Encoder
+	MarshalZOOReverseXDRRequest(&a, in)
+	MarshalZOOReverseXDRNaiveRequest(&b, in)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("optimized and naive recursive encodings differ")
+	}
+	out, err := UnmarshalZOOReverseXDRNaiveRequest(rt.NewDecoder(a.Bytes()))
+	if err != nil || !reflect.DeepEqual(in, out) {
+		t.Errorf("naive decode of optimized bytes: %v", err)
+	}
+
+	shapes := randShapes(r, 8)
+	a.Reset()
+	b.Reset()
+	MarshalZOOReorderXDRRequest(&a, shapes)
+	MarshalZOOReorderXDRNaiveRequest(&b, shapes)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("optimized and naive union encodings differ")
+	}
+}
+
+func TestUnionWireFormatXDR(t *testing.T) {
+	// A void arm carries only its discriminator.
+	var e rt.Encoder
+	MarshalZOOReorderXDRRequest(&e, []Shape{{D: 3}})
+	want := []byte{0, 0, 0, 1, 0, 0, 0, 3}
+	if !bytes.Equal(e.Bytes(), want) {
+		t.Errorf("void arm = %x, want %x", e.Bytes(), want)
+	}
+	// The default arm carries its field.
+	e.Reset()
+	MarshalZOOReorderXDRRequest(&e, []Shape{{D: 9, Other: -1}})
+	want = []byte{0, 0, 0, 1, 0, 0, 0, 9, 0xFF, 0xFF, 0xFF, 0xFF}
+	if !bytes.Equal(e.Bytes(), want) {
+		t.Errorf("default arm = %x, want %x", e.Bytes(), want)
+	}
+}
+
+func TestEnumRoundTrip(t *testing.T) {
+	var e rt.Encoder
+	MarshalZOOMixXDRRequest(&e, ColorRED, ColorBLUE)
+	a, b, err := UnmarshalZOOMixXDRRequest(rt.NewDecoder(e.Bytes()))
+	if err != nil || a != ColorRED || b != ColorBLUE {
+		t.Errorf("mix = %v,%v,%v", a, b, err)
+	}
+	if ColorRED != 1 || ColorGREEN != 2 || ColorBLUE != 4 {
+		t.Error("explicit enum values not preserved")
+	}
+}
+
+func TestBoundedSequenceEnforced(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("shapes<8> with 9 elements should panic on marshal")
+		}
+	}()
+	var e rt.Encoder
+	MarshalZOOReorderXDRRequest(&e, make([]Shape, 9))
+}
+
+func TestBadUnionDiscriminatorRejectedWhenNoDefault(t *testing.T) {
+	// shape has a default arm, so any kind decodes; instead check the
+	// optional flag: a presence value other than 0/1 is still accepted
+	// as true by XDR convention, but a truncated arm errors.
+	var e rt.Encoder
+	MarshalZOOReverseXDRRequest(&e, &Node{S: Shape{D: 3}})
+	full := e.Bytes()
+	for cut := 1; cut < len(full); cut += 2 {
+		if _, err := UnmarshalZOOReverseXDRRequest(rt.NewDecoder(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func zooPres(t *testing.T, op string) *pres.Node {
+	t.Helper()
+	f, err := oncrpc.Parse("zoo.x", ZooIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := pgen.GenerateGo(f, presc.Client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range pf.Stubs {
+		if s.Op == op {
+			return s.Params[0].Request
+		}
+	}
+	t.Fatalf("no op %s", op)
+	return nil
+}
+
+func TestInterpreterMatchesZooStubs(t *testing.T) {
+	node := zooPres(t, "reorder")
+	listNode := zooPres(t, "reverse")
+	m := interp.New(wire.XDR{}, interp.ILU)
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		shapes := randShapes(r, int(n%9))
+		var compiled, interpreted rt.Encoder
+		MarshalZOOReorderXDRRequest(&compiled, shapes)
+		if err := m.Marshal(&interpreted, node, shapes); err != nil {
+			t.Logf("interp: %v", err)
+			return false
+		}
+		if !bytes.Equal(compiled.Bytes(), interpreted.Bytes()) {
+			t.Logf("bytes differ:\n%x\n%x", compiled.Bytes(), interpreted.Bytes())
+			return false
+		}
+		var out []Shape
+		if err := m.Unmarshal(rt.NewDecoder(compiled.Bytes()), node, &out); err != nil {
+			return false
+		}
+		if len(shapes) == 0 && len(out) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(shapes, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+
+	// Recursive lists through the interpreter too.
+	r := rand.New(rand.NewSource(5))
+	list := randList(r, 20)
+	var compiled, interpreted rt.Encoder
+	MarshalZOOReverseXDRRequest(&compiled, list)
+	if err := m.Marshal(&interpreted, listNode, list); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(compiled.Bytes(), interpreted.Bytes()) {
+		t.Error("recursive encodings differ between interpreter and stubs")
+	}
+	var out *Node
+	if err := m.Unmarshal(rt.NewDecoder(compiled.Bytes()), listNode, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(list, out) {
+		t.Error("interpreter list decode mismatch")
+	}
+}
+
+func TestCDRZooRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 30; i++ {
+		in := randShapes(r, r.Intn(9))
+		var e rt.Encoder
+		MarshalZOOReorderCDRRequest(&e, in)
+		out, err := UnmarshalZOOReorderCDRRequest(rt.NewDecoder(e.Bytes()))
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if len(in) == 0 && len(out) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("iter %d: CDR mismatch", i)
+		}
+	}
+	// Recursion over CDR too.
+	list := randList(r, 9)
+	var e rt.Encoder
+	MarshalZOOReverseCDRRequest(&e, list)
+	out, err := UnmarshalZOOReverseCDRRequest(rt.NewDecoder(e.Bytes()))
+	if err != nil || !reflect.DeepEqual(list, out) {
+		t.Errorf("CDR list: %v", err)
+	}
+}
+
+func TestZooRPCEndToEnd(t *testing.T) {
+	impl := zooImpl{}
+	clientEnd, serverEnd := rt.Pipe()
+	s := rt.NewServer(rt.ONC{})
+	RegisterZOOXDR(s, impl)
+	go s.ServeConn(serverEnd)
+	defer clientEnd.Close()
+	c := NewZOOXDRClient(clientEnd)
+
+	mixed, err := c.Mix(ColorRED, ColorGREEN)
+	if err != nil || mixed != ColorBLUE {
+		t.Errorf("Mix = %v, %v", mixed, err)
+	}
+	list := randList(rand.New(rand.NewSource(8)), 5)
+	rev, err := c.Reverse(list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count both lists.
+	count := func(n *Node) int {
+		c := 0
+		for ; n != nil; n = n.Next {
+			c++
+		}
+		return c
+	}
+	if count(rev) != 5 {
+		t.Errorf("reversed list has %d nodes", count(rev))
+	}
+}
+
+type zooImpl struct{}
+
+func (zooImpl) Reorder(v []Shape) ([]Shape, error) {
+	out := append([]Shape(nil), v...)
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out, nil
+}
+
+func (zooImpl) Reverse(head *Node) (*Node, error) {
+	var out *Node
+	for n := head; n != nil; n = n.Next {
+		out = &Node{S: n.S, Next: out}
+	}
+	return out, nil
+}
+
+func (zooImpl) Mix(a, b Color) (Color, error) { return a ^ b ^ 7, nil }

@@ -1,0 +1,126 @@
+package wire
+
+// XDR implements RFC 1832 External Data Representation: big-endian,
+// every atom occupies a multiple of four bytes, counted opaque/string
+// data padded to four bytes, no trailing NUL on strings.
+type XDR struct{}
+
+func (XDR) Name() string     { return "xdr" }
+func (XDR) Order() ByteOrder { return BigEndian }
+
+func (XDR) WireSize(a Atom) int {
+	if a.Bits <= 32 {
+		return 4
+	}
+	return 8
+}
+
+func (x XDR) Align(a Atom) int {
+	// XDR items are 4-byte aligned; hyper and double occupy 8 bytes but
+	// RFC 1832 requires only 4-byte alignment for the stream (all items
+	// are multiples of 4).
+	return 4
+}
+
+func (x XDR) ArrayElemSize(a Atom) int {
+	if a.Bits == 8 && a.Kind != BoolAtom {
+		return 1 // packed opaque/string payload
+	}
+	return x.WireSize(a)
+}
+
+func (XDR) LenSize() int    { return 4 }
+func (XDR) ArrayPad() int   { return 4 }
+func (XDR) StringNul() bool { return false }
+func (XDR) MaxAlign() int   { return 4 }
+
+// CDR implements CORBA Common Data Representation as used by IIOP:
+// natural sizes and alignment (relative to the message body), strings
+// counted with a trailing NUL included in the count. The sender chooses
+// byte order and flags it in the GIOP header.
+type CDR struct {
+	// Little selects little-endian encoding.
+	Little bool
+}
+
+func (c CDR) Name() string {
+	if c.Little {
+		return "cdr-le"
+	}
+	return "cdr-be"
+}
+
+func (c CDR) Order() ByteOrder {
+	if c.Little {
+		return LittleEndian
+	}
+	return BigEndian
+}
+
+func (CDR) WireSize(a Atom) int        { return int(a.Bits) / 8 }
+func (CDR) Align(a Atom) int           { return int(a.Bits) / 8 }
+func (c CDR) ArrayElemSize(a Atom) int { return c.WireSize(a) }
+
+func (CDR) LenSize() int    { return 4 }
+func (CDR) ArrayPad() int   { return 1 }
+func (CDR) StringNul() bool { return true }
+func (CDR) MaxAlign() int   { return 8 }
+
+// Mach3 models the Mach 3 typed message encoding: native (little-endian
+// on our hosts, matching the paper's Pentium measurements) byte order,
+// natural sizes, 4-byte alignment for items, no string NUL. Type
+// descriptors are part of the *message format*, produced by the Mach
+// back end, not of the data encoding.
+type Mach3 struct{}
+
+func (Mach3) Name() string     { return "mach3" }
+func (Mach3) Order() ByteOrder { return LittleEndian }
+func (Mach3) WireSize(a Atom) int {
+	return int(a.Bits) / 8
+}
+func (Mach3) Align(a Atom) int {
+	n := int(a.Bits) / 8
+	if n > 4 {
+		return 4
+	}
+	return n
+}
+func (m Mach3) ArrayElemSize(a Atom) int { return m.WireSize(a) }
+
+func (Mach3) LenSize() int    { return 4 }
+func (Mach3) ArrayPad() int   { return 4 }
+func (Mach3) StringNul() bool { return false }
+func (Mach3) MaxAlign() int   { return 4 }
+
+// Fluke models the Fluke kernel IPC encoding: native byte order, natural
+// sizes, packed with no alignment at all — the format is specialized for
+// same-host communication where the first words travel in registers.
+type Fluke struct{}
+
+func (Fluke) Name() string               { return "fluke" }
+func (Fluke) Order() ByteOrder           { return LittleEndian }
+func (Fluke) WireSize(a Atom) int        { return int(a.Bits) / 8 }
+func (Fluke) Align(a Atom) int           { return 1 }
+func (f Fluke) ArrayElemSize(a Atom) int { return f.WireSize(a) }
+
+func (Fluke) LenSize() int    { return 4 }
+func (Fluke) ArrayPad() int   { return 1 }
+func (Fluke) StringNul() bool { return false }
+func (Fluke) MaxAlign() int   { return 1 }
+
+// Registry lists the built-in formats by name.
+func ByName(name string) (Format, bool) {
+	switch name {
+	case "xdr":
+		return XDR{}, true
+	case "cdr", "cdr-be":
+		return CDR{}, true
+	case "cdr-le":
+		return CDR{Little: true}, true
+	case "mach3":
+		return Mach3{}, true
+	case "fluke":
+		return Fluke{}, true
+	}
+	return nil, false
+}

@@ -1,0 +1,113 @@
+// Package wire defines on-the-wire encoding rules: the sizes, alignment
+// constraints, byte order, and array/string conventions of each message
+// data encoding Flick supports. A back end pairs a wire.Format with a
+// message-format header scheme (GIOP, ONC RPC record marking, Mach typed
+// messages, Fluke register windows) and a transport.
+//
+// Formats answer the questions the marshal-analysis needs: how many bytes
+// does this atom occupy, what alignment does it need, how are counted
+// arrays and strings framed.
+package wire
+
+import "fmt"
+
+// AtomKind classifies primitive wire atoms.
+type AtomKind int
+
+const (
+	UInt AtomKind = iota
+	SInt
+	Float
+	BoolAtom
+	CharAtom
+)
+
+func (k AtomKind) String() string {
+	switch k {
+	case UInt:
+		return "uint"
+	case SInt:
+		return "int"
+	case Float:
+		return "float"
+	case BoolAtom:
+		return "bool"
+	case CharAtom:
+		return "char"
+	}
+	return fmt.Sprintf("AtomKind(%d)", int(k))
+}
+
+// Atom is one primitive datum as presented (pre-encoding): its logical
+// kind and bit width.
+type Atom struct {
+	Kind AtomKind
+	// Bits is the presented width: 8, 16, 32, or 64.
+	Bits uint
+}
+
+// Common atoms.
+var (
+	U8   = Atom{UInt, 8}
+	U16  = Atom{UInt, 16}
+	U32  = Atom{UInt, 32}
+	U64  = Atom{UInt, 64}
+	I8   = Atom{SInt, 8}
+	I16  = Atom{SInt, 16}
+	I32  = Atom{SInt, 32}
+	I64  = Atom{SInt, 64}
+	F32  = Atom{Float, 32}
+	F64  = Atom{Float, 64}
+	Bool = Atom{BoolAtom, 8}
+	Char = Atom{CharAtom, 8}
+)
+
+// ByteOrder selects wire endianness.
+type ByteOrder int
+
+const (
+	BigEndian ByteOrder = iota
+	LittleEndian
+)
+
+func (o ByteOrder) String() string {
+	if o == BigEndian {
+		return "big-endian"
+	}
+	return "little-endian"
+}
+
+// Format is the contract a data encoding implements.
+type Format interface {
+	// Name identifies the encoding ("xdr", "cdr-be", "cdr-le", "mach3",
+	// "fluke").
+	Name() string
+	// Order is the encoding's byte order.
+	Order() ByteOrder
+	// WireSize returns the encoded byte width of an atom (XDR widens
+	// everything to at least 4; CDR keeps natural widths).
+	WireSize(a Atom) int
+	// Align returns the alignment required before encoding an atom,
+	// relative to the start of the message body.
+	Align(a Atom) int
+	// LenSize returns the encoded byte width of an array/string length
+	// prefix, and LenAlign its alignment.
+	LenSize() int
+	// ArrayPad returns the multiple to which the *byte payload* of a
+	// counted char/octet array is padded (XDR pads to 4; others 1).
+	ArrayPad() int
+	// ArrayElemSize returns the encoded byte width of an atom when it
+	// appears as an array element. XDR packs 8-bit characters and
+	// octets inside arrays (opaque/string) even though standalone small
+	// integers widen to four bytes.
+	ArrayElemSize(a Atom) int
+	// StringNul reports whether strings carry a trailing NUL that is
+	// included in the transmitted length (CDR does; XDR does not).
+	StringNul() bool
+	// MaxAlign is the largest alignment the format ever requires; chunk
+	// layouts are computed modulo this.
+	MaxAlign() int
+}
+
+// SizeOf computes the wire size of a length prefix for f.
+func LenAtom(f Format) Atom { return U32 }

@@ -1,0 +1,185 @@
+package rt
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Bulk transfer helpers: the runtime half of Flick's memcpy optimization.
+// For byte-width elements the generated code uses copy directly; for
+// wider elements these tight loops avoid the per-element function calls
+// and cursor updates of the naive path.
+
+// PutSlice16BE writes each element big-endian into b (len(b) ≥ 2*len(s)).
+func PutSlice16BE[T ~int16 | ~uint16](b []byte, s []T) {
+	for i, v := range s {
+		binary.BigEndian.PutUint16(b[2*i:], uint16(v))
+	}
+}
+
+// PutSlice16LE writes each element little-endian.
+func PutSlice16LE[T ~int16 | ~uint16](b []byte, s []T) {
+	for i, v := range s {
+		binary.LittleEndian.PutUint16(b[2*i:], uint16(v))
+	}
+}
+
+// PutSlice32BE writes each element big-endian (len(b) ≥ 4*len(s)).
+func PutSlice32BE[T ~int32 | ~uint32](b []byte, s []T) {
+	for i, v := range s {
+		binary.BigEndian.PutUint32(b[4*i:], uint32(v))
+	}
+}
+
+// PutSlice32LE writes each element little-endian.
+func PutSlice32LE[T ~int32 | ~uint32](b []byte, s []T) {
+	for i, v := range s {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(v))
+	}
+}
+
+// PutSlice64BE writes each element big-endian (len(b) ≥ 8*len(s)).
+func PutSlice64BE[T ~int64 | ~uint64](b []byte, s []T) {
+	for i, v := range s {
+		binary.BigEndian.PutUint64(b[8*i:], uint64(v))
+	}
+}
+
+// PutSlice64LE writes each element little-endian.
+func PutSlice64LE[T ~int64 | ~uint64](b []byte, s []T) {
+	for i, v := range s {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(v))
+	}
+}
+
+// PutSliceF32BE / LE write float32 elements.
+func PutSliceF32BE(b []byte, s []float32) {
+	for i, v := range s {
+		binary.BigEndian.PutUint32(b[4*i:], math.Float32bits(v))
+	}
+}
+
+func PutSliceF32LE(b []byte, s []float32) {
+	for i, v := range s {
+		binary.LittleEndian.PutUint32(b[4*i:], math.Float32bits(v))
+	}
+}
+
+// PutSliceF64BE / LE write float64 elements.
+func PutSliceF64BE(b []byte, s []float64) {
+	for i, v := range s {
+		binary.BigEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+}
+
+func PutSliceF64LE(b []byte, s []float64) {
+	for i, v := range s {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+}
+
+// PutSlice8 writes 1-byte integer elements.
+func PutSlice8[T ~int8 | ~uint8](b []byte, s []T) {
+	for i, v := range s {
+		b[i] = byte(v)
+	}
+}
+
+// PutSliceBool writes booleans at the given wire width (4 for XDR, 1 for
+// CDR).
+func PutSliceBool(b []byte, s []bool, wireWidth int, order ByteOrder) {
+	for i, v := range s {
+		switch wireWidth {
+		case 1:
+			b[i] = B2U8(v)
+		default:
+			if order == BE {
+				binary.BigEndian.PutUint32(b[4*i:], B2U32(v))
+			} else {
+				binary.LittleEndian.PutUint32(b[4*i:], B2U32(v))
+			}
+		}
+	}
+}
+
+// GetSlice16BE fills dst from big-endian wire bytes (len(b) ≥ 2*len(dst)).
+func GetSlice16BE[T ~int16 | ~uint16](dst []T, b []byte) {
+	for i := range dst {
+		dst[i] = T(binary.BigEndian.Uint16(b[2*i:]))
+	}
+}
+
+func GetSlice16LE[T ~int16 | ~uint16](dst []T, b []byte) {
+	for i := range dst {
+		dst[i] = T(binary.LittleEndian.Uint16(b[2*i:]))
+	}
+}
+
+func GetSlice32BE[T ~int32 | ~uint32](dst []T, b []byte) {
+	for i := range dst {
+		dst[i] = T(binary.BigEndian.Uint32(b[4*i:]))
+	}
+}
+
+func GetSlice32LE[T ~int32 | ~uint32](dst []T, b []byte) {
+	for i := range dst {
+		dst[i] = T(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+}
+
+func GetSlice64BE[T ~int64 | ~uint64](dst []T, b []byte) {
+	for i := range dst {
+		dst[i] = T(binary.BigEndian.Uint64(b[8*i:]))
+	}
+}
+
+func GetSlice64LE[T ~int64 | ~uint64](dst []T, b []byte) {
+	for i := range dst {
+		dst[i] = T(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+}
+
+func GetSliceF32BE(dst []float32, b []byte) {
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.BigEndian.Uint32(b[4*i:]))
+	}
+}
+
+func GetSliceF32LE(dst []float32, b []byte) {
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+}
+
+func GetSliceF64BE(dst []float64, b []byte) {
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.BigEndian.Uint64(b[8*i:]))
+	}
+}
+
+func GetSliceF64LE(dst []float64, b []byte) {
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+}
+
+func GetSlice8[T ~int8 | ~uint8](dst []T, b []byte) {
+	for i := range dst {
+		dst[i] = T(b[i])
+	}
+}
+
+func GetSliceBool(dst []bool, b []byte, wireWidth int, order ByteOrder) {
+	for i := range dst {
+		switch wireWidth {
+		case 1:
+			dst[i] = b[i] != 0
+		default:
+			if order == BE {
+				dst[i] = binary.BigEndian.Uint32(b[4*i:]) != 0
+			} else {
+				dst[i] = binary.LittleEndian.Uint32(b[4*i:]) != 0
+			}
+		}
+	}
+}

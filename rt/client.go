@@ -1,0 +1,75 @@
+package rt
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Client issues RPCs over one connection. Generated client stubs wrap
+// Call; the marshal buffer is reused across invocations (a Flick
+// optimization: stubs keep their buffers between calls).
+type Client struct {
+	conn  Conn
+	proto Protocol
+
+	// Prog and Vers identify the ONC program; ObjectKey the GIOP target.
+	Prog      uint32
+	Vers      uint32
+	ObjectKey []byte
+
+	mu  sync.Mutex
+	enc Encoder
+	dec Decoder
+	xid uint32
+}
+
+// NewClient wraps a connection with a message protocol.
+func NewClient(conn Conn, proto Protocol) *Client {
+	return &Client{conn: conn, proto: proto, ObjectKey: []byte("flick")}
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Call performs one invocation: marshal writes the request payload; the
+// returned decoder is positioned at the reply payload. Oneway calls
+// return (nil, nil) immediately after sending.
+func (c *Client) Call(proc uint32, opName string, oneway bool, marshal func(*Encoder)) (*Decoder, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.xid++
+	h := ReqHeader{
+		XID:       c.xid,
+		Prog:      c.Prog,
+		Vers:      c.Vers,
+		Proc:      proc,
+		OpName:    opName,
+		ObjectKey: c.ObjectKey,
+		OneWay:    oneway,
+	}
+	c.enc.Reset()
+	c.proto.WriteRequest(&c.enc, &h)
+	marshal(&c.enc)
+	if err := c.conn.Send(c.enc.Bytes()); err != nil {
+		return nil, fmt.Errorf("rt: send: %w", err)
+	}
+	if oneway {
+		return nil, nil
+	}
+	msg, err := c.conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("rt: recv: %w", err)
+	}
+	c.dec.Reset(msg)
+	rh, err := c.proto.ReadReply(&c.dec)
+	if err != nil {
+		return nil, err
+	}
+	if rh.XID != h.XID {
+		return nil, fmt.Errorf("%w: reply xid %d for call %d", ErrBadMagic, rh.XID, h.XID)
+	}
+	if rh.Status != ReplyOK {
+		return nil, ErrSystem
+	}
+	return &c.dec, nil
+}

@@ -1,0 +1,220 @@
+package rt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated reports a message shorter than its contents claim.
+var ErrTruncated = errors.New("rt: truncated message")
+
+// ErrBound reports a counted field exceeding its declared bound.
+var ErrBound = errors.New("rt: length exceeds declared bound")
+
+// ErrBadConst reports a protocol constant with the wrong value.
+var ErrBadConst = errors.New("rt: bad protocol constant")
+
+// ErrBadUnion reports an unknown union discriminator.
+var ErrBadUnion = errors.New("rt: unknown union discriminator")
+
+// Decoder reads one message payload. Errors are sticky: after a failed
+// Ensure or Len the decoder returns zero values, and Err reports the
+// first failure.
+type Decoder struct {
+	buf []byte
+	pos int
+	err error
+}
+
+// NewDecoder reads from payload.
+func NewDecoder(payload []byte) *Decoder {
+	return &Decoder{buf: payload}
+}
+
+// Reset rebinds the decoder to a new payload.
+func (d *Decoder) Reset(payload []byte) {
+	d.buf = payload
+	d.pos = 0
+	d.err = nil
+}
+
+// Err returns the sticky error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Pos returns the current read offset.
+func (d *Decoder) Pos() int { return d.pos }
+
+// Remaining returns the unread byte count.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.pos }
+
+// Fail records err (if none is recorded yet) and returns the sticky
+// error.
+func (d *Decoder) Fail(err error) error {
+	if d.err == nil {
+		d.err = err
+	}
+	return d.err
+}
+
+// Ensure checks that n more bytes are available: the single check per
+// segment in optimized stubs.
+func (d *Decoder) Ensure(n int) bool {
+	if len(d.buf)-d.pos < n {
+		d.Fail(fmt.Errorf("%w: need %d bytes at offset %d, have %d",
+			ErrTruncated, n, d.pos, len(d.buf)-d.pos))
+		return false
+	}
+	return true
+}
+
+// EnsureDyn checks base + per*count bytes.
+func (d *Decoder) EnsureDyn(base, per, count int) bool {
+	return d.Ensure(base + per*count)
+}
+
+// Next consumes an n-byte window (availability ensured).
+func (d *Decoder) Next(n int) []byte {
+	w := d.buf[d.pos : d.pos+n]
+	d.pos += n
+	return w
+}
+
+// Align skips to an n-byte boundary.
+func (d *Decoder) Align(n int) {
+	pad := (n - d.pos%n) % n
+	d.pos += pad
+	if d.pos > len(d.buf) {
+		d.pos = len(d.buf)
+		d.Fail(ErrTruncated)
+	}
+}
+
+// Unchecked reads (availability ensured by a preceding Ensure).
+
+func (d *Decoder) U8() byte {
+	v := d.buf[d.pos]
+	d.pos++
+	return v
+}
+
+func (d *Decoder) U16BE() uint16 { return binary.BigEndian.Uint16(d.Next(2)) }
+func (d *Decoder) U16LE() uint16 { return binary.LittleEndian.Uint16(d.Next(2)) }
+func (d *Decoder) U32BE() uint32 { return binary.BigEndian.Uint32(d.Next(4)) }
+func (d *Decoder) U32LE() uint32 { return binary.LittleEndian.Uint32(d.Next(4)) }
+func (d *Decoder) U64BE() uint64 { return binary.BigEndian.Uint64(d.Next(8)) }
+func (d *Decoder) U64LE() uint64 { return binary.LittleEndian.Uint64(d.Next(8)) }
+
+// Checked reads: the slow path with one availability test per datum.
+
+func (d *Decoder) U8C() byte {
+	if !d.Ensure(1) {
+		return 0
+	}
+	return d.U8()
+}
+
+func (d *Decoder) U16BEC() uint16 {
+	if !d.Ensure(2) {
+		return 0
+	}
+	return d.U16BE()
+}
+
+func (d *Decoder) U16LEC() uint16 {
+	if !d.Ensure(2) {
+		return 0
+	}
+	return d.U16LE()
+}
+
+func (d *Decoder) U32BEC() uint32 {
+	if !d.Ensure(4) {
+		return 0
+	}
+	return d.U32BE()
+}
+
+func (d *Decoder) U32LEC() uint32 {
+	if !d.Ensure(4) {
+		return 0
+	}
+	return d.U32LE()
+}
+
+func (d *Decoder) U64BEC() uint64 {
+	if !d.Ensure(8) {
+		return 0
+	}
+	return d.U64BE()
+}
+
+func (d *Decoder) U64LEC() uint64 {
+	if !d.Ensure(8) {
+		return 0
+	}
+	return d.U64LE()
+}
+
+// Len reads a u32 count (availability of the 4 count bytes must already
+// be ensured) and validates it against bound (0 means the full u32
+// range). nul subtracts the CDR string NUL from the returned count.
+func (d *Decoder) Len(order ByteOrder, bound uint32, nul bool) (int, bool) {
+	var n uint32
+	if order == BE {
+		n = d.U32BE()
+	} else {
+		n = d.U32LE()
+	}
+	return d.CheckLen(n, bound, nul)
+}
+
+// CheckLen validates an already-read count against its bound and the
+// remaining payload. nul subtracts the CDR string NUL.
+func (d *Decoder) CheckLen(n uint32, bound uint32, nul bool) (int, bool) {
+	if nul {
+		if n == 0 {
+			d.Fail(fmt.Errorf("%w: zero-length NUL-counted string", ErrBadConst))
+			return 0, false
+		}
+		n--
+	}
+	if bound != 0 && n > bound {
+		d.Fail(fmt.Errorf("%w: %d > %d", ErrBound, n, bound))
+		return 0, false
+	}
+	// Guard absurd lengths against the remaining payload so a hostile
+	// count cannot force a huge allocation.
+	if int64(n) > int64(len(d.buf)-d.pos) {
+		d.Fail(fmt.Errorf("%w: count %d exceeds remaining %d bytes",
+			ErrTruncated, n, len(d.buf)-d.pos))
+		return 0, false
+	}
+	return int(n), true
+}
+
+// CheckConst consumes an already-read value check failure.
+func (d *Decoder) CheckConst(got, want uint64) bool {
+	if got != want {
+		d.Fail(fmt.Errorf("%w: got %#x, want %#x", ErrBadConst, got, want))
+		return false
+	}
+	return true
+}
+
+// ByteOrder tags generated call sites.
+type ByteOrder int
+
+const (
+	BE ByteOrder = iota
+	LE
+)
+
+// CheckBound panics when a counted value exceeds its declared IDL bound:
+// a marshal-side contract violation by the caller, analogous to an
+// out-of-range slice index.
+func CheckBound(n int, bound uint32) {
+	if bound != 0 && n > int(bound) {
+		panic(fmt.Sprintf("rt: length %d exceeds declared bound %d", n, bound))
+	}
+}

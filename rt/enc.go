@@ -1,0 +1,116 @@
+// Package rt is Flick-Go's stub runtime: marshal buffers, encoders and
+// decoders, bulk-copy helpers, message framing, transports, and the
+// client/server plumbing that generated stubs link against.
+//
+// The encoder/decoder split mirrors the paper's optimization story:
+// generated optimized stubs call Ensure once per message segment and then
+// use unchecked writes (often through chunk windows obtained with Next);
+// naive rpcgen-style stubs call the *C (checked) variants that test buffer
+// space on every datum.
+package rt
+
+import "encoding/binary"
+
+// Encoder builds one message payload. The zero value is ready to use;
+// Reset reuses the allocation across calls (Flick stubs reuse marshal
+// buffers between invocations).
+type Encoder struct {
+	buf []byte
+}
+
+// Reset empties the encoder, keeping capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Bytes returns the encoded payload.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the current payload length.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Grow ensures capacity for n more bytes (the single check emitted per
+// fixed-size segment by optimized stubs).
+func (e *Encoder) Grow(n int) {
+	if cap(e.buf)-len(e.buf) < n {
+		nb := make([]byte, len(e.buf), grown(cap(e.buf), len(e.buf)+n))
+		copy(nb, e.buf)
+		e.buf = nb
+	}
+}
+
+// GrowDyn ensures capacity for base + per*count more bytes.
+func (e *Encoder) GrowDyn(base, per, count int) { e.Grow(base + per*count) }
+
+func grown(cur, need int) int {
+	if cur < 64 {
+		cur = 64
+	}
+	for cur < need {
+		cur *= 2
+	}
+	return cur
+}
+
+// Next appends an n-byte window and returns it: the chunk pointer.
+// The caller must have ensured capacity.
+func (e *Encoder) Next(n int) []byte {
+	l := len(e.buf)
+	e.buf = e.buf[:l+n]
+	return e.buf[l : l+n]
+}
+
+// Align pads the payload with zeros to an n-byte boundary.
+func (e *Encoder) Align(n int) {
+	pad := (n - len(e.buf)%n) % n
+	if pad == 0 {
+		return
+	}
+	e.Grow(pad)
+	w := e.Next(pad)
+	for i := range w {
+		w[i] = 0
+	}
+}
+
+// Unchecked writes (capacity ensured by a preceding Grow).
+
+func (e *Encoder) PutU8(v byte) { e.buf = append(e.buf, v) }
+
+func (e *Encoder) PutU16BE(v uint16) { binary.BigEndian.PutUint16(e.Next(2), v) }
+func (e *Encoder) PutU16LE(v uint16) { binary.LittleEndian.PutUint16(e.Next(2), v) }
+func (e *Encoder) PutU32BE(v uint32) { binary.BigEndian.PutUint32(e.Next(4), v) }
+func (e *Encoder) PutU32LE(v uint32) { binary.LittleEndian.PutUint32(e.Next(4), v) }
+func (e *Encoder) PutU64BE(v uint64) { binary.BigEndian.PutUint64(e.Next(8), v) }
+func (e *Encoder) PutU64LE(v uint64) { binary.LittleEndian.PutUint64(e.Next(8), v) }
+
+// PutBytes appends raw bytes (capacity ensured).
+func (e *Encoder) PutBytes(s []byte) { e.buf = append(e.buf, s...) }
+
+// PutString appends raw string bytes (capacity ensured).
+func (e *Encoder) PutString(s string) { e.buf = append(e.buf, s...) }
+
+// Checked writes: the rpcgen-style slow path, one capacity test per datum.
+
+func (e *Encoder) PutU8C(v byte) { e.Grow(1); e.PutU8(v) }
+
+func (e *Encoder) PutU16BEC(v uint16) { e.Grow(2); e.PutU16BE(v) }
+func (e *Encoder) PutU16LEC(v uint16) { e.Grow(2); e.PutU16LE(v) }
+func (e *Encoder) PutU32BEC(v uint32) { e.Grow(4); e.PutU32BE(v) }
+func (e *Encoder) PutU32LEC(v uint32) { e.Grow(4); e.PutU32LE(v) }
+func (e *Encoder) PutU64BEC(v uint64) { e.Grow(8); e.PutU64BE(v) }
+func (e *Encoder) PutU64LEC(v uint64) { e.Grow(8); e.PutU64LE(v) }
+
+// B2U32 converts a bool to its 4-byte wire representation (XDR booleans).
+func B2U32(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// B2U8 converts a bool to its 1-byte wire representation (CDR booleans).
+func B2U8(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,50 @@
+package rt
+
+// The rpcgen-style per-datum entry points. Real rpcgen stubs route every
+// atomic datum through xdr_int / xdr_u_short / ... which in turn call
+// through the XDR ops vector (x_putlong etc.) — a genuine function call
+// per datum. go:noinline preserves that structure so the baseline's cost
+// profile matches the system it models; the Flick-style stubs use the
+// inlinable unchecked writes instead.
+
+//go:noinline
+func NPutU8(e *Encoder, v byte) { e.PutU8C(v) }
+
+//go:noinline
+func NPutU16BE(e *Encoder, v uint16) { e.PutU16BEC(v) }
+
+//go:noinline
+func NPutU16LE(e *Encoder, v uint16) { e.PutU16LEC(v) }
+
+//go:noinline
+func NPutU32BE(e *Encoder, v uint32) { e.PutU32BEC(v) }
+
+//go:noinline
+func NPutU32LE(e *Encoder, v uint32) { e.PutU32LEC(v) }
+
+//go:noinline
+func NPutU64BE(e *Encoder, v uint64) { e.PutU64BEC(v) }
+
+//go:noinline
+func NPutU64LE(e *Encoder, v uint64) { e.PutU64LEC(v) }
+
+//go:noinline
+func NGetU8(d *Decoder) byte { return d.U8C() }
+
+//go:noinline
+func NGetU16BE(d *Decoder) uint16 { return d.U16BEC() }
+
+//go:noinline
+func NGetU16LE(d *Decoder) uint16 { return d.U16LEC() }
+
+//go:noinline
+func NGetU32BE(d *Decoder) uint32 { return d.U32BEC() }
+
+//go:noinline
+func NGetU32LE(d *Decoder) uint32 { return d.U32LEC() }
+
+//go:noinline
+func NGetU64BE(d *Decoder) uint64 { return d.U64BEC() }
+
+//go:noinline
+func NGetU64LE(d *Decoder) uint64 { return d.U64LEC() }

@@ -1,0 +1,160 @@
+package rt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func protoRoundTrip(t *testing.T, p Protocol) {
+	t.Helper()
+	h := ReqHeader{
+		XID: 42, Prog: 0x20000001, Vers: 1, Proc: 7,
+		OpName: "send_ints", ObjectKey: []byte("objkey"),
+	}
+	var e Encoder
+	p.WriteRequest(&e, &h)
+	reqLen := e.Len()
+	// The payload must begin max-aligned for every protocol we ship
+	// (our back ends assume 4 at least; GIOP needs 8).
+	if reqLen%4 != 0 {
+		t.Errorf("%s: request payload offset %d not 4-aligned", p.Name(), reqLen)
+	}
+	d := NewDecoder(e.Bytes())
+	got, err := p.ReadRequest(d)
+	if err != nil {
+		t.Fatalf("%s: ReadRequest: %v", p.Name(), err)
+	}
+	if got.XID != h.XID {
+		t.Errorf("%s: xid = %d", p.Name(), got.XID)
+	}
+	if d.Pos() != reqLen {
+		t.Errorf("%s: header read %d bytes, wrote %d", p.Name(), d.Pos(), reqLen)
+	}
+
+	var re Encoder
+	rh := RepHeader{XID: 42, Status: ReplyOK}
+	p.WriteReply(&re, &rh)
+	rd := NewDecoder(re.Bytes())
+	rgot, err := p.ReadReply(rd)
+	if err != nil {
+		t.Fatalf("%s: ReadReply: %v", p.Name(), err)
+	}
+	if rgot.XID != 42 || rgot.Status != ReplyOK {
+		t.Errorf("%s: reply header = %+v", p.Name(), rgot)
+	}
+
+	// System-error replies survive the trip.
+	re.Reset()
+	p.WriteReply(&re, &RepHeader{XID: 1, Status: ReplySystemError})
+	rgot, err = p.ReadReply(NewDecoder(re.Bytes()))
+	if err != nil || rgot.Status != ReplySystemError {
+		t.Errorf("%s: system error reply = %+v, %v", p.Name(), rgot, err)
+	}
+}
+
+func TestProtocolRoundTrips(t *testing.T) {
+	for _, p := range []Protocol{ONC{}, GIOP{}, GIOP{Little: true}, Mach{}, Fluke{}} {
+		t.Run(p.Name(), func(t *testing.T) { protoRoundTrip(t, p) })
+	}
+}
+
+func TestONCHeaderSpecifics(t *testing.T) {
+	h := ReqHeader{XID: 9, Prog: 100, Vers: 2, Proc: 3}
+	var e Encoder
+	(ONC{}).WriteRequest(&e, &h)
+	b := e.Bytes()
+	if len(b) != 40 {
+		t.Fatalf("ONC call header = %d bytes, want 40", len(b))
+	}
+	// xid, CALL, rpcvers=2, prog, vers, proc.
+	want := []byte{
+		0, 0, 0, 9, 0, 0, 0, 0, 0, 0, 0, 2,
+		0, 0, 0, 100, 0, 0, 0, 2, 0, 0, 0, 3,
+	}
+	if !bytes.Equal(b[:24], want) {
+		t.Errorf("header = %x", b[:24])
+	}
+	got, err := (ONC{}).ReadRequest(NewDecoder(b))
+	if err != nil || got.Prog != 100 || got.Vers != 2 || got.Proc != 3 {
+		t.Errorf("read = %+v, %v", got, err)
+	}
+}
+
+func TestGIOPHeaderSpecifics(t *testing.T) {
+	h := ReqHeader{XID: 5, OpName: "list", ObjectKey: []byte("k")}
+	var e Encoder
+	g := GIOP{Little: true}
+	g.WriteRequest(&e, &h)
+	b := e.Bytes()
+	if string(b[:4]) != "GIOP" {
+		t.Fatalf("magic = %q", b[:4])
+	}
+	if b[6] != 1 {
+		t.Errorf("byte order flag = %d, want 1 (little)", b[6])
+	}
+	if len(b)%8 != 0 {
+		t.Errorf("GIOP payload offset %d not 8-aligned", len(b))
+	}
+	got, err := g.ReadRequest(NewDecoder(b))
+	if err != nil || got.OpName != "list" || string(got.ObjectKey) != "k" {
+		t.Errorf("read = %+v, %v", got, err)
+	}
+	// Endianness mismatch is detected.
+	if _, err := (GIOP{}).ReadRequest(NewDecoder(b)); err == nil {
+		t.Error("BE reader accepted LE message")
+	}
+	// Bad magic is detected.
+	bad := append([]byte("JUNK"), b[4:]...)
+	if _, err := g.ReadRequest(NewDecoder(bad)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic err = %v", err)
+	}
+}
+
+func TestGIOPOpNameQuick(t *testing.T) {
+	g := GIOP{Little: true}
+	f := func(op string, key []byte) bool {
+		if len(op) > 1000 || bytes.ContainsRune([]byte(op), 0) {
+			return true
+		}
+		h := ReqHeader{XID: 1, OpName: op, ObjectKey: key}
+		var e Encoder
+		g.WriteRequest(&e, &h)
+		got, err := g.ReadRequest(NewDecoder(e.Bytes()))
+		return err == nil && got.OpName == op && bytes.Equal(got.ObjectKey, key)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTruncatedHeaders(t *testing.T) {
+	for _, p := range []Protocol{ONC{}, GIOP{Little: true}, Mach{}, Fluke{}} {
+		h := ReqHeader{XID: 1, OpName: "x", ObjectKey: []byte("k")}
+		var e Encoder
+		p.WriteRequest(&e, &h)
+		full := e.Bytes()
+		for cut := 0; cut < len(full); cut += 3 {
+			if _, err := p.ReadRequest(NewDecoder(full[:cut])); err == nil {
+				t.Errorf("%s: truncation at %d accepted", p.Name(), cut)
+			}
+		}
+	}
+}
+
+func TestProtocolByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"xdr": "onc", "onc": "onc",
+		"cdr": "giop", "cdr-le": "giop", "giop": "giop",
+		"mach3": "mach3", "fluke": "fluke",
+	} {
+		p, ok := ProtocolByName(name)
+		if !ok || p.Name() != want {
+			t.Errorf("ProtocolByName(%q) = %v,%v", name, p, ok)
+		}
+	}
+	if _, ok := ProtocolByName("nope"); ok {
+		t.Error("unknown protocol resolved")
+	}
+}

@@ -1,0 +1,120 @@
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Dispatch demultiplexes one request to a work function: it decodes the
+// arguments from d, invokes the implementation, and (for two-way
+// operations) encodes the reply payload into e. Returning ErrNoSuchOp
+// produces a protocol-level system error reply.
+type Dispatch func(h *ReqHeader, d *Decoder, e *Encoder) error
+
+// ErrNoSuchOp reports an unknown operation to the dispatcher.
+var ErrNoSuchOp = errors.New("rt: no such operation")
+
+// Server owns registered dispatchers and serves connections. Generated
+// Register* functions install one Dispatch per interface.
+type Server struct {
+	proto Protocol
+
+	mu       sync.RWMutex
+	byProg   map[uint64]Dispatch
+	fallback Dispatch
+}
+
+// NewServer builds a server for one message protocol.
+func NewServer(proto Protocol) *Server {
+	return &Server{proto: proto, byProg: map[uint64]Dispatch{}}
+}
+
+// Register installs a dispatcher for an ONC (prog, vers) pair; prog=0,
+// vers=0 installs the default dispatcher (GIOP/Mach/Fluke servers, which
+// demultiplex purely on operation).
+func (s *Server) Register(prog, vers uint32, d Dispatch) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prog == 0 && vers == 0 {
+		s.fallback = d
+		return
+	}
+	s.byProg[uint64(prog)<<32|uint64(vers)] = d
+}
+
+func (s *Server) lookup(h *ReqHeader) Dispatch {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if d, ok := s.byProg[uint64(h.Prog)<<32|uint64(h.Vers)]; ok {
+		return d
+	}
+	return s.fallback
+}
+
+// ServeConn answers requests on one connection until it closes.
+func (s *Server) ServeConn(conn Conn) error {
+	var enc Encoder
+	var dec Decoder
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		dec.Reset(msg)
+		h, err := s.proto.ReadRequest(&dec)
+		if err != nil {
+			// Malformed header: nothing identifies the caller; drop.
+			continue
+		}
+		dispatch := s.lookup(&h)
+		enc.Reset()
+		rh := RepHeader{XID: h.XID}
+		if dispatch == nil {
+			rh.Status = ReplySystemError
+			if !h.OneWay {
+				s.proto.WriteReply(&enc, &rh)
+				if err := conn.Send(enc.Bytes()); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		// Reserve the reply header region, then let the dispatcher
+		// append the payload; on failure rewrite a system-error reply.
+		s.proto.WriteReply(&enc, &rh)
+		if err := dispatch(&h, &dec, &enc); err != nil {
+			enc.Reset()
+			rh.Status = ReplySystemError
+			s.proto.WriteReply(&enc, &rh)
+		}
+		if h.OneWay {
+			continue
+		}
+		if err := conn.Send(enc.Bytes()); err != nil {
+			return err
+		}
+	}
+}
+
+// Serve accepts connections until the listener closes, answering each on
+// its own goroutine.
+func (s *Server) Serve(l Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			if err := s.ServeConn(conn); err != nil {
+				// Connection-level failures end only this conn.
+				_ = fmt.Sprintf("conn error: %v", err)
+			}
+		}()
+	}
+}

@@ -1,0 +1,232 @@
+package rt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Conn exchanges whole framed messages.
+type Conn interface {
+	// Send transmits one message. The buffer may be reused by the
+	// caller after Send returns.
+	Send(msg []byte) error
+	// Recv returns the next whole message.
+	Recv() ([]byte, error)
+	Close() error
+}
+
+// Listener accepts connections.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	Addr() string
+}
+
+// ErrClosed reports use of a closed transport.
+var ErrClosed = errors.New("rt: transport closed")
+
+// --- TCP with record marking --------------------------------------------------
+
+// tcpConn frames messages with the ONC record-marking convention: a u32
+// header whose low 31 bits give the fragment length, high bit set on the
+// last fragment. We always send whole messages as single fragments.
+type tcpConn struct {
+	c    net.Conn
+	rbuf []byte
+	wmu  sync.Mutex
+}
+
+// DialTCP connects to an RPC server over TCP.
+func DialTCP(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpConn{c: c}, nil
+}
+
+func (t *tcpConn) Send(msg []byte) error {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(msg))|0x80000000)
+	if _, err := t.c.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := t.c.Write(msg)
+	return err
+}
+
+func (t *tcpConn) Recv() ([]byte, error) {
+	var msg []byte
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(t.c, hdr[:]); err != nil {
+			return nil, err
+		}
+		mark := binary.BigEndian.Uint32(hdr[:])
+		n := int(mark & 0x7FFFFFFF)
+		if n > 64<<20 {
+			return nil, fmt.Errorf("rt: oversized record fragment (%d bytes)", n)
+		}
+		frag := make([]byte, n)
+		if _, err := io.ReadFull(t.c, frag); err != nil {
+			return nil, err
+		}
+		if msg == nil {
+			msg = frag
+		} else {
+			msg = append(msg, frag...)
+		}
+		if mark&0x80000000 != 0 {
+			return msg, nil
+		}
+	}
+}
+
+func (t *tcpConn) Close() error { return t.c.Close() }
+
+type tcpListener struct{ l net.Listener }
+
+// ListenTCP starts a TCP listener; addr ":0" picks a free port.
+func ListenTCP(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{l: l}, nil
+}
+
+func (t *tcpListener) Accept() (Conn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &tcpConn{c: c}, nil
+}
+
+func (t *tcpListener) Close() error { return t.l.Close() }
+func (t *tcpListener) Addr() string { return t.l.Addr().String() }
+
+// --- UDP ------------------------------------------------------------------------
+
+// udpConn sends each message as one datagram (classic ONC/UDP).
+type udpConn struct {
+	c *net.UDPConn
+	// peer is set on server-side conns created per datagram source.
+	peer *net.UDPAddr
+	rbuf []byte
+}
+
+// DialUDP connects a datagram client.
+func DialUDP(addr string) (Conn, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, err
+	}
+	return &udpConn{c: c, rbuf: make([]byte, 64<<10)}, nil
+}
+
+func (u *udpConn) Send(msg []byte) error {
+	if len(msg) > 64<<10 {
+		return fmt.Errorf("rt: message too large for UDP (%d bytes)", len(msg))
+	}
+	if u.peer != nil {
+		_, err := u.c.WriteToUDP(msg, u.peer)
+		return err
+	}
+	_, err := u.c.Write(msg)
+	return err
+}
+
+func (u *udpConn) Recv() ([]byte, error) {
+	n, peer, err := u.c.ReadFromUDP(u.rbuf)
+	if err != nil {
+		return nil, err
+	}
+	if u.peer == nil && peer != nil {
+		u.peer = peer
+	}
+	out := make([]byte, n)
+	copy(out, u.rbuf[:n])
+	return out, nil
+}
+
+func (u *udpConn) Close() error { return u.c.Close() }
+
+// ListenUDP returns a server-side UDP "connection" that answers each
+// datagram's source (single-conn model: suitable for one dispatch loop).
+func ListenUDP(addr string) (Conn, string, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	c, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, "", err
+	}
+	return &udpConn{c: c, rbuf: make([]byte, 64<<10)}, c.LocalAddr().String(), nil
+}
+
+// --- In-process ports (Mach / Fluke) ---------------------------------------------
+
+// pipeConn is an in-process message port pair modeling Mach ports and
+// Fluke IPC: no network stack, messages pass by reference between
+// goroutines.
+type pipeConn struct {
+	send chan<- []byte
+	recv <-chan []byte
+	once sync.Once
+	done chan struct{}
+}
+
+// Pipe returns two connected in-process ports.
+func Pipe() (Conn, Conn) {
+	a2b := make(chan []byte, 16)
+	b2a := make(chan []byte, 16)
+	done := make(chan struct{})
+	a := &pipeConn{send: a2b, recv: b2a, done: done}
+	b := &pipeConn{send: b2a, recv: a2b, done: done}
+	return a, b
+}
+
+func (p *pipeConn) Send(msg []byte) error {
+	// Fail deterministically once closed (the buffered channel could
+	// otherwise still win the race below).
+	select {
+	case <-p.done:
+		return ErrClosed
+	default:
+	}
+	// Messages pass by value (the caller reuses its buffer).
+	out := make([]byte, len(msg))
+	copy(out, msg)
+	select {
+	case p.send <- out:
+		return nil
+	case <-p.done:
+		return ErrClosed
+	}
+}
+
+func (p *pipeConn) Recv() ([]byte, error) {
+	select {
+	case m := <-p.recv:
+		return m, nil
+	case <-p.done:
+		return nil, ErrClosed
+	}
+}
+
+func (p *pipeConn) Close() error {
+	p.once.Do(func() { close(p.done) })
+	return nil
+}

@@ -1,0 +1,37 @@
+package rt
+
+// Vtbl routes every datum through a function pointer: the extra
+// indirection layer that models PowerRPC's runtime structure (rpcgen
+// compatibility plus its own dispatch layer). Each entry performs the
+// checked (per-datum-tested) operation.
+var Vtbl = struct {
+	P8    func(*Encoder, byte)
+	P16BE func(*Encoder, uint16)
+	P16LE func(*Encoder, uint16)
+	P32BE func(*Encoder, uint32)
+	P32LE func(*Encoder, uint32)
+	P64BE func(*Encoder, uint64)
+	P64LE func(*Encoder, uint64)
+	G8    func(*Decoder) byte
+	G16BE func(*Decoder) uint16
+	G16LE func(*Decoder) uint16
+	G32BE func(*Decoder) uint32
+	G32LE func(*Decoder) uint32
+	G64BE func(*Decoder) uint64
+	G64LE func(*Decoder) uint64
+}{
+	P8:    func(e *Encoder, v byte) { NPutU8(e, v) },
+	P16BE: func(e *Encoder, v uint16) { NPutU16BE(e, v) },
+	P16LE: func(e *Encoder, v uint16) { NPutU16LE(e, v) },
+	P32BE: func(e *Encoder, v uint32) { NPutU32BE(e, v) },
+	P32LE: func(e *Encoder, v uint32) { NPutU32LE(e, v) },
+	P64BE: func(e *Encoder, v uint64) { NPutU64BE(e, v) },
+	P64LE: func(e *Encoder, v uint64) { NPutU64LE(e, v) },
+	G8:    func(d *Decoder) byte { return NGetU8(d) },
+	G16BE: func(d *Decoder) uint16 { return NGetU16BE(d) },
+	G16LE: func(d *Decoder) uint16 { return NGetU16LE(d) },
+	G32BE: func(d *Decoder) uint32 { return NGetU32BE(d) },
+	G32LE: func(d *Decoder) uint32 { return NGetU32LE(d) },
+	G64BE: func(d *Decoder) uint64 { return NGetU64BE(d) },
+	G64LE: func(d *Decoder) uint64 { return NGetU64LE(d) },
+}
