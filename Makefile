@@ -1,0 +1,40 @@
+# Flick-Go build targets. `make ci` is the full gate: vet, build,
+# race-enabled tests, and the rt allocation guard.
+
+GO ?= go
+
+.PHONY: all build vet test test-race bench bench-rt generate stats ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Root-level benchmarks (the paper's tables/figures as testing.B).
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Runtime benchmarks, including the observability overhead pair
+# (BenchmarkClientCall vs BenchmarkClientCallMetrics/Traced).
+bench-rt:
+	$(GO) test -bench=. -benchmem -run=^$$ ./rt
+
+generate:
+	$(GO) generate ./...
+
+# The observability reports.
+stats:
+	$(GO) run ./cmd/flick-bench -exp checks
+	$(GO) run ./cmd/flick-bench -exp rpcstats
+	$(GO) run ./cmd/flick-stats -rounds 50
+
+ci: vet build test-race

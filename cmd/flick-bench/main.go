@@ -12,6 +12,8 @@
 //	flick-bench -exp table2    # generated stub code sizes
 //	flick-bench -exp table3    # tested compiler matrix
 //	flick-bench -exp ablation  # §3 optimization ablations
+//	flick-bench -exp rpcstats  # runtime metrics of a loopback RPC workload
+//	flick-bench -exp checks    # space checks executed per message, by stub style
 //	flick-bench -exp all
 package main
 
@@ -24,7 +26,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, fig7, table2, table3, ablation, all")
+	exp := flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, fig7, table2, table3, ablation, rpcstats, checks, all")
 	flag.Parse()
 
 	run := func(name string) bool {
@@ -63,6 +65,14 @@ func main() {
 	}
 	if run("ablation") {
 		fmt.Println(experiment.Ablation())
+		ran = true
+	}
+	if run("checks") {
+		fmt.Println(experiment.CheckCounts())
+		ran = true
+	}
+	if run("rpcstats") {
+		fmt.Println(experiment.RPCStats())
 		ran = true
 	}
 	if !ran {

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"flick"
+	"flick/internal/backend/gostub"
 )
 
 func main() {
@@ -32,6 +33,7 @@ func main() {
 	side := flag.String("side", "client", "presentation side: client or server (C only)")
 	flag.StringVar(&out, "o", "", "output file (default stdout)")
 	noOpt := flag.String("disable", "", "comma-separated optimizations to disable: group,chunk,memcpy,inline")
+	stats := flag.Bool("stats", false, "print per-stub optimizer counters to stderr")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -69,9 +71,16 @@ func main() {
 		}
 	}
 
+	if *stats {
+		opt.Stats = &gostub.Stats{}
+	}
+
 	code, err := flick.Compile(flag.Arg(0), string(src), opt)
 	if err != nil {
 		fatal(err)
+	}
+	if *stats {
+		fmt.Fprint(os.Stderr, opt.Stats.Report())
 	}
 	if out == "" {
 		fmt.Print(code)

@@ -67,6 +67,11 @@ type Options struct {
 	DisableChunk  bool
 	DisableMemcpy bool
 	DisableInline bool
+	// Stats, when non-nil, accumulates the optimizer's per-stub counters
+	// for this compilation (`flick -stats`). The C back end has no
+	// per-stub boundary in its emitter, so its counters land in
+	// Stats.Total only.
+	Stats *gostub.Stats
 }
 
 func (o Options) mirOptions() *mir.Options {
@@ -177,11 +182,16 @@ func Compile(filename, src string, opt Options) (string, error) {
 			FuncSuffix: opt.FuncSuffix,
 			SkipDecls:  opt.SkipDecls,
 			EmitRPC:    opt.EmitRPC,
+			Stats:      opt.Stats,
 		})
 	case "c":
+		copts := *opt.mirOptions()
+		if opt.Stats != nil {
+			copts.Stats = &opt.Stats.Total
+		}
 		return cstub.Generate(pf, cstub.Config{
 			Format: format,
-			Opts:   *opt.mirOptions(),
+			Opts:   copts,
 		})
 	default:
 		return "", fmt.Errorf("flick: unknown target language %q", opt.Lang)

@@ -65,6 +65,54 @@ type Config struct {
 	// EmitRPC adds client stubs and a server dispatcher on top of the
 	// marshal/unmarshal functions.
 	EmitRPC bool
+	// Stats, when non-nil, collects the optimizer counters of every
+	// stub compiled in this run (the `flick -stats` report).
+	Stats *Stats
+}
+
+// Stats aggregates compiler-side optimization counters for one
+// generation run: per-stub mir counters plus their total. It is what
+// `flick -stats` prints — the paper's §3 optimizations (grouped space
+// checks, chunks, bulk copies, inlining) as observable numbers.
+type Stats struct {
+	Total mir.Stats
+	Stubs []StubStats
+}
+
+// StubStats is one stub's optimizer counters (all of its marshal and
+// unmarshal programs: request, reply, exceptions).
+type StubStats struct {
+	Stub string
+	S    mir.Stats
+}
+
+// Report renders an aligned per-stub table with a total row.
+func (s *Stats) Report() string {
+	var b strings.Builder
+	rows := make([][2]string, 0, len(s.Stubs)+1)
+	line := func(name string, st mir.Stats) {
+		rows = append(rows, [2]string{name, fmt.Sprintf(
+			"%5d  %6d → %-5d %9d  %6d %6d %5d %5d  %4d",
+			st.Programs, st.SpaceChecksBefore, st.SpaceChecksAfter,
+			st.SpaceChecksEliminated(), st.Chunks, st.ChunkItems,
+			st.BulkArrays, st.InlinedAggregates, st.OutOfLineSubs)})
+	}
+	for _, st := range s.Stubs {
+		line(st.Stub, st.S)
+	}
+	line("TOTAL", s.Total)
+	width := len("stub")
+	for _, r := range rows {
+		if len(r[0]) > width {
+			width = len(r[0])
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %5s  %14s %9s  %6s %6s %5s %5s  %4s\n",
+		width, "stub", "progs", "checks in→out", "hoisted", "chunks", "items", "bulk", "inl", "subs")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-*s  %s\n", width, r[0], r[1])
+	}
+	return b.String()
 }
 
 func (c Config) options() mir.Options {
@@ -211,6 +259,19 @@ func stubPrefix(s *presc.Stub) string {
 func (e *emitter) stubFuncs(s *presc.Stub) (string, error) {
 	prefix := stubPrefix(s) + e.cfg.FuncSuffix
 	var out strings.Builder
+
+	if e.cfg.Stats != nil {
+		// Collect this stub's optimizer counters in a private sink, then
+		// fold them into the run-wide report when the stub is done.
+		per := &mir.Stats{}
+		saved := e.opts.Stats
+		e.opts.Stats = per
+		defer func() {
+			e.opts.Stats = saved
+			e.cfg.Stats.Stubs = append(e.cfg.Stats.Stubs, StubStats{Stub: s.Name, S: *per})
+			e.cfg.Stats.Total.Add(*per)
+		}()
+	}
 
 	reqRoots := rootsOf(s.RequestParams(), nil)
 	repRoots := rootsOf(s.ReplyParams(), s.Result)

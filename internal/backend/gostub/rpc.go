@@ -278,6 +278,12 @@ func safeChunk(s string, off int) string {
 // the reply for one operation.
 func (e *emitter) dispatchArm(s *presc.Stub) error {
 	prefix := stubPrefix(s) + e.cfg.FuncSuffix
+	if !e.demuxByName() {
+		// Numeric-demux protocols (ONC, Mach, Fluke) leave h.OpName
+		// empty after header decode; label the request so server
+		// metrics and traces report real operation names.
+		e.pf("h.OpName = %q", s.OpName)
+	}
 	if s.Oneway {
 		// Some protocols (ONC) cannot flag oneway calls on the wire;
 		// the dispatcher knows from the IDL that no reply is due.

@@ -159,6 +159,13 @@ func (lo *lowerer) lowerNode(n *pres.Node, val Ref, cur *cursor) ([]Op, error) {
 		cur.reset()
 		return []Op{&CallSub{Sub: idx, Arg: val}}, nil
 	}
+	if lo.opts.Stats != nil {
+		switch n.Kind {
+		case pres.StructKind, pres.UnionKind:
+			// An aggregate expanded in place: the inlining optimization.
+			lo.opts.Stats.InlinedAggregates++
+		}
+	}
 	return lo.lowerNodeBody(n, val, cur)
 }
 
@@ -390,10 +397,12 @@ func (lo *lowerer) lowerArrayPayload(n *pres.Node, val Ref, cur *cursor, count i
 // requires, and whether its layout is "natural" (no padding was needed
 // from the aligned origin and the size is statically known).
 func (lo *lowerer) elemStride(elem *pres.Node) (stride, maxAlign int, ok bool) {
+	topts := lo.opts
+	topts.Stats = nil // trial lowering must not pollute the counters
 	trial := &lowerer{
 		dir:      lo.dir,
 		f:        lo.f,
-		opts:     lo.opts,
+		opts:     topts,
 		subIndex: map[*pres.Node]int{},
 		active:   map[*pres.Node]int{},
 	}
@@ -617,6 +626,9 @@ func (lo *lowerer) outline(n *pres.Node) (int, error) {
 	sub := &Sub{Name: subName(n, idx), Pres: n}
 	lo.subs = append(lo.subs, sub)
 	lo.subIndex[n] = idx
+	if lo.opts.Stats != nil {
+		lo.opts.Stats.OutOfLineSubs++
+	}
 
 	// Inside a subprogram nothing is known about buffer position. The
 	// body compiles without the outline check (recursive inner

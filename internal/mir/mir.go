@@ -60,6 +60,59 @@ type Options struct {
 	// variable-but-bounded segment is treated like a fixed segment for
 	// Ensure grouping (the paper's 8KB threshold).
 	BoundedThreshold int
+	// Stats, when non-nil, accumulates optimizer counters across every
+	// program lowered with these options (the paper's §3 claims as
+	// observable numbers). Collection does not change the generated
+	// code.
+	Stats *Stats
+}
+
+// Stats counts what the optimizer did: how many buffer-space checks
+// grouping removed, how many fixed-layout chunks formed, how many
+// element loops became bulk copies, and how inlining split aggregates
+// between in-place expansion and out-of-line subprograms. One Stats
+// may accumulate across many programs (Programs counts them).
+type Stats struct {
+	// Programs is the number of marshal/unmarshal programs optimized.
+	Programs int `json:"programs"`
+	// SpaceChecksBefore / SpaceChecksAfter count the Ensure (and
+	// dynamic Ensure) ops entering and leaving the grouping pass: the
+	// difference is the checks the paper's grouped buffer management
+	// eliminated. Zero when grouping is disabled.
+	SpaceChecksBefore int `json:"space_checks_before"`
+	SpaceChecksAfter  int `json:"space_checks_after"`
+	// Chunks / ChunkItems / ChunkBytes describe the fixed-layout
+	// regions the chunking pass formed: regions, atoms placed at
+	// constant offsets within them, and their total byte size.
+	Chunks     int `json:"chunks"`
+	ChunkItems int `json:"chunk_items"`
+	ChunkBytes int `json:"chunk_bytes"`
+	// BulkArrays counts element loops converted to single bulk
+	// (memcpy-style) transfers.
+	BulkArrays int `json:"bulk_arrays"`
+	// InlinedAggregates counts named aggregates expanded in place;
+	// OutOfLineSubs counts subprograms emitted instead (recursive
+	// types, or everything when inlining is off).
+	InlinedAggregates int `json:"inlined_aggregates"`
+	OutOfLineSubs     int `json:"out_of_line_subs"`
+}
+
+// SpaceChecksEliminated returns the checks removed by grouping.
+func (s *Stats) SpaceChecksEliminated() int {
+	return s.SpaceChecksBefore - s.SpaceChecksAfter
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Programs += o.Programs
+	s.SpaceChecksBefore += o.SpaceChecksBefore
+	s.SpaceChecksAfter += o.SpaceChecksAfter
+	s.Chunks += o.Chunks
+	s.ChunkItems += o.ChunkItems
+	s.ChunkBytes += o.ChunkBytes
+	s.BulkArrays += o.BulkArrays
+	s.InlinedAggregates += o.InlinedAggregates
+	s.OutOfLineSubs += o.OutOfLineSubs
 }
 
 // AllOptimizations returns the production option set.

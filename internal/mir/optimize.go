@@ -7,15 +7,22 @@ import "flick/internal/wire"
 // chunking (it merges the statically placed survivors).
 
 func optimize(prog *Program, opts Options) {
+	// st is always non-nil inside the passes; a throwaway sink stands
+	// in when the caller did not ask for counters.
+	st := opts.Stats
+	if st == nil {
+		st = new(Stats)
+	}
+	st.Programs++
 	run := func(ops []Op) []Op {
 		if opts.Memcpy {
-			ops = memcpyPass(ops)
+			ops = memcpyPass(ops, st)
 		}
 		if opts.GroupEnsures {
-			ops = groupPass(ops, opts.BoundedThreshold, prog.Dir)
+			ops = groupPass(ops, opts.BoundedThreshold, prog.Dir, st)
 		}
 		if opts.Chunk {
-			ops = chunkPass(ops)
+			ops = chunkPass(ops, st)
 		}
 		return ops
 	}
@@ -29,13 +36,14 @@ func optimize(prog *Program, opts Options) {
 
 // memcpyPass converts element loops over atomic types into Bulk transfers
 // with a single dynamic space check. It recurses into nested bodies.
-func memcpyPass(ops []Op) []Op {
+func memcpyPass(ops []Op, st *Stats) []Op {
 	out := make([]Op, 0, len(ops))
 	for _, op := range ops {
 		switch op := op.(type) {
 		case *Loop:
-			op.Body = memcpyPass(op.Body)
+			op.Body = memcpyPass(op.Body, st)
 			if item, ok := atomicLoopBody(op); ok {
+				st.BulkArrays++
 				if op.Count >= 0 {
 					out = append(out,
 						&Ensure{Bytes: op.Count * item.Wire},
@@ -49,13 +57,13 @@ func memcpyPass(ops []Op) []Op {
 			}
 			out = append(out, op)
 		case *Opt:
-			op.Body = memcpyPass(op.Body)
+			op.Body = memcpyPass(op.Body, st)
 			out = append(out, op)
 		case *Switch:
 			for i := range op.Cases {
-				op.Cases[i].Body = memcpyPass(op.Cases[i].Body)
+				op.Cases[i].Body = memcpyPass(op.Cases[i].Body, st)
 			}
-			op.Default = memcpyPass(op.Default)
+			op.Default = memcpyPass(op.Default, st)
 			out = append(out, op)
 		default:
 			out = append(out, op)
@@ -97,13 +105,14 @@ func atomicLoopBody(l *Loop) (*Item, bool) {
 // side only exactly-sized runs group: Align ops (whose runtime padding is
 // data-dependent) and variable-size constructs flush the run instead of
 // being absorbed.
-func groupPass(ops []Op, threshold int, dir Dir) []Op {
+func groupPass(ops []Op, threshold int, dir Dir, st *Stats) []Op {
 	exact := dir == Unmarshal
 	var out []Op
 	var run []Op
 	runBytes := 0
 	flush := func() {
 		if runBytes > 0 {
+			st.SpaceChecksAfter++
 			out = append(out, &Ensure{Bytes: runBytes})
 		}
 		out = append(out, run...)
@@ -112,6 +121,7 @@ func groupPass(ops []Op, threshold int, dir Dir) []Op {
 	for i := 0; i < len(ops); i++ {
 		switch op := ops[i].(type) {
 		case *Ensure:
+			st.SpaceChecksBefore++
 			runBytes += op.Bytes
 		case *Align:
 			if exact {
@@ -129,6 +139,7 @@ func groupPass(ops []Op, threshold int, dir Dir) []Op {
 		case *Bulk:
 			run = append(run, op)
 		case *EnsureDyn:
+			st.SpaceChecksBefore++
 			// Marshal only: a bounded Bulk under the threshold can be
 			// provisioned by its bound up front.
 			if !exact && i+1 < len(ops) {
@@ -140,9 +151,10 @@ func groupPass(ops []Op, threshold int, dir Dir) []Op {
 				}
 			}
 			flush()
+			st.SpaceChecksAfter++
 			out = append(out, op)
 		case *Loop:
-			op.Body = groupPass(op.Body, threshold, dir)
+			op.Body = groupPass(op.Body, threshold, dir, st)
 			if cost, static := staticCost(op.Body); static {
 				total := 0
 				fits := false
@@ -157,7 +169,7 @@ func groupPass(ops []Op, threshold int, dir Dir) []Op {
 				}
 				if fits {
 					runBytes += total
-					op.Body = stripLeadingEnsure(op.Body)
+					op.Body = stripLeadingEnsure(op.Body, st)
 					run = append(run, op)
 					continue
 				}
@@ -166,22 +178,22 @@ func groupPass(ops []Op, threshold int, dir Dir) []Op {
 			out = append(out, op)
 		case *Switch:
 			for j := range op.Cases {
-				op.Cases[j].Body = groupPass(op.Cases[j].Body, threshold, dir)
+				op.Cases[j].Body = groupPass(op.Cases[j].Body, threshold, dir, st)
 			}
-			op.Default = groupPass(op.Default, threshold, dir)
+			op.Default = groupPass(op.Default, threshold, dir, st)
 			if maxArm, static := staticSwitch(op); static && maxArm <= threshold && !exact {
 				runBytes += maxArm
 				for j := range op.Cases {
-					op.Cases[j].Body = stripLeadingEnsure(op.Cases[j].Body)
+					op.Cases[j].Body = stripLeadingEnsure(op.Cases[j].Body, st)
 				}
-				op.Default = stripLeadingEnsure(op.Default)
+				op.Default = stripLeadingEnsure(op.Default, st)
 				run = append(run, op)
 				continue
 			}
 			flush()
 			out = append(out, op)
 		case *Opt:
-			op.Body = groupPass(op.Body, threshold, dir)
+			op.Body = groupPass(op.Body, threshold, dir, st)
 			flush()
 			out = append(out, op)
 		case *CallSub:
@@ -260,10 +272,14 @@ func staticSwitch(sw *Switch) (int, bool) {
 	return maxArm, true
 }
 
-func stripLeadingEnsure(ops []Op) []Op {
+// stripLeadingEnsure drops the Ensure ops of a body absorbed into an
+// enclosing grouped check; the recursive groupPass already counted
+// them as emitted, so absorption un-counts them.
+func stripLeadingEnsure(ops []Op, st *Stats) []Op {
 	var out []Op
 	for _, op := range ops {
 		if _, isEnsure := op.(*Ensure); isEnsure {
+			st.SpaceChecksAfter--
 			continue
 		}
 		out = append(out, op)
@@ -277,12 +293,15 @@ func stripLeadingEnsure(ops []Op) []Op {
 // regions addressed by constant offsets (the paper's chunk-pointer
 // optimization, a form of common subexpression elimination on the buffer
 // cursor). An Align op starts a new chunk; everything dynamic ends one.
-func chunkPass(ops []Op) []Op {
+func chunkPass(ops []Op, st *Stats) []Op {
 	var out []Op
 	var items []ChunkItem
 	off := 0
 	flush := func() {
 		if len(items) >= 2 {
+			st.Chunks++
+			st.ChunkItems += len(items)
+			st.ChunkBytes += off
 			out = append(out, &Chunk{Size: off, Items: items})
 		} else {
 			// A one-item chunk is just the item.
@@ -311,18 +330,18 @@ func chunkPass(ops []Op) []Op {
 			flush()
 			out = append(out, op)
 		case *Loop:
-			op.Body = chunkPass(op.Body)
+			op.Body = chunkPass(op.Body, st)
 			flush()
 			out = append(out, op)
 		case *Opt:
-			op.Body = chunkPass(op.Body)
+			op.Body = chunkPass(op.Body, st)
 			flush()
 			out = append(out, op)
 		case *Switch:
 			for j := range op.Cases {
-				op.Cases[j].Body = chunkPass(op.Cases[j].Body)
+				op.Cases[j].Body = chunkPass(op.Cases[j].Body, st)
 			}
-			op.Default = chunkPass(op.Default)
+			op.Default = chunkPass(op.Default, st)
 			flush()
 			out = append(out, op)
 		default:

@@ -1,9 +1,20 @@
 package rt
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
+
+// ErrBadXID reports a reply whose transaction id does not match the
+// outstanding call. Because Call issues one request at a time over the
+// connection, a mismatched reply means the stream is desynchronized
+// (a stale reply, a broken peer, or frame corruption): subsequent
+// calls on this connection may misparse replies. Callers should treat
+// the connection as poisoned and reconnect; the BadXIDs counter in an
+// attached Metrics makes the condition visible to operators.
+var ErrBadXID = errors.New("rt: reply xid mismatch (connection desynchronized)")
 
 // Client issues RPCs over one connection. Generated client stubs wrap
 // Call; the marshal buffer is reused across invocations (a Flick
@@ -16,6 +27,14 @@ type Client struct {
 	Prog      uint32
 	Vers      uint32
 	ObjectKey []byte
+
+	// Metrics, when non-nil, collects per-operation call/error counts,
+	// latency histograms, byte totals, and encoder/decoder space-check
+	// counters. Hooks, when non-nil, receives one TraceEvent per call.
+	// Both must be set before the first Call and not changed after;
+	// nil (the default) costs one pointer test per call.
+	Metrics *Metrics
+	Hooks   TraceHook
 
 	mu  sync.Mutex
 	enc Encoder
@@ -37,6 +56,71 @@ func (c *Client) Close() error { return c.conn.Close() }
 func (c *Client) Call(proc uint32, opName string, oneway bool, marshal func(*Encoder)) (*Decoder, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	metrics, hooks := c.Metrics, c.Hooks
+	if metrics == nil && hooks == nil {
+		// Fast path: observability disabled costs exactly the two nil
+		// tests above (no timestamps, no allocation).
+		return c.call(proc, opName, oneway, marshal, nil)
+	}
+
+	var ev *TraceEvent
+	if hooks != nil {
+		ev = &TraceEvent{Kind: TraceClientCall, Op: opName, Proc: proc, OneWay: oneway}
+	}
+	if metrics != nil {
+		// Space-check counting is off by default so the disabled
+		// path's checked puts stay store-free; turn it on now that
+		// someone reads the counters.
+		c.enc.EnableStats(true)
+		c.dec.EnableStats(true)
+	}
+	begin := time.Now()
+	d, err := c.call(proc, opName, oneway, marshal, ev)
+
+	if metrics != nil {
+		op := metrics.Op(opName)
+		op.Calls.Add(1)
+		op.ReqBytes.Add(uint64(c.enc.Len()))
+		if d != nil {
+			op.RepBytes.Add(uint64(d.Size()))
+		}
+		if err != nil {
+			op.Errors.Add(1)
+			if errors.Is(err, ErrBadXID) {
+				metrics.BadXIDs.Add(1)
+			}
+		}
+		if oneway {
+			metrics.Oneways.Add(1)
+		}
+		op.Latency.Observe(time.Since(begin))
+		metrics.addEnc(c.enc.TakeStats())
+		metrics.addDec(c.dec.TakeStats())
+	}
+	if hooks != nil {
+		ev.Begin = begin
+		ev.End = time.Now()
+		ev.XID = c.xid
+		ev.ReqBytes = c.enc.Len()
+		if d != nil {
+			ev.RepBytes = d.Size()
+		}
+		ev.Err = err
+		if hooks.WantWire() {
+			ev.ReqWire = append([]byte(nil), c.enc.Bytes()...)
+			if d != nil {
+				ev.RepWire = append([]byte(nil), c.dec.buf...)
+			}
+		}
+		hooks.Trace(ev)
+	}
+	return d, err
+}
+
+// call is the uninstrumented invocation body. ev, when non-nil,
+// receives the phase timestamp taken right after the request is handed
+// to the transport.
+func (c *Client) call(proc uint32, opName string, oneway bool, marshal func(*Encoder), ev *TraceEvent) (*Decoder, error) {
 	c.xid++
 	h := ReqHeader{
 		XID:       c.xid,
@@ -53,6 +137,9 @@ func (c *Client) Call(proc uint32, opName string, oneway bool, marshal func(*Enc
 	if err := c.conn.Send(c.enc.Bytes()); err != nil {
 		return nil, fmt.Errorf("rt: send: %w", err)
 	}
+	if ev != nil {
+		ev.Sent = time.Now()
+	}
 	if oneway {
 		return nil, nil
 	}
@@ -66,7 +153,7 @@ func (c *Client) Call(proc uint32, opName string, oneway bool, marshal func(*Enc
 		return nil, err
 	}
 	if rh.XID != h.XID {
-		return nil, fmt.Errorf("%w: reply xid %d for call %d", ErrBadMagic, rh.XID, h.XID)
+		return nil, fmt.Errorf("%w: reply xid %d for call %d", ErrBadXID, rh.XID, h.XID)
 	}
 	if rh.Status != ReplyOK {
 		return nil, ErrSystem

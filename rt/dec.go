@@ -25,11 +25,69 @@ type Decoder struct {
 	buf []byte
 	pos int
 	err error
+	// lim is Ensure's fast-path limit: len(buf) normally, -1 while
+	// counting is enabled. Ensure tests `lim - pos < n`, so with
+	// lim == len(buf) it is exactly the availability check, and with
+	// lim == -1 it always routes through ensureSlow, where the
+	// counters live (the same trick as Encoder.lim: the disabled
+	// path stays a single compare, which keeps the per-datum checked
+	// reads no more expensive than before counting existed).
+	lim int
+	// Observability counters (see DecStats). Plain integers: a Decoder
+	// is single-reader by contract.
+	stats   bool
+	nEnsure uint64
+	nFail   uint64
 }
+
+// relim recomputes the fast-path limit after anything that rebinds
+// d.buf or changes the counting mode.
+func (d *Decoder) relim() {
+	if d.stats {
+		d.lim = -1 // lim-pos < n for every n >= 0: always take ensureSlow
+	} else {
+		d.lim = len(d.buf)
+	}
+}
+
+// EnableStats turns space-check counting on or off (off by default).
+// The runtime enables it when a Metrics registry is attached; with
+// counting off, Ensure and Fail do not touch the counters.
+func (d *Decoder) EnableStats(on bool) {
+	d.stats = on
+	d.relim()
+}
+
+// DecStats reports a decoder's space-check counters: EnsureChecks is
+// the number of Ensure calls (the paper's unmarshal-side truncation
+// checks — optimized stubs emit one per message segment, naive stubs
+// one per datum), Failures the number of recorded decode failures.
+type DecStats struct {
+	EnsureChecks uint64 `json:"ensure_checks"`
+	Failures     uint64 `json:"failures"`
+}
+
+// Stats returns the counters accumulated since construction or the
+// last TakeStats. Reset does not clear them (they span a decoder's
+// whole reuse lifetime).
+func (d *Decoder) Stats() DecStats {
+	return DecStats{EnsureChecks: d.nEnsure, Failures: d.nFail}
+}
+
+// TakeStats returns the accumulated counters and zeroes them (the
+// runtime drains per-call deltas into a Metrics registry this way).
+func (d *Decoder) TakeStats() DecStats {
+	s := d.Stats()
+	d.nEnsure, d.nFail = 0, 0
+	return s
+}
+
+// Size returns the total payload length the decoder was bound to.
+func (d *Decoder) Size() int { return len(d.buf) }
 
 // NewDecoder reads from payload.
 func NewDecoder(payload []byte) *Decoder {
-	return &Decoder{buf: payload}
+	return &Decoder{buf: payload, lim: len(payload)}
 }
 
 // Reset rebinds the decoder to a new payload.
@@ -37,6 +95,7 @@ func (d *Decoder) Reset(payload []byte) {
 	d.buf = payload
 	d.pos = 0
 	d.err = nil
+	d.relim()
 }
 
 // Err returns the sticky error, if any.
@@ -51,6 +110,9 @@ func (d *Decoder) Remaining() int { return len(d.buf) - d.pos }
 // Fail records err (if none is recorded yet) and returns the sticky
 // error.
 func (d *Decoder) Fail(err error) error {
+	if d.stats {
+		d.nFail++
+	}
 	if d.err == nil {
 		d.err = err
 	}
@@ -60,6 +122,23 @@ func (d *Decoder) Fail(err error) error {
 // Ensure checks that n more bytes are available: the single check per
 // segment in optimized stubs.
 func (d *Decoder) Ensure(n int) bool {
+	if d.lim-d.pos < n {
+		return d.ensureSlow(n)
+	}
+	return true
+}
+
+// ensureSlow is Ensure's out-of-line path: a genuine availability
+// failure, or — while counting is enabled — every Ensure call, so the
+// counters never touch the inlined fast path. Kept out of line (and
+// out of Ensure's inlining budget) so the per-datum checked reads stay
+// as cheap as before counting existed.
+//
+//go:noinline
+func (d *Decoder) ensureSlow(n int) bool {
+	if d.stats {
+		d.nEnsure++
+	}
 	if len(d.buf)-d.pos < n {
 		d.Fail(fmt.Errorf("%w: need %d bytes at offset %d, have %d",
 			ErrTruncated, n, d.pos, len(d.buf)-d.pos))

@@ -16,6 +16,68 @@ import "encoding/binary"
 // buffers between invocations).
 type Encoder struct {
 	buf []byte
+	// lim is Grow's fast-path capacity limit: cap(buf) normally, -1
+	// while counting is enabled. Grow tests `lim - len(buf) < n`, so
+	// with lim == cap(buf) it is exactly the capacity check, and with
+	// lim == -1 it always fails and routes through growSlow, where
+	// the counters live. The gate costs nothing when disabled: the
+	// fast path is the same single compare either way, and keeping
+	// Grow this small is what lets the checked puts inline into the
+	// naive per-datum wrappers (one extra test there is a blown
+	// inlining budget and a function call per datum, ~20% on the
+	// byte-loop workloads). lim is conservative: if an append grows
+	// the buffer behind Grow's back, lim merely under-reports
+	// capacity and the next Grow takes the slow path once, which
+	// refreshes it.
+	lim int
+	// Observability counters (see EncStats). Plain integers: an
+	// Encoder is single-writer by contract.
+	stats    bool
+	nGrow    uint64
+	nRealloc uint64
+}
+
+// relim recomputes the fast-path limit after anything that changes
+// cap(e.buf) or the counting mode.
+func (e *Encoder) relim() {
+	if e.stats {
+		e.lim = -1 // lim-len < n for every n >= 0: always take growSlow
+	} else {
+		e.lim = cap(e.buf)
+	}
+}
+
+// EnableStats turns space-check counting on or off (off by default).
+// The runtime enables it when a Metrics registry is attached; with
+// counting off, Grow does not touch the counters.
+func (e *Encoder) EnableStats(on bool) {
+	e.stats = on
+	e.relim()
+}
+
+// EncStats reports an encoder's space-check counters: GrowChecks is
+// the number of Grow calls (the paper's marshal-side ensure-space
+// checks — optimized stubs emit one per message segment, naive stubs
+// one per datum), GrowAllocs the subset that had to reallocate the
+// buffer.
+type EncStats struct {
+	GrowChecks uint64 `json:"grow_checks"`
+	GrowAllocs uint64 `json:"grow_allocs"`
+}
+
+// Stats returns the counters accumulated since construction or the
+// last TakeStats. Reset does not clear them (they span an encoder's
+// whole reuse lifetime).
+func (e *Encoder) Stats() EncStats {
+	return EncStats{GrowChecks: e.nGrow, GrowAllocs: e.nRealloc}
+}
+
+// TakeStats returns the accumulated counters and zeroes them (the
+// runtime drains per-call deltas into a Metrics registry this way).
+func (e *Encoder) TakeStats() EncStats {
+	s := e.Stats()
+	e.nGrow, e.nRealloc = 0, 0
+	return s
 }
 
 // Reset empties the encoder, keeping capacity.
@@ -30,11 +92,31 @@ func (e *Encoder) Len() int { return len(e.buf) }
 // Grow ensures capacity for n more bytes (the single check emitted per
 // fixed-size segment by optimized stubs).
 func (e *Encoder) Grow(n int) {
+	if e.lim-len(e.buf) < n {
+		e.growSlow(n)
+	}
+}
+
+// growSlow is Grow's out-of-line path: a genuine reallocation, a
+// stale-lim refresh, or — while counting is enabled — every Grow
+// call, so the counters never touch the inlined fast path. Kept out
+// of line (and out of Grow's inlining budget) so the checked puts
+// still inline into the naive per-datum wrappers.
+//
+//go:noinline
+func (e *Encoder) growSlow(n int) {
+	if e.stats {
+		e.nGrow++
+	}
 	if cap(e.buf)-len(e.buf) < n {
+		if e.stats {
+			e.nRealloc++
+		}
 		nb := make([]byte, len(e.buf), grown(cap(e.buf), len(e.buf)+n))
 		copy(nb, e.buf)
 		e.buf = nb
 	}
+	e.relim()
 }
 
 // GrowDyn ensures capacity for base + per*count more bytes.
@@ -90,7 +172,17 @@ func (e *Encoder) PutString(s string) { e.buf = append(e.buf, s...) }
 
 // Checked writes: the rpcgen-style slow path, one capacity test per datum.
 
-func (e *Encoder) PutU8C(v byte) { e.Grow(1); e.PutU8(v) }
+// PutU8C writes one checked byte. The guard is Grow(1) with the
+// comparison algebraically simplified (lim-len < 1 ⇔ lim ≤ len) so the
+// method stays within the inlining budget: interpretive marshalers and
+// naive stubs call it once per byte, and whether it inlines is worth
+// ~10% on the byte-loop workloads.
+func (e *Encoder) PutU8C(v byte) {
+	if e.lim <= len(e.buf) {
+		e.growSlow(1)
+	}
+	e.PutU8(v)
+}
 
 func (e *Encoder) PutU16BEC(v uint16) { e.Grow(2); e.PutU16BE(v) }
 func (e *Encoder) PutU16LEC(v uint16) { e.Grow(2); e.PutU16LE(v) }

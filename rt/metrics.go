@@ -1,0 +1,373 @@
+// Runtime observability: per-operation metrics for clients and servers.
+//
+// The paper's whole argument is quantitative — fewer buffer-space checks,
+// fewer copies, cheaper dispatch — so the runtime exposes the numbers
+// directly instead of leaving end-to-end wall clock as the only evidence.
+// A *Metrics attached to a Client or Server collects, per operation:
+// call and error counts, a lock-free log2 latency histogram, and
+// request/reply byte totals; plus transport-level counters (dropped
+// malformed headers, desynchronized replies, per-connection failures)
+// and the Encoder/Decoder space-check counters that make the §3
+// "grouped buffer management" optimization observable at runtime.
+//
+// Everything is sync/atomic: recording is lock-free and safe from any
+// number of goroutines. A nil *Metrics disables collection entirely; the
+// only cost on that path is one pointer test per call.
+package rt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NumLatencyBuckets is the fixed bucket count of latency histograms.
+// Bucket i counts observations whose nanosecond value has bit length i
+// (i.e. values in [2^(i-1), 2^i)), so the histogram spans 1ns to ~9min
+// with no allocation and no locking.
+const NumLatencyBuckets = 40
+
+// Histogram is a lock-free fixed-bucket log2 histogram of durations.
+// The zero value is ready to use.
+type Histogram struct {
+	buckets [NumLatencyBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+	max     atomic.Uint64 // nanoseconds
+}
+
+// bucketIndex returns the bucket for a nanosecond value.
+func bucketIndex(ns uint64) int {
+	i := bits.Len64(ns) // 0 only for ns == 0
+	if i >= NumLatencyBuckets {
+		i = NumLatencyBuckets - 1
+	}
+	return i
+}
+
+// BucketUpper returns the exclusive upper bound of bucket i.
+func BucketUpper(i int) time.Duration {
+	if i >= 63 {
+		return time.Duration(1<<63 - 1)
+	}
+	return time.Duration(uint64(1) << uint(i))
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.buckets[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Snapshot copies the histogram state at one (approximate) instant.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		SumNs: h.sum.Load(),
+		MaxNs: h.max.Load(),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	Count   uint64                    `json:"count"`
+	SumNs   uint64                    `json:"sum_ns"`
+	MaxNs   uint64                    `json:"max_ns"`
+	Buckets [NumLatencyBuckets]uint64 `json:"buckets"`
+}
+
+// Mean returns the average observed duration.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNs / s.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1): the
+// exclusive upper edge of the bucket containing that rank. The log2
+// buckets bound the error to a factor of two.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range s.Buckets {
+		seen += c
+		if seen >= rank {
+			return BucketUpper(i)
+		}
+	}
+	return time.Duration(s.MaxNs)
+}
+
+// OpStats aggregates one operation's counters. All fields are atomic;
+// update and read from any goroutine.
+type OpStats struct {
+	// Calls counts invocations (client: issued calls; server:
+	// dispatched requests, including failing ones).
+	Calls atomic.Uint64
+	// Errors counts failed invocations (client: Call returned an
+	// error; server: the dispatcher returned an error).
+	Errors atomic.Uint64
+	// ReqBytes / RepBytes total the framed request and reply message
+	// sizes, headers included.
+	ReqBytes atomic.Uint64
+	RepBytes atomic.Uint64
+	// Latency is the per-call duration distribution (client: whole
+	// round trip; server: decode + dispatch + reply encode/send).
+	Latency Histogram
+}
+
+// Metrics is a registry of per-operation and transport-level counters,
+// attachable to a Client or Server. The zero value is ready to use; a
+// nil *Metrics disables collection (the runtime's fast path is a single
+// nil test). Share one Metrics across clients and servers freely — all
+// updates are atomic.
+type Metrics struct {
+	ops sync.Map // string -> *OpStats
+
+	// Conns counts connections served (ServeConn entries).
+	Conns atomic.Uint64
+	// ConnErrors counts connections that ended with a transport or
+	// protocol error (previously swallowed silently by Serve).
+	ConnErrors atomic.Uint64
+	// BadHeaders counts received requests dropped because their header
+	// did not parse. The requests are unanswerable (nothing identifies
+	// the caller), so this counter is the only trace they leave.
+	BadHeaders atomic.Uint64
+	// BadXIDs counts replies whose transaction id did not match the
+	// outstanding call: the connection is desynchronized (see
+	// ErrBadXID).
+	BadXIDs atomic.Uint64
+	// DispatchErrors counts server dispatch failures (unknown
+	// operation, malformed arguments, work-function errors).
+	DispatchErrors atomic.Uint64
+	// Oneways counts invocations that did not expect a reply.
+	Oneways atomic.Uint64
+
+	// Encoder/Decoder space-check counters, folded in per call (client)
+	// or per request (server). EncGrowChecks counts Encoder.Grow calls
+	// (the paper's ensure-space checks on the marshal side: optimized
+	// stubs emit one per message segment, naive stubs one per datum);
+	// EncGrowAllocs counts the subset that had to reallocate the
+	// buffer. DecEnsureChecks counts Decoder.Ensure calls;
+	// DecFailures counts decode failures (truncation, bounds, bad
+	// constants).
+	EncGrowChecks   atomic.Uint64
+	EncGrowAllocs   atomic.Uint64
+	DecEnsureChecks atomic.Uint64
+	DecFailures     atomic.Uint64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Op returns the counter block for an operation name, creating it on
+// first use. Hot-path callers hit the sync.Map read path (lock-free
+// after the first call per op).
+func (m *Metrics) Op(name string) *OpStats {
+	if v, ok := m.ops.Load(name); ok {
+		return v.(*OpStats)
+	}
+	v, _ := m.ops.LoadOrStore(name, &OpStats{})
+	return v.(*OpStats)
+}
+
+// addEnc folds drained encoder counters into the registry.
+func (m *Metrics) addEnc(s EncStats) {
+	if s.GrowChecks != 0 {
+		m.EncGrowChecks.Add(s.GrowChecks)
+	}
+	if s.GrowAllocs != 0 {
+		m.EncGrowAllocs.Add(s.GrowAllocs)
+	}
+}
+
+// addDec folds drained decoder counters into the registry.
+func (m *Metrics) addDec(s DecStats) {
+	if s.EnsureChecks != 0 {
+		m.DecEnsureChecks.Add(s.EnsureChecks)
+	}
+	if s.Failures != 0 {
+		m.DecFailures.Add(s.Failures)
+	}
+}
+
+// OpSnapshot is a point-in-time copy of one operation's counters, with
+// convenience quantiles precomputed from the latency histogram.
+type OpSnapshot struct {
+	Op       string            `json:"op"`
+	Calls    uint64            `json:"calls"`
+	Errors   uint64            `json:"errors"`
+	ReqBytes uint64            `json:"req_bytes"`
+	RepBytes uint64            `json:"rep_bytes"`
+	Latency  HistogramSnapshot `json:"latency"`
+	MeanNs   uint64            `json:"mean_ns"`
+	P50Ns    uint64            `json:"p50_ns"`
+	P90Ns    uint64            `json:"p90_ns"`
+	P99Ns    uint64            `json:"p99_ns"`
+	MaxNs    uint64            `json:"max_ns"`
+}
+
+// Snapshot is a stable, point-in-time copy of a Metrics registry,
+// suitable for JSON encoding. Ops are sorted by name.
+type Snapshot struct {
+	Ops []OpSnapshot `json:"ops"`
+
+	Conns          uint64 `json:"conns"`
+	ConnErrors     uint64 `json:"conn_errors"`
+	BadHeaders     uint64 `json:"bad_headers"`
+	BadXIDs        uint64 `json:"bad_xids"`
+	DispatchErrors uint64 `json:"dispatch_errors"`
+	Oneways        uint64 `json:"oneways"`
+
+	EncGrowChecks   uint64 `json:"enc_grow_checks"`
+	EncGrowAllocs   uint64 `json:"enc_grow_allocs"`
+	DecEnsureChecks uint64 `json:"dec_ensure_checks"`
+	DecFailures     uint64 `json:"dec_failures"`
+}
+
+// Snapshot copies the registry. Individual counters are loaded
+// atomically; the set is not a consistent cut under concurrent updates
+// (totals may be mid-call), which is the usual monitoring contract.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Conns:           m.Conns.Load(),
+		ConnErrors:      m.ConnErrors.Load(),
+		BadHeaders:      m.BadHeaders.Load(),
+		BadXIDs:         m.BadXIDs.Load(),
+		DispatchErrors:  m.DispatchErrors.Load(),
+		Oneways:         m.Oneways.Load(),
+		EncGrowChecks:   m.EncGrowChecks.Load(),
+		EncGrowAllocs:   m.EncGrowAllocs.Load(),
+		DecEnsureChecks: m.DecEnsureChecks.Load(),
+		DecFailures:     m.DecFailures.Load(),
+	}
+	m.ops.Range(func(k, v any) bool {
+		op := v.(*OpStats)
+		lat := op.Latency.Snapshot()
+		s.Ops = append(s.Ops, OpSnapshot{
+			Op:       k.(string),
+			Calls:    op.Calls.Load(),
+			Errors:   op.Errors.Load(),
+			ReqBytes: op.ReqBytes.Load(),
+			RepBytes: op.RepBytes.Load(),
+			Latency:  lat,
+			MeanNs:   uint64(lat.Mean()),
+			P50Ns:    uint64(lat.Quantile(0.50)),
+			P90Ns:    uint64(lat.Quantile(0.90)),
+			P99Ns:    uint64(lat.Quantile(0.99)),
+			MaxNs:    lat.MaxNs,
+		})
+		return true
+	})
+	sort.Slice(s.Ops, func(i, j int) bool { return s.Ops[i].Op < s.Ops[j].Op })
+	return s
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// WriteTo writes an expvar/Prometheus-style text exposition: one
+// `name value` line per counter, per-op counters labeled
+// `{op="name"}`. It implements io.WriterTo.
+func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	pr := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		total += int64(n)
+		return err
+	}
+	globals := []struct {
+		name string
+		v    uint64
+	}{
+		{"flick_conns", s.Conns},
+		{"flick_conn_errors", s.ConnErrors},
+		{"flick_bad_headers", s.BadHeaders},
+		{"flick_bad_xids", s.BadXIDs},
+		{"flick_dispatch_errors", s.DispatchErrors},
+		{"flick_oneways", s.Oneways},
+		{"flick_enc_grow_checks", s.EncGrowChecks},
+		{"flick_enc_grow_allocs", s.EncGrowAllocs},
+		{"flick_dec_ensure_checks", s.DecEnsureChecks},
+		{"flick_dec_failures", s.DecFailures},
+	}
+	for _, g := range globals {
+		if err := pr("%s %d\n", g.name, g.v); err != nil {
+			return total, err
+		}
+	}
+	for _, op := range s.Ops {
+		rows := []struct {
+			name string
+			v    uint64
+		}{
+			{"calls", op.Calls},
+			{"errors", op.Errors},
+			{"req_bytes", op.ReqBytes},
+			{"rep_bytes", op.RepBytes},
+			{"latency_mean_ns", op.MeanNs},
+			{"latency_p50_ns", op.P50Ns},
+			{"latency_p90_ns", op.P90Ns},
+			{"latency_p99_ns", op.P99Ns},
+			{"latency_max_ns", op.MaxNs},
+		}
+		for _, r := range rows {
+			if err := pr("flick_op_%s{op=%q} %d\n", r.name, op.Op, r.v); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// String renders the text exposition.
+func (s Snapshot) String() string {
+	var b writerToString
+	s.WriteTo(&b)
+	return string(b)
+}
+
+type writerToString []byte
+
+func (w *writerToString) Write(p []byte) (int, error) {
+	*w = append(*w, p...)
+	return len(p), nil
+}

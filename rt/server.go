@@ -2,9 +2,9 @@ package rt
 
 import (
 	"errors"
-	"fmt"
 	"io"
 	"sync"
+	"time"
 )
 
 // Dispatch demultiplexes one request to a work function: it decodes the
@@ -20,6 +20,16 @@ var ErrNoSuchOp = errors.New("rt: no such operation")
 // Register* functions install one Dispatch per interface.
 type Server struct {
 	proto Protocol
+
+	// Metrics, when non-nil, collects per-operation dispatch counters,
+	// latency histograms, byte totals, and transport-level counters
+	// (connections, dropped malformed headers, connection failures).
+	// Hooks, when non-nil, receives one TraceEvent per dispatched
+	// request, dropped request, and failed connection. Both must be
+	// set before serving and not changed after; nil (the default)
+	// costs one pointer test per connection loop iteration.
+	Metrics *Metrics
+	Hooks   TraceHook
 
 	mu       sync.RWMutex
 	byProg   map[uint64]Dispatch
@@ -57,6 +67,15 @@ func (s *Server) lookup(h *ReqHeader) Dispatch {
 func (s *Server) ServeConn(conn Conn) error {
 	var enc Encoder
 	var dec Decoder
+	metrics, hooks := s.Metrics, s.Hooks
+	observed := metrics != nil || hooks != nil
+	if metrics != nil {
+		metrics.Conns.Add(1)
+		// Counting is gated (see Encoder.EnableStats): enable it only
+		// when the counters feed an attached registry.
+		enc.EnableStats(true)
+		dec.EnableStats(true)
+	}
 	for {
 		msg, err := conn.Recv()
 		if err != nil {
@@ -65,44 +84,138 @@ func (s *Server) ServeConn(conn Conn) error {
 			}
 			return err
 		}
+		var begin time.Time
+		if observed {
+			begin = time.Now()
+		}
 		dec.Reset(msg)
 		h, err := s.proto.ReadRequest(&dec)
 		if err != nil {
-			// Malformed header: nothing identifies the caller; drop.
+			// Malformed header: nothing identifies the caller, so no
+			// reply is possible — count the drop instead of losing it
+			// invisibly.
+			if metrics != nil {
+				metrics.BadHeaders.Add(1)
+				metrics.addDec(dec.TakeStats())
+			}
+			if hooks != nil {
+				hooks.Trace(&TraceEvent{
+					Kind: TraceBadHeader, Begin: begin, End: time.Now(),
+					ReqBytes: len(msg), Err: err,
+				})
+			}
 			continue
 		}
 		dispatch := s.lookup(&h)
 		enc.Reset()
 		rh := RepHeader{XID: h.XID}
+		var workErr error
+		replied := false
 		if dispatch == nil {
+			workErr = ErrNoSuchOp
 			rh.Status = ReplySystemError
 			if !h.OneWay {
 				s.proto.WriteReply(&enc, &rh)
 				if err := conn.Send(enc.Bytes()); err != nil {
+					s.finishRequest(metrics, hooks, &h, begin, len(msg), &enc, &dec, workErr, false)
 					return err
 				}
+				replied = true
 			}
-			continue
-		}
-		// Reserve the reply header region, then let the dispatcher
-		// append the payload; on failure rewrite a system-error reply.
-		s.proto.WriteReply(&enc, &rh)
-		if err := dispatch(&h, &dec, &enc); err != nil {
-			enc.Reset()
-			rh.Status = ReplySystemError
+		} else {
+			// Reserve the reply header region, then let the dispatcher
+			// append the payload; on failure rewrite a system-error reply.
 			s.proto.WriteReply(&enc, &rh)
+			workErr = dispatch(&h, &dec, &enc)
+			if workErr != nil {
+				enc.Reset()
+				rh.Status = ReplySystemError
+				s.proto.WriteReply(&enc, &rh)
+			}
+			if !h.OneWay {
+				if err := conn.Send(enc.Bytes()); err != nil {
+					s.finishRequest(metrics, hooks, &h, begin, len(msg), &enc, &dec, workErr, false)
+					return err
+				}
+				replied = true
+			}
 		}
-		if h.OneWay {
-			continue
-		}
-		if err := conn.Send(enc.Bytes()); err != nil {
-			return err
+		if observed {
+			s.finishRequest(metrics, hooks, &h, begin, len(msg), &enc, &dec, workErr, replied)
 		}
 	}
 }
 
+// finishRequest records one dispatched request into the attached
+// metrics and trace hook. It runs only when observability is enabled.
+func (s *Server) finishRequest(metrics *Metrics, hooks TraceHook, h *ReqHeader,
+	begin time.Time, reqBytes int, enc *Encoder, dec *Decoder, workErr error, replied bool) {
+	repBytes := 0
+	if replied {
+		repBytes = enc.Len()
+	}
+	if metrics != nil {
+		op := metrics.Op(opLabel(h))
+		op.Calls.Add(1)
+		op.ReqBytes.Add(uint64(reqBytes))
+		op.RepBytes.Add(uint64(repBytes))
+		if workErr != nil {
+			op.Errors.Add(1)
+			metrics.DispatchErrors.Add(1)
+		}
+		if h.OneWay {
+			metrics.Oneways.Add(1)
+		}
+		op.Latency.Observe(time.Since(begin))
+		metrics.addEnc(enc.TakeStats())
+		metrics.addDec(dec.TakeStats())
+	}
+	if hooks != nil {
+		ev := &TraceEvent{
+			Kind: TraceServerDispatch, Op: h.OpName, Proc: h.Proc, XID: h.XID,
+			OneWay: h.OneWay, Begin: begin, End: time.Now(),
+			ReqBytes: reqBytes, RepBytes: repBytes, Err: workErr,
+		}
+		if replied {
+			ev.Sent = ev.End
+		}
+		if hooks.WantWire() && replied {
+			ev.RepWire = append([]byte(nil), enc.Bytes()...)
+		}
+		hooks.Trace(ev)
+	}
+}
+
+// opLabel names an operation for the metrics registry: the wire or
+// stub-provided operation name when known (generated dispatchers label
+// h.OpName as they demultiplex), the numeric procedure otherwise.
+func opLabel(h *ReqHeader) string {
+	if h.OpName != "" {
+		return h.OpName
+	}
+	return "proc-" + utoa(h.Proc)
+}
+
+// utoa is strconv.FormatUint for small positive numbers without the
+// import weight; operation codes are tiny.
+func utoa(v uint32) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [10]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
 // Serve accepts connections until the listener closes, answering each on
-// its own goroutine.
+// its own goroutine. Per-connection failures end only that connection;
+// they are routed to the server's Metrics (ConnErrors) and trace hook
+// rather than being silently discarded.
 func (s *Server) Serve(l Listener) error {
 	for {
 		conn, err := l.Accept()
@@ -112,9 +225,20 @@ func (s *Server) Serve(l Listener) error {
 		go func() {
 			defer conn.Close()
 			if err := s.ServeConn(conn); err != nil {
-				// Connection-level failures end only this conn.
-				_ = fmt.Sprintf("conn error: %v", err)
+				s.connError(err)
 			}
 		}()
+	}
+}
+
+// connError surfaces a connection-level failure through the
+// observability layer.
+func (s *Server) connError(err error) {
+	if s.Metrics != nil {
+		s.Metrics.ConnErrors.Add(1)
+	}
+	if s.Hooks != nil {
+		now := time.Now()
+		s.Hooks.Trace(&TraceEvent{Kind: TraceConnError, Begin: now, End: now, Err: err})
 	}
 }

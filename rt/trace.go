@@ -1,0 +1,160 @@
+// Trace hooks: a pluggable interceptor on Client.Call and
+// Server.ServeConn. A nil hook costs one pointer test per call; a
+// non-nil hook receives one TraceEvent per completed client call,
+// server dispatch, dropped request, or failed connection, with phase
+// timestamps and (behind the hook's verbosity) raw wire dumps.
+package rt
+
+import (
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// TraceKind classifies a TraceEvent.
+type TraceKind int
+
+const (
+	// TraceClientCall is one completed (or failed) client invocation.
+	TraceClientCall TraceKind = iota
+	// TraceServerDispatch is one request handled by a server.
+	TraceServerDispatch
+	// TraceBadHeader is a received request dropped because its header
+	// did not parse; Err carries the parse failure.
+	TraceBadHeader
+	// TraceConnError is a connection that ended with a transport or
+	// protocol error (surfaced from Server.Serve, which previously
+	// swallowed these).
+	TraceConnError
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceClientCall:
+		return "client-call"
+	case TraceServerDispatch:
+		return "server-dispatch"
+	case TraceBadHeader:
+		return "bad-header"
+	case TraceConnError:
+		return "conn-error"
+	}
+	return fmt.Sprintf("TraceKind(%d)", int(k))
+}
+
+// TraceEvent describes one traced unit of work. Events are delivered
+// synchronously on the calling goroutine after the unit completes; the
+// event and its byte slices must not be retained past the Trace call
+// (copy what you keep).
+type TraceEvent struct {
+	Kind TraceKind
+	// Op is the operation name; Proc the numeric operation code.
+	Op   string
+	Proc uint32
+	// XID is the transaction id of the call or request.
+	XID    uint32
+	OneWay bool
+	// Begin is when the unit started (client: entering Call; server:
+	// request received). Sent is the post-transmit timestamp (client:
+	// request handed to the transport; server: reply handed to the
+	// transport; zero for oneway/dropped units). End is when the unit
+	// completed.
+	Begin time.Time
+	Sent  time.Time
+	End   time.Time
+	// ReqBytes / RepBytes are framed message sizes, headers included.
+	ReqBytes int
+	RepBytes int
+	// Err is the unit's failure, nil on success.
+	Err error
+	// ReqWire / RepWire hold copies of the raw messages, populated
+	// only when the hook's WantWire reports true.
+	ReqWire []byte
+	RepWire []byte
+}
+
+// Duration returns End - Begin.
+func (ev *TraceEvent) Duration() time.Duration { return ev.End.Sub(ev.Begin) }
+
+// TraceHook observes runtime events. Implementations must be safe for
+// concurrent use: servers deliver events from every connection
+// goroutine. Trace runs inline on the hot path — do slow work (I/O,
+// aggregation) asynchronously if latency matters.
+type TraceHook interface {
+	// Trace receives one completed event.
+	Trace(ev *TraceEvent)
+	// WantWire reports whether the runtime should copy raw request and
+	// reply bytes into events (a per-message allocation; keep it off
+	// unless debugging).
+	WantWire() bool
+}
+
+// TraceFunc adapts a plain function to a TraceHook without wire
+// capture.
+type TraceFunc func(ev *TraceEvent)
+
+// Trace implements TraceHook.
+func (f TraceFunc) Trace(ev *TraceEvent) { f(ev) }
+
+// WantWire implements TraceHook; TraceFunc hooks never request dumps.
+func (TraceFunc) WantWire() bool { return false }
+
+// LogHook is a TraceHook that writes one line per event to W.
+// Verbosity 0 logs only failures; 1 logs every event; 2 adds hex dumps
+// of the raw messages. Lines are serialized under an internal mutex.
+type LogHook struct {
+	W io.Writer
+	// Verbosity: 0 = errors only, 1 = all events, 2 = all events with
+	// wire dumps.
+	Verbosity int
+
+	mu sync.Mutex
+}
+
+// WantWire implements TraceHook.
+func (l *LogHook) WantWire() bool { return l.Verbosity >= 2 }
+
+// Trace implements TraceHook.
+func (l *LogHook) Trace(ev *TraceEvent) {
+	if l.Verbosity < 1 && ev.Err == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	op := ev.Op
+	if op == "" {
+		op = fmt.Sprintf("proc-%d", ev.Proc)
+	}
+	fmt.Fprintf(l.W, "%s %s xid=%d dur=%s req=%dB rep=%dB",
+		ev.Kind, op, ev.XID, ev.Duration().Round(time.Microsecond), ev.ReqBytes, ev.RepBytes)
+	if ev.OneWay {
+		fmt.Fprint(l.W, " oneway")
+	}
+	if ev.Err != nil {
+		fmt.Fprintf(l.W, " err=%q", ev.Err.Error())
+	}
+	fmt.Fprintln(l.W)
+	if l.Verbosity >= 2 {
+		if len(ev.ReqWire) > 0 {
+			fmt.Fprintf(l.W, "  request wire (%d bytes):\n%s", len(ev.ReqWire), indentDump(ev.ReqWire))
+		}
+		if len(ev.RepWire) > 0 {
+			fmt.Fprintf(l.W, "  reply wire (%d bytes):\n%s", len(ev.RepWire), indentDump(ev.RepWire))
+		}
+	}
+}
+
+// maxWireDump bounds hex dumps so a megabyte payload cannot flood the
+// log.
+const maxWireDump = 256
+
+func indentDump(p []byte) string {
+	trunc := ""
+	if len(p) > maxWireDump {
+		trunc = fmt.Sprintf("  ... (%d bytes truncated)\n", len(p)-maxWireDump)
+		p = p[:maxWireDump]
+	}
+	return hex.Dump(p) + trunc
+}
