@@ -35,6 +35,7 @@ generate:
 stats:
 	$(GO) run ./cmd/flick-bench -exp checks
 	$(GO) run ./cmd/flick-bench -exp rpcstats
+	$(GO) run ./cmd/flick-bench -exp pipeline
 	$(GO) run ./cmd/flick-stats -rounds 50
 
 ci: vet build test-race

@@ -14,6 +14,7 @@
 //	flick-bench -exp ablation  # §3 optimization ablations
 //	flick-bench -exp rpcstats  # runtime metrics of a loopback RPC workload
 //	flick-bench -exp checks    # space checks executed per message, by stub style
+//	flick-bench -exp pipeline  # throughput vs in-flight depth, multiplexed client
 //	flick-bench -exp all
 package main
 
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, fig7, table2, table3, ablation, rpcstats, checks, all")
+	exp := flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, fig7, table2, table3, ablation, rpcstats, checks, pipeline, all")
 	flag.Parse()
 
 	run := func(name string) bool {
@@ -73,6 +74,10 @@ func main() {
 	}
 	if run("rpcstats") {
 		fmt.Println(experiment.RPCStats())
+		ran = true
+	}
+	if run("pipeline") {
+		fmt.Println(experiment.Pipeline())
 		ran = true
 	}
 	if !ran {

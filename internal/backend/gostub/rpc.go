@@ -146,6 +146,10 @@ func (e *emitter) clientMethod(clientType string, s *presc.Stub) error {
 		}
 		results = append(results, "err")
 		e.pf("%s = Unmarshal%sReply(d)", strings.Join(results, ", "), prefix)
+		// Pooled buffer-ownership contract: the reply decoder belongs
+		// to this call and goes back to the runtime pool once the
+		// results are unmarshaled (they never alias the wire buffer).
+		e.pf("d.Release()")
 		e.pf("return")
 	}
 	e.indent--

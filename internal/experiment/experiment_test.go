@@ -1,9 +1,11 @@
 package experiment
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
+	"flick/internal/netsim"
 	"flick/rt"
 )
 
@@ -100,6 +102,27 @@ func TestReportRendering(t *testing.T) {
 	}
 	if sizeLabel(64) != "64B" || sizeLabel(2048) != "2K" || sizeLabel(4<<20) != "4M" {
 		t.Error("size labels")
+	}
+}
+
+func TestPipelineReportShape(t *testing.T) {
+	// A reduced sweep (fast link, few calls) so the test stays quick;
+	// the full flick-bench run uses the Ethernet100 model. Depth
+	// scaling itself is asserted by rt's pipeline tests — here we only
+	// require that every (payload, depth) cell is measured and sane.
+	link := netsim.Ethernet100.Scaled(8)
+	rep := pipelineReport(link, []int{1, 4}, []int{64}, 16)
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if len(row) != len(rep.Cols) {
+			t.Fatalf("row %v has %d cells, want %d", row, len(row), len(rep.Cols))
+		}
+		cps, err := strconv.ParseFloat(row[2], 64)
+		if err != nil || cps <= 0 {
+			t.Errorf("row %v: bad calls/s %q", row, row[2])
+		}
 	}
 }
 

@@ -1,0 +1,189 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"flick/internal/netsim"
+	ts "flick/internal/teststubs"
+	"flick/rt"
+)
+
+// This file regenerates the pipelining experiment: end-to-end RPC
+// throughput as a function of the number of calls a single multiplexed
+// client keeps in flight. Depth 1 is the serialized round-trip model
+// every figure in the paper assumes; depth > 1 exercises the concurrent
+// call engine (XID-multiplexed client, worker-pool server) over a
+// simulated link whose propagation delay can be overlapped but whose
+// line occupancy cannot.
+
+// simEnd wraps one end of an rt.Pipe with a netsim.Link cost model.
+// Send charges the transmission time under a per-direction line mutex
+// (concurrent senders serialize on the wire, exactly like a real NIC)
+// and then delivers the message after the link's fixed per-message
+// latency has elapsed; deliveries stay in order but their latencies
+// overlap, which is what pipelined calls exploit.
+type simEnd struct {
+	rt.Conn // Recv and Close pass through to the pipe end
+	link    netsim.Link
+	mu      sync.Mutex // the line: one frame at a time
+	q       chan simMsg
+	done    chan struct{}
+	once    sync.Once
+}
+
+type simMsg struct {
+	msg []byte
+	due time.Time
+}
+
+func newSimEnd(inner rt.Conn, link netsim.Link) *simEnd {
+	s := &simEnd{Conn: inner, link: link, q: make(chan simMsg, 1024), done: make(chan struct{})}
+	go s.forward()
+	return s
+}
+
+// SimPipe returns two connected endpoints whose exchanges cost what the
+// modeled link charges: TxTime line occupancy per message plus
+// PerMessage propagation, with propagation overlapping across messages.
+func SimPipe(link netsim.Link) (rt.Conn, rt.Conn) {
+	a, b := rt.Pipe()
+	return newSimEnd(a, link), newSimEnd(b, link)
+}
+
+func (s *simEnd) Send(msg []byte) error {
+	select {
+	case <-s.done:
+		return rt.ErrClosed
+	default:
+	}
+	out := make([]byte, len(msg))
+	copy(out, msg) // the caller may reuse its buffer after Send
+	s.mu.Lock()
+	time.Sleep(s.link.TxTime(len(msg))) // occupy the line
+	due := time.Now().Add(s.link.PerMessage)
+	select {
+	case s.q <- simMsg{out, due}: // in order, under the line mutex
+		s.mu.Unlock()
+		return nil
+	case <-s.done:
+		s.mu.Unlock()
+		return rt.ErrClosed
+	}
+}
+
+// forward delivers queued messages once their propagation delay elapses.
+func (s *simEnd) forward() {
+	for {
+		select {
+		case m := <-s.q:
+			if d := time.Until(m.due); d > 0 {
+				time.Sleep(d)
+			}
+			if s.Conn.Send(m.msg) != nil {
+				return
+			}
+		case <-s.done:
+			return
+		}
+	}
+}
+
+func (s *simEnd) Close() error {
+	s.once.Do(func() { close(s.done) })
+	return s.Conn.Close()
+}
+
+// pipelineImpl answers Sum requests; the reply is a single int32, so the
+// request payload dominates the wire.
+type pipelineImpl struct{}
+
+func (pipelineImpl) SendInts(v []int32) error            { return nil }
+func (pipelineImpl) SendRects(v []ts.BenchRect) error    { return nil }
+func (pipelineImpl) SendDirs(v []ts.BenchDirEntry) error { return nil }
+func (pipelineImpl) Ping(nonce int32) error              { return nil }
+func (pipelineImpl) Sum(v []int32) (int32, error) {
+	var s int32
+	for _, x := range v {
+		s += x
+	}
+	return s, nil
+}
+func (pipelineImpl) ListDir(path string) ([]ts.BenchDirEntry, int32, error) {
+	return nil, 0, nil
+}
+
+// Pipeline sweeps in-flight depth x payload size over the 100Mbps
+// Ethernet model and reports throughput per cell.
+func Pipeline() *Report {
+	return pipelineReport(netsim.Ethernet100, []int{1, 2, 4, 8, 16}, []int{64, 4 << 10}, 96)
+}
+
+func pipelineReport(link netsim.Link, depths, payloads []int, calls int) *Report {
+	rep := &Report{
+		Title: fmt.Sprintf("Pipelined RPC throughput vs in-flight depth (%s)", link),
+		Cols:  []string{"payload", "depth", "calls/s", "goodput Mbps", "speedup"},
+		Notes: []string{
+			"one XID-multiplexed client, Sum() round trips; server Workers=16",
+			"depth 1 = serialized round trips (the pre-pipelining engine); depth D keeps D calls in flight",
+			"propagation delay overlaps across in-flight calls; line occupancy (TxTime) cannot, so",
+			"small payloads keep scaling with depth while 4K payloads plateau once the request line",
+			"serializes (absolute numbers are inflated by the host's sleep granularity; the shape is the result)",
+		},
+	}
+	for _, payload := range payloads {
+		ints := IntArray(payload)
+		var base float64
+		for _, depth := range depths {
+			cps := pipelineCell(link, ints, depth, calls)
+			if depth == depths[0] {
+				base = cps
+			}
+			rep.AddRow(
+				sizeLabel(payload),
+				fmt.Sprintf("%d", depth),
+				fmt.Sprintf("%.0f", cps),
+				fmt.Sprintf("%.1f", cps*float64(payload)*8/1e6),
+				fmt.Sprintf("%.1fx", cps/base),
+			)
+		}
+	}
+	return rep
+}
+
+// pipelineCell measures one (depth, payload) cell: depth goroutines
+// share one multiplexed client and issue `calls` Sum round trips total.
+func pipelineCell(link netsim.Link, ints []int32, depth, calls int) float64 {
+	clientEnd, serverEnd := SimPipe(link)
+	srv := rt.NewServer(rt.ONC{})
+	srv.Workers = 16
+	done := make(chan struct{})
+	ts.RegisterBenchXDR(srv, pipelineImpl{})
+	go func() { defer close(done); srv.ServeConn(serverEnd) }()
+
+	c := ts.NewBenchXDRClient(clientEnd)
+	per := calls / depth
+	if per < 1 {
+		per = 1
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < depth; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := c.Sum(ints); err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	clientEnd.Close()
+	<-done
+	serverEnd.Close()
+	return float64(per*depth) / elapsed.Seconds()
+}

@@ -4,21 +4,39 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// ErrBadXID reports a reply whose transaction id does not match the
-// outstanding call. Because Call issues one request at a time over the
-// connection, a mismatched reply means the stream is desynchronized
-// (a stale reply, a broken peer, or frame corruption): subsequent
-// calls on this connection may misparse replies. Callers should treat
-// the connection as poisoned and reconnect; the BadXIDs counter in an
+// ErrBadXID reports a reply whose transaction id matches no call this
+// client has in flight. Calls are multiplexed over the connection and
+// replies are matched to callers by XID, so out-of-order replies are
+// normal; a reply for an XID that was never issued (and does not belong
+// to a timed-out call, which is dropped silently and counted in
+// StaleReplies) means the stream is desynchronized — a broken peer or
+// frame corruption — and subsequent replies may misparse. The client
+// poisons itself: every pending call and every later Call returns this
+// error, and callers should reconnect. The BadXIDs counter in an
 // attached Metrics makes the condition visible to operators.
-var ErrBadXID = errors.New("rt: reply xid mismatch (connection desynchronized)")
+var ErrBadXID = errors.New("rt: reply xid matches no pending call (connection desynchronized)")
 
-// Client issues RPCs over one connection. Generated client stubs wrap
-// Call; the marshal buffer is reused across invocations (a Flick
-// optimization: stubs keep their buffers between calls).
+// ErrTimeout reports a call that exceeded the client's per-call
+// deadline. The call's reply slot is retired: if the reply arrives
+// later it is dropped (and counted in StaleReplies) without disturbing
+// other in-flight calls.
+var ErrTimeout = errors.New("rt: call deadline exceeded")
+
+// Client issues RPCs over one connection. Calls are multiplexed: any
+// number of goroutines may Call concurrently, each call is tagged with
+// a fresh XID, and a dedicated reply-reader goroutine matches replies
+// to callers by XID, so replies may complete out of order (a pipelined
+// server is free to answer cheap requests before expensive ones).
+//
+// Marshal buffers follow the pooled ownership contract (see pool.go):
+// each call marshals into a pooled Encoder released on send, and each
+// reply arrives in a pooled Decoder that the caller — in practice the
+// generated client stub — releases with Decoder.Release after
+// unmarshaling.
 type Client struct {
 	conn  Conn
 	proto Protocol
@@ -29,101 +47,119 @@ type Client struct {
 	ObjectKey []byte
 
 	// Metrics, when non-nil, collects per-operation call/error counts,
-	// latency histograms, byte totals, and encoder/decoder space-check
-	// counters. Hooks, when non-nil, receives one TraceEvent per call.
-	// Both must be set before the first Call and not changed after;
-	// nil (the default) costs one pointer test per call.
+	// latency histograms, byte totals, encoder/decoder space-check
+	// counters, and the InFlight gauge. Hooks, when non-nil, receives
+	// one TraceEvent per call. Both must be set before the first Call
+	// and not changed after; nil (the default) costs one pointer test
+	// per call.
 	Metrics *Metrics
 	Hooks   TraceHook
 
-	mu  sync.Mutex
-	enc Encoder
-	dec Decoder
-	xid uint32
+	// Timeout, when positive, bounds each call's wait for its reply.
+	// A call that times out returns ErrTimeout; its late reply, if it
+	// ever arrives, is dropped without poisoning the connection. Set
+	// before the first Call.
+	Timeout time.Duration
+
+	xid    atomic.Uint32
+	closed atomic.Bool
+
+	readerUp   atomic.Bool
+	readerOnce sync.Once
+
+	// mu guards the in-flight table, the stale set, and failed.
+	mu      sync.Mutex
+	pending map[uint32]*call
+	stale   map[uint32]struct{}
+	// failed, once set, poisons the client: every pending call was
+	// drained with it and every subsequent Call returns it.
+	failed error
 }
 
 // NewClient wraps a connection with a message protocol.
 func NewClient(conn Conn, proto Protocol) *Client {
-	return &Client{conn: conn, proto: proto, ObjectKey: []byte("flick")}
+	return &Client{
+		conn:      conn,
+		proto:     proto,
+		ObjectKey: []byte("flick"),
+		pending:   make(map[uint32]*call),
+		stale:     make(map[uint32]struct{}),
+	}
 }
 
-// Close releases the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close releases the connection. Calls still in flight — and any Call
+// issued afterwards — return ErrClosed deterministically rather than a
+// raw transport error. Close is idempotent.
+func (c *Client) Close() error {
+	c.closed.Store(true)
+	err := c.conn.Close()
+	c.fail(ErrClosed)
+	return err
+}
 
-// Call performs one invocation: marshal writes the request payload; the
-// returned decoder is positioned at the reply payload. Oneway calls
-// return (nil, nil) immediately after sending.
+// Call performs one invocation: marshal writes the request payload into
+// a pooled encoder; the returned decoder is positioned at the reply
+// payload and owned by the caller, who must release it with
+// Decoder.Release after unmarshaling. Oneway calls return (nil, nil)
+// as soon as the transport accepts the request. Call is safe for
+// concurrent use; calls proceed independently and may complete out of
+// order.
 func (c *Client) Call(proc uint32, opName string, oneway bool, marshal func(*Encoder)) (*Decoder, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	metrics, hooks := c.Metrics, c.Hooks
 	if metrics == nil && hooks == nil {
 		// Fast path: observability disabled costs exactly the two nil
-		// tests above (no timestamps, no allocation).
-		return c.call(proc, opName, oneway, marshal, nil)
+		// tests above (no timestamps, no per-call allocation beyond the
+		// transport's own).
+		return c.call(proc, opName, oneway, marshal, nil, nil)
 	}
 
 	var ev *TraceEvent
 	if hooks != nil {
 		ev = &TraceEvent{Kind: TraceClientCall, Op: opName, Proc: proc, OneWay: oneway}
 	}
-	if metrics != nil {
-		// Space-check counting is off by default so the disabled
-		// path's checked puts stay store-free; turn it on now that
-		// someone reads the counters.
-		c.enc.EnableStats(true)
-		c.dec.EnableStats(true)
-	}
 	begin := time.Now()
-	d, err := c.call(proc, opName, oneway, marshal, ev)
+	d, err := c.call(proc, opName, oneway, marshal, ev, metrics)
 
 	if metrics != nil {
 		op := metrics.Op(opName)
 		op.Calls.Add(1)
-		op.ReqBytes.Add(uint64(c.enc.Len()))
 		if d != nil {
 			op.RepBytes.Add(uint64(d.Size()))
 		}
 		if err != nil {
 			op.Errors.Add(1)
-			if errors.Is(err, ErrBadXID) {
-				metrics.BadXIDs.Add(1)
-			}
 		}
 		if oneway {
 			metrics.Oneways.Add(1)
 		}
 		op.Latency.Observe(time.Since(begin))
-		metrics.addEnc(c.enc.TakeStats())
-		metrics.addDec(c.dec.TakeStats())
 	}
 	if hooks != nil {
 		ev.Begin = begin
 		ev.End = time.Now()
-		ev.XID = c.xid
-		ev.ReqBytes = c.enc.Len()
 		if d != nil {
 			ev.RepBytes = d.Size()
-		}
-		ev.Err = err
-		if hooks.WantWire() {
-			ev.ReqWire = append([]byte(nil), c.enc.Bytes()...)
-			if d != nil {
-				ev.RepWire = append([]byte(nil), c.dec.buf...)
+			if hooks.WantWire() {
+				ev.RepWire = append([]byte(nil), d.buf...)
 			}
 		}
+		ev.Err = err
 		hooks.Trace(ev)
 	}
 	return d, err
 }
 
-// call is the uninstrumented invocation body. ev, when non-nil,
-// receives the phase timestamp taken right after the request is handed
-// to the transport.
-func (c *Client) call(proc uint32, opName string, oneway bool, marshal func(*Encoder), ev *TraceEvent) (*Decoder, error) {
-	c.xid++
+// call is the invocation body. ev, when non-nil, receives the request
+// byte count, the XID, the post-transmit timestamp, and (behind
+// WantWire) the raw request. metrics, when non-nil, receives the
+// request byte total and the drained encoder/decoder counters.
+func (c *Client) call(proc uint32, opName string, oneway bool, marshal func(*Encoder), ev *TraceEvent, metrics *Metrics) (*Decoder, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	xid := c.xid.Add(1)
 	h := ReqHeader{
-		XID:       c.xid,
+		XID:       xid,
 		Prog:      c.Prog,
 		Vers:      c.Vers,
 		Proc:      proc,
@@ -131,32 +167,217 @@ func (c *Client) call(proc uint32, opName string, oneway bool, marshal func(*Enc
 		ObjectKey: c.ObjectKey,
 		OneWay:    oneway,
 	}
-	c.enc.Reset()
-	c.proto.WriteRequest(&c.enc, &h)
-	marshal(&c.enc)
-	if err := c.conn.Send(c.enc.Bytes()); err != nil {
-		return nil, fmt.Errorf("rt: send: %w", err)
+	enc := getEncoder()
+	if metrics != nil {
+		enc.EnableStats(true)
 	}
+	c.proto.WriteRequest(enc, &h)
+	marshal(enc)
+	if ev != nil {
+		ev.XID = xid
+		ev.ReqBytes = enc.Len()
+	}
+	if metrics != nil {
+		metrics.Op(opName).ReqBytes.Add(uint64(enc.Len()))
+		metrics.addEnc(enc.TakeStats())
+	}
+
+	var ca *call
+	if !oneway {
+		// Register before sending so a reply cannot race past its slot,
+		// then make sure someone is reading replies.
+		ca = getCall()
+		c.mu.Lock()
+		if c.failed != nil {
+			err := c.failed
+			c.mu.Unlock()
+			putCall(ca)
+			putEncoder(enc)
+			return nil, err
+		}
+		c.pending[xid] = ca
+		c.mu.Unlock()
+		if metrics != nil {
+			metrics.InFlight.Add(1)
+		}
+		if !c.readerUp.Load() {
+			c.readerOnce.Do(func() {
+				c.readerUp.Store(true)
+				go c.readReplies()
+			})
+		}
+	}
+
+	err := c.conn.Send(enc.Bytes())
 	if ev != nil {
 		ev.Sent = time.Now()
+		if c.Hooks.WantWire() {
+			ev.ReqWire = append([]byte(nil), enc.Bytes()...)
+		}
+	}
+	putEncoder(enc)
+	if err != nil {
+		if !oneway {
+			if !c.forget(xid) {
+				// The reader (or a drain) delivered concurrently:
+				// consume the signal so the pooled call is clean.
+				<-ca.done
+				if ca.dec != nil {
+					putDecoder(ca.dec)
+				}
+			}
+			putCall(ca)
+			if metrics != nil {
+				metrics.InFlight.Add(-1)
+			}
+		}
+		if c.closed.Load() {
+			return nil, ErrClosed
+		}
+		return nil, fmt.Errorf("rt: send: %w", err)
 	}
 	if oneway {
 		return nil, nil
 	}
-	msg, err := c.conn.Recv()
-	if err != nil {
-		return nil, fmt.Errorf("rt: recv: %w", err)
+
+	// Wait for the reader to deliver the matched reply (or the drain
+	// error), bounded by the per-call deadline when one is set.
+	if c.Timeout > 0 {
+		timer := time.NewTimer(c.Timeout)
+		select {
+		case <-ca.done:
+			timer.Stop()
+		case <-timer.C:
+			if c.forget(xid) {
+				// The reply had not arrived: retire the slot. A late
+				// reply finds the XID in the stale set and is dropped.
+				putCall(ca)
+				if metrics != nil {
+					metrics.InFlight.Add(-1)
+				}
+				return nil, ErrTimeout
+			}
+			// Delivery raced the deadline; take the reply.
+			<-ca.done
+		}
+	} else {
+		<-ca.done
 	}
-	c.dec.Reset(msg)
-	rh, err := c.proto.ReadReply(&c.dec)
-	if err != nil {
-		return nil, err
+	if metrics != nil {
+		metrics.InFlight.Add(-1)
 	}
-	if rh.XID != h.XID {
-		return nil, fmt.Errorf("%w: reply xid %d for call %d", ErrBadXID, rh.XID, h.XID)
+	d, derr := ca.dec, ca.err
+	putCall(ca)
+	if derr != nil {
+		return nil, derr
 	}
-	if rh.Status != ReplyOK {
-		return nil, ErrSystem
+	if metrics != nil {
+		// Drain the header-read checks now; the unmarshal-side checks
+		// drain when the stub releases the decoder (d.sink).
+		metrics.addDec(d.TakeStats())
 	}
-	return &c.dec, nil
+	return d, nil
+}
+
+// forget removes xid from the in-flight table, marking it stale so a
+// late reply is dropped rather than treated as desynchronization. It
+// reports whether the call was still pending (false means the reader
+// already delivered).
+func (c *Client) forget(xid uint32) bool {
+	c.mu.Lock()
+	_, ok := c.pending[xid]
+	if ok {
+		delete(c.pending, xid)
+		c.stale[xid] = struct{}{}
+	}
+	c.mu.Unlock()
+	return ok
+}
+
+// readReplies is the client's dedicated reply reader: it owns the
+// receive side of the connection, matches each reply to its in-flight
+// call by XID, and hands the positioned decoder over. It exits — after
+// draining every pending call with the terminal error — when the
+// connection fails, the client closes, or the stream desynchronizes.
+func (c *Client) readReplies() {
+	metrics := c.Metrics
+	for {
+		msg, err := c.conn.Recv()
+		if err != nil {
+			if c.closed.Load() {
+				c.fail(ErrClosed)
+			} else {
+				c.fail(fmt.Errorf("rt: recv: %w", err))
+			}
+			return
+		}
+		d := getDecoder()
+		if metrics != nil {
+			d.EnableStats(true)
+			d.sink = metrics
+		}
+		d.Reset(msg)
+		rh, err := c.proto.ReadReply(d)
+		if err != nil {
+			// The reply header did not parse: nothing identifies the
+			// caller and the stream position is suspect. Poison.
+			putDecoder(d)
+			c.fail(fmt.Errorf("rt: reply header: %w", err))
+			return
+		}
+
+		c.mu.Lock()
+		ca, ok := c.pending[rh.XID]
+		if ok {
+			delete(c.pending, rh.XID)
+			c.mu.Unlock()
+			if rh.Status != ReplyOK {
+				putDecoder(d)
+				ca.err = ErrSystem
+			} else {
+				ca.dec = d
+			}
+			ca.done <- struct{}{}
+			continue
+		}
+		if _, wasStale := c.stale[rh.XID]; wasStale {
+			// A reply for a timed-out call: benign, drop it.
+			delete(c.stale, rh.XID)
+			c.mu.Unlock()
+			putDecoder(d)
+			if metrics != nil {
+				metrics.StaleReplies.Add(1)
+			}
+			continue
+		}
+		c.mu.Unlock()
+		// An XID this client never issued (or answered twice): the
+		// connection is desynchronized.
+		putDecoder(d)
+		if metrics != nil {
+			metrics.BadXIDs.Add(1)
+		}
+		c.fail(fmt.Errorf("%w: reply xid %d", ErrBadXID, rh.XID))
+		return
+	}
+}
+
+// fail poisons the client with err (first failure wins) and drains
+// every pending call with it.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.failed == nil {
+		c.failed = err
+	}
+	drained := make([]*call, 0, len(c.pending))
+	for xid, ca := range c.pending {
+		delete(c.pending, xid)
+		drained = append(drained, ca)
+	}
+	err = c.failed
+	c.mu.Unlock()
+	for _, ca := range drained {
+		ca.err = err
+		ca.done <- struct{}{}
+	}
 }

@@ -38,6 +38,13 @@ type Decoder struct {
 	stats   bool
 	nEnsure uint64
 	nFail   uint64
+	// pooled marks a runtime-owned decoder handed out by the call
+	// pipeline; Release returns it to the pool (see pool.go). sink,
+	// when non-nil, receives the drained counters at Release time so
+	// unmarshal-side checks performed after Call returns still reach
+	// the registry that observed the call.
+	pooled bool
+	sink   *Metrics
 }
 
 // relim recomputes the fast-path limit after anything that rebinds

@@ -169,15 +169,25 @@ type Metrics struct {
 	// did not parse. The requests are unanswerable (nothing identifies
 	// the caller), so this counter is the only trace they leave.
 	BadHeaders atomic.Uint64
-	// BadXIDs counts replies whose transaction id did not match the
-	// outstanding call: the connection is desynchronized (see
-	// ErrBadXID).
+	// BadXIDs counts replies whose transaction id matched no call in
+	// flight: the connection is desynchronized (see ErrBadXID).
 	BadXIDs atomic.Uint64
+	// StaleReplies counts replies that arrived for calls which had
+	// already timed out (per-call deadline); they are dropped without
+	// poisoning the connection.
+	StaleReplies atomic.Uint64
 	// DispatchErrors counts server dispatch failures (unknown
 	// operation, malformed arguments, work-function errors).
 	DispatchErrors atomic.Uint64
 	// Oneways counts invocations that did not expect a reply.
 	Oneways atomic.Uint64
+
+	// InFlight is a gauge of client calls issued and not yet completed
+	// (awaiting their reply, drain, or deadline).
+	InFlight atomic.Int64
+	// QueueDepth is a gauge of server requests decoded but not yet
+	// picked up by a dispatch worker, summed over connections.
+	QueueDepth atomic.Int64
 
 	// Encoder/Decoder space-check counters, folded in per call (client)
 	// or per request (server). EncGrowChecks counts Encoder.Grow calls
@@ -252,8 +262,11 @@ type Snapshot struct {
 	ConnErrors     uint64 `json:"conn_errors"`
 	BadHeaders     uint64 `json:"bad_headers"`
 	BadXIDs        uint64 `json:"bad_xids"`
+	StaleReplies   uint64 `json:"stale_replies"`
 	DispatchErrors uint64 `json:"dispatch_errors"`
 	Oneways        uint64 `json:"oneways"`
+	InFlight       int64  `json:"in_flight"`
+	QueueDepth     int64  `json:"queue_depth"`
 
 	EncGrowChecks   uint64 `json:"enc_grow_checks"`
 	EncGrowAllocs   uint64 `json:"enc_grow_allocs"`
@@ -270,8 +283,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		ConnErrors:      m.ConnErrors.Load(),
 		BadHeaders:      m.BadHeaders.Load(),
 		BadXIDs:         m.BadXIDs.Load(),
+		StaleReplies:    m.StaleReplies.Load(),
 		DispatchErrors:  m.DispatchErrors.Load(),
 		Oneways:         m.Oneways.Load(),
+		InFlight:        m.InFlight.Load(),
+		QueueDepth:      m.QueueDepth.Load(),
 		EncGrowChecks:   m.EncGrowChecks.Load(),
 		EncGrowAllocs:   m.EncGrowAllocs.Load(),
 		DecEnsureChecks: m.DecEnsureChecks.Load(),
@@ -322,6 +338,7 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 		{"flick_conn_errors", s.ConnErrors},
 		{"flick_bad_headers", s.BadHeaders},
 		{"flick_bad_xids", s.BadXIDs},
+		{"flick_stale_replies", s.StaleReplies},
 		{"flick_dispatch_errors", s.DispatchErrors},
 		{"flick_oneways", s.Oneways},
 		{"flick_enc_grow_checks", s.EncGrowChecks},
@@ -330,6 +347,18 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 		{"flick_dec_failures", s.DecFailures},
 	}
 	for _, g := range globals {
+		if err := pr("%s %d\n", g.name, g.v); err != nil {
+			return total, err
+		}
+	}
+	// Gauges (signed: point-in-time levels, not monotonic counters).
+	for _, g := range []struct {
+		name string
+		v    int64
+	}{
+		{"flick_in_flight", s.InFlight},
+		{"flick_queue_depth", s.QueueDepth},
+	} {
 		if err := pr("%s %d\n", g.name, g.v); err != nil {
 			return total, err
 		}

@@ -1,0 +1,105 @@
+// Buffer-ownership pools for the concurrent call pipeline.
+//
+// The paper's §3.1 buffer-reuse optimization originally relied on the
+// runtime serializing calls: a Client owned exactly one Encoder and one
+// Decoder, and generated stubs borrowed them between invocations. A
+// multiplexed client cannot share one buffer across concurrent calls,
+// so the contract becomes ownership-passing instead of borrowing:
+//
+//   - Call takes an Encoder from the pool, marshals into it, and
+//     returns it to the pool the moment the transport accepts the
+//     message (Conn.Send does not retain the buffer).
+//   - Each reply is bound to a pooled Decoder that Call hands to its
+//     caller. The caller — in practice the generated client stub —
+//     releases it back to the pool with Decoder.Release after
+//     unmarshaling. A caller that never releases merely forfeits the
+//     reuse (the decoder is garbage collected); it cannot corrupt
+//     another call's data.
+//
+// This keeps the amortized-zero-allocation property of the serialized
+// runtime while allowing any number of calls in flight.
+package rt
+
+import "sync"
+
+var encoderPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+// getEncoder takes a reset encoder from the pool.
+func getEncoder() *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	e.Reset()
+	return e
+}
+
+// putEncoder returns an encoder to the pool. Counting is switched off
+// so pooled encoders always re-enter service on the disabled fast path.
+func putEncoder(e *Encoder) {
+	if e.stats {
+		e.EnableStats(false)
+	}
+	encoderPool.Put(e)
+}
+
+var decoderPool = sync.Pool{New: func() any { return new(Decoder) }}
+
+// getDecoder takes a pooled decoder and marks it runtime-owned so
+// Release returns it here.
+func getDecoder() *Decoder {
+	d := decoderPool.Get().(*Decoder)
+	d.pooled = true
+	return d
+}
+
+// putDecoder clears a decoder and returns it to the pool. The pooled
+// flag is dropped first so a double Release cannot insert the same
+// decoder twice.
+func putDecoder(d *Decoder) {
+	if !d.pooled {
+		return
+	}
+	d.pooled = false
+	d.sink = nil
+	if d.stats {
+		d.EnableStats(false)
+	}
+	d.Reset(nil)
+	decoderPool.Put(d)
+}
+
+// Release returns a runtime-owned decoder to the pool. Generated client
+// stubs call it after unmarshaling a reply; server workers call it after
+// dispatch. Releasing drains the decoder's space-check counters into the
+// metrics registry the call was observed by (so unmarshal-side Ensure
+// counts are not lost), then recycles the buffer bookkeeping.
+//
+// Release on a decoder the runtime does not own (e.g. one built with
+// NewDecoder) is a no-op, as is a second Release of the same decoder.
+// After Release the decoder must not be used again.
+func (d *Decoder) Release() {
+	if !d.pooled {
+		return
+	}
+	if d.sink != nil {
+		d.sink.addDec(d.TakeStats())
+	}
+	putDecoder(d)
+}
+
+// call is one in-flight invocation's rendezvous between the issuing
+// goroutine and the client's reply reader. The done channel (capacity
+// 1) is allocated once and reused across the pool's lifetime.
+type call struct {
+	done chan struct{}
+	dec  *Decoder
+	err  error
+}
+
+var callPool = sync.Pool{New: func() any { return &call{done: make(chan struct{}, 1)} }}
+
+func getCall() *call { return callPool.Get().(*call) }
+
+func putCall(ca *call) {
+	ca.dec = nil
+	ca.err = nil
+	callPool.Put(ca)
+}

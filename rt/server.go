@@ -11,6 +11,11 @@ import (
 // arguments from d, invokes the implementation, and (for two-way
 // operations) encodes the reply payload into e. Returning ErrNoSuchOp
 // produces a protocol-level system error reply.
+//
+// With Workers > 1 a dispatcher runs concurrently with itself on the
+// same connection; implementations must be safe for concurrent use
+// (generated dispatchers are — each invocation works on its own
+// decoder/encoder pair and only calls the user implementation).
 type Dispatch func(h *ReqHeader, d *Decoder, e *Encoder) error
 
 // ErrNoSuchOp reports an unknown operation to the dispatcher.
@@ -18,16 +23,36 @@ var ErrNoSuchOp = errors.New("rt: no such operation")
 
 // Server owns registered dispatchers and serves connections. Generated
 // Register* functions install one Dispatch per interface.
+//
+// Each connection runs a pipeline: a decode loop reads and parses
+// request headers, feeding a bounded pool of worker goroutines that
+// dispatch and write replies. Replies therefore may complete — and be
+// sent — out of order; the multiplexed Client matches them by XID.
+// Oneway requests occupy a worker but never a reply. When the
+// connection closes, queued requests drain before ServeConn returns.
 type Server struct {
 	proto Protocol
 
+	// Workers bounds the number of requests one connection processes
+	// concurrently. The default (0) means 1: requests complete in
+	// arrival order, the pre-pipelining behaviour (decode of the next
+	// request still overlaps the current dispatch). Raise it to let
+	// cheap requests overtake expensive ones on the same connection.
+	// Set before serving.
+	Workers int
+	// Queue bounds the decoded-but-undispatched request backlog per
+	// connection (backpressure: the decode loop stops reading when the
+	// queue is full). The default (0) means 2×Workers. Set before
+	// serving.
+	Queue int
+
 	// Metrics, when non-nil, collects per-operation dispatch counters,
-	// latency histograms, byte totals, and transport-level counters
-	// (connections, dropped malformed headers, connection failures).
-	// Hooks, when non-nil, receives one TraceEvent per dispatched
-	// request, dropped request, and failed connection. Both must be
-	// set before serving and not changed after; nil (the default)
-	// costs one pointer test per connection loop iteration.
+	// latency histograms, byte totals, transport-level counters
+	// (connections, dropped malformed headers, connection failures),
+	// and the QueueDepth gauge. Hooks, when non-nil, receives one
+	// TraceEvent per dispatched request, dropped request, and failed
+	// connection. Both must be set before serving and not changed
+	// after; nil (the default) costs one pointer test per request.
 	Metrics *Metrics
 	Hooks   TraceHook
 
@@ -63,40 +88,97 @@ func (s *Server) lookup(h *ReqHeader) Dispatch {
 	return s.fallback
 }
 
-// ServeConn answers requests on one connection until it closes.
+// srvJob is one decoded request travelling from the decode loop to a
+// worker. Passed by value through the queue channel (no per-request
+// allocation); the decoder is pooled and released by the worker.
+type srvJob struct {
+	h        ReqHeader
+	dec      *Decoder
+	reqBytes int
+	begin    time.Time
+}
+
+// connFail records the first reply-write failure on a connection and
+// closes it so the decode loop unblocks; ServeConn reports the error.
+type connFail struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (f *connFail) record(conn Conn, err error) {
+	f.mu.Lock()
+	first := f.err == nil
+	if first {
+		f.err = err
+	}
+	f.mu.Unlock()
+	if first {
+		conn.Close()
+	}
+}
+
+func (f *connFail) get() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// ServeConn answers requests on one connection until it closes: the
+// decode loop parses headers and feeds the worker pool; workers
+// dispatch and send replies (possibly out of order). Remaining queued
+// requests drain before ServeConn returns.
 func (s *Server) ServeConn(conn Conn) error {
-	var enc Encoder
-	var dec Decoder
 	metrics, hooks := s.Metrics, s.Hooks
 	observed := metrics != nil || hooks != nil
 	if metrics != nil {
 		metrics.Conns.Add(1)
-		// Counting is gated (see Encoder.EnableStats): enable it only
-		// when the counters feed an attached registry.
-		enc.EnableStats(true)
-		dec.EnableStats(true)
 	}
+
+	workers := s.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	qlen := s.Queue
+	if qlen < 1 {
+		qlen = 2 * workers
+	}
+	jobs := make(chan srvJob, qlen)
+	fail := &connFail{}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			s.worker(conn, jobs, metrics, hooks, fail)
+		}()
+	}
+
+	var loopErr error
 	for {
 		msg, err := conn.Recv()
 		if err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, ErrClosed) {
-				return nil
+			if !errors.Is(err, io.EOF) && !errors.Is(err, ErrClosed) {
+				loopErr = err
 			}
-			return err
+			break
 		}
 		var begin time.Time
 		if observed {
 			begin = time.Now()
 		}
-		dec.Reset(msg)
-		h, err := s.proto.ReadRequest(&dec)
+		d := getDecoder()
+		if metrics != nil {
+			d.EnableStats(true)
+		}
+		d.Reset(msg)
+		h, err := s.proto.ReadRequest(d)
 		if err != nil {
 			// Malformed header: nothing identifies the caller, so no
 			// reply is possible — count the drop instead of losing it
 			// invisibly.
 			if metrics != nil {
 				metrics.BadHeaders.Add(1)
-				metrics.addDec(dec.TakeStats())
+				metrics.addDec(d.TakeStats())
 			}
 			if hooks != nil {
 				hooks.Trace(&TraceEvent{
@@ -104,45 +186,80 @@ func (s *Server) ServeConn(conn Conn) error {
 					ReqBytes: len(msg), Err: err,
 				})
 			}
+			putDecoder(d)
 			continue
 		}
+		if metrics != nil {
+			metrics.QueueDepth.Add(1)
+		}
+		jobs <- srvJob{h: h, dec: d, reqBytes: len(msg), begin: begin}
+	}
+
+	// Graceful drain: stop feeding, let the workers finish what is
+	// queued, then surface any reply-write failure.
+	close(jobs)
+	wg.Wait()
+	if loopErr == nil {
+		if serr := fail.get(); serr != nil && !errors.Is(serr, io.EOF) && !errors.Is(serr, ErrClosed) {
+			loopErr = serr
+		}
+	}
+	return loopErr
+}
+
+// worker dispatches queued requests until the queue closes. Each worker
+// owns one reply encoder, reused across requests (the §3.1 buffer-reuse
+// optimization, scoped per worker so replies never share a buffer).
+// Reply writes go straight to the connection: Conn.Send is safe for
+// concurrent writers, which serializes whole replies at the transport.
+func (s *Server) worker(conn Conn, jobs <-chan srvJob, metrics *Metrics, hooks TraceHook, fail *connFail) {
+	var enc Encoder
+	if metrics != nil {
+		enc.EnableStats(true)
+	}
+	observed := metrics != nil || hooks != nil
+	// Both headers live outside the loop: their addresses escape into
+	// interface calls (lookup, WriteReply, dispatch), so per-iteration
+	// declarations would cost one heap allocation per request.
+	var h ReqHeader
+	var rh RepHeader
+	for job := range jobs {
+		if metrics != nil {
+			metrics.QueueDepth.Add(-1)
+		}
+		h = job.h
+		dec := job.dec
 		dispatch := s.lookup(&h)
 		enc.Reset()
-		rh := RepHeader{XID: h.XID}
+		rh = RepHeader{XID: h.XID}
 		var workErr error
 		replied := false
 		if dispatch == nil {
 			workErr = ErrNoSuchOp
 			rh.Status = ReplySystemError
-			if !h.OneWay {
-				s.proto.WriteReply(&enc, &rh)
-				if err := conn.Send(enc.Bytes()); err != nil {
-					s.finishRequest(metrics, hooks, &h, begin, len(msg), &enc, &dec, workErr, false)
-					return err
-				}
-				replied = true
-			}
+			s.proto.WriteReply(&enc, &rh)
 		} else {
 			// Reserve the reply header region, then let the dispatcher
 			// append the payload; on failure rewrite a system-error reply.
 			s.proto.WriteReply(&enc, &rh)
-			workErr = dispatch(&h, &dec, &enc)
+			workErr = dispatch(&h, dec, &enc)
 			if workErr != nil {
 				enc.Reset()
 				rh.Status = ReplySystemError
 				s.proto.WriteReply(&enc, &rh)
 			}
-			if !h.OneWay {
-				if err := conn.Send(enc.Bytes()); err != nil {
-					s.finishRequest(metrics, hooks, &h, begin, len(msg), &enc, &dec, workErr, false)
-					return err
-				}
+		}
+		if !h.OneWay {
+			if err := conn.Send(enc.Bytes()); err != nil {
+				fail.record(conn, err)
+			} else {
 				replied = true
 			}
 		}
 		if observed {
-			s.finishRequest(metrics, hooks, &h, begin, len(msg), &enc, &dec, workErr, replied)
+			s.finishRequest(metrics, hooks, &h, job.begin, job.reqBytes, &enc, dec, workErr, replied)
 		}
+		putDecoder(dec)
 	}
 }
 

@@ -10,11 +10,18 @@ import (
 )
 
 // Conn exchanges whole framed messages.
+//
+// Concurrency contract (the pipelined call engine depends on it): Send
+// is safe for concurrent writers — every implementation serializes
+// whole messages, so frames from concurrent calls and out-of-order
+// replies never interleave on the wire. Recv is single-reader: exactly
+// one goroutine (the client's reply reader, or a server connection's
+// decode loop) may call it.
 type Conn interface {
 	// Send transmits one message. The buffer may be reused by the
-	// caller after Send returns.
+	// caller after Send returns. Safe for concurrent use.
 	Send(msg []byte) error
-	// Recv returns the next whole message.
+	// Recv returns the next whole message. Single goroutine only.
 	Recv() ([]byte, error)
 	Close() error
 }
@@ -115,9 +122,15 @@ func (t *tcpListener) Addr() string { return t.l.Addr().String() }
 // --- UDP ------------------------------------------------------------------------
 
 // udpConn sends each message as one datagram (classic ONC/UDP).
+// Send is concurrency-safe: net.UDPConn serializes datagram writes, and
+// peer is only written before the first concurrent use (see Recv).
 type udpConn struct {
 	c *net.UDPConn
-	// peer is set on server-side conns created per datagram source.
+	// connected marks a dialed (pre-connected) socket, which must use
+	// Write rather than WriteToUDP.
+	connected bool
+	// peer records the first datagram's source on server-side
+	// (unconnected) conns; replies go back to it.
 	peer *net.UDPAddr
 	rbuf []byte
 }
@@ -132,7 +145,7 @@ func DialUDP(addr string) (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &udpConn{c: c, rbuf: make([]byte, 64<<10)}, nil
+	return &udpConn{c: c, connected: true, rbuf: make([]byte, 64<<10)}, nil
 }
 
 func (u *udpConn) Send(msg []byte) error {
@@ -152,7 +165,7 @@ func (u *udpConn) Recv() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if u.peer == nil && peer != nil {
+	if !u.connected && u.peer == nil && peer != nil {
 		u.peer = peer
 	}
 	out := make([]byte, n)
@@ -184,6 +197,12 @@ func ListenUDP(addr string) (Conn, string, error) {
 type pipeConn struct {
 	send chan<- []byte
 	recv <-chan []byte
+	// closing is shared by both ends: closing either (or both) ends
+	// tears the pair down exactly once.
+	closing *pipeClose
+}
+
+type pipeClose struct {
 	once sync.Once
 	done chan struct{}
 }
@@ -192,9 +211,9 @@ type pipeConn struct {
 func Pipe() (Conn, Conn) {
 	a2b := make(chan []byte, 16)
 	b2a := make(chan []byte, 16)
-	done := make(chan struct{})
-	a := &pipeConn{send: a2b, recv: b2a, done: done}
-	b := &pipeConn{send: b2a, recv: a2b, done: done}
+	cl := &pipeClose{done: make(chan struct{})}
+	a := &pipeConn{send: a2b, recv: b2a, closing: cl}
+	b := &pipeConn{send: b2a, recv: a2b, closing: cl}
 	return a, b
 }
 
@@ -202,7 +221,7 @@ func (p *pipeConn) Send(msg []byte) error {
 	// Fail deterministically once closed (the buffered channel could
 	// otherwise still win the race below).
 	select {
-	case <-p.done:
+	case <-p.closing.done:
 		return ErrClosed
 	default:
 	}
@@ -212,7 +231,7 @@ func (p *pipeConn) Send(msg []byte) error {
 	select {
 	case p.send <- out:
 		return nil
-	case <-p.done:
+	case <-p.closing.done:
 		return ErrClosed
 	}
 }
@@ -221,12 +240,12 @@ func (p *pipeConn) Recv() ([]byte, error) {
 	select {
 	case m := <-p.recv:
 		return m, nil
-	case <-p.done:
+	case <-p.closing.done:
 		return nil, ErrClosed
 	}
 }
 
 func (p *pipeConn) Close() error {
-	p.once.Do(func() { close(p.done) })
+	p.closing.once.Do(func() { close(p.closing.done) })
 	return nil
 }
