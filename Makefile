@@ -1,9 +1,10 @@
-# Flick-Go build targets. `make ci` is the full gate: vet, build,
-# race-enabled tests, and the rt allocation guard.
+# Flick-Go build targets. `make ci` is the full gate: vet, build, the
+# flick-lint ownership analyzers, race-enabled tests (which include the
+# rt allocation guard), and the generated-stub drift check.
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-rt generate stats ci
+.PHONY: all build vet lint test test-race bench bench-rt generate generate-check stats ci
 
 all: build
 
@@ -12,6 +13,12 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# The pooled-buffer ownership analyzers (releasecheck, sendsafe,
+# poolescape) over every package. Also runnable through the go vet
+# driver: go vet -vettool=$$(go env GOPATH)/bin/flick-lint ./...
+lint:
+	$(GO) run ./cmd/flick-lint ./...
 
 test:
 	$(GO) test ./...
@@ -31,6 +38,11 @@ bench-rt:
 generate:
 	$(GO) generate ./...
 
+# Fail if regenerating the checked-in stubs or goldens changes anything:
+# stale generated code must not land.
+generate-check: generate
+	git diff --exit-code
+
 # The observability reports.
 stats:
 	$(GO) run ./cmd/flick-bench -exp checks
@@ -38,4 +50,4 @@ stats:
 	$(GO) run ./cmd/flick-bench -exp pipeline
 	$(GO) run ./cmd/flick-stats -rounds 50
 
-ci: vet build test-race
+ci: vet build lint test-race generate-check

@@ -1,0 +1,151 @@
+// Command flick-lint checks Flick-Go's runtime buffer-ownership
+// contract on generated stubs and on package rt itself, using the
+// analyzers in internal/lint (releasecheck, sendsafe, poolescape).
+//
+// Standalone, over package patterns:
+//
+//	go run ./cmd/flick-lint ./...
+//
+// As a go vet tool (the unitchecker protocol — go vet drives the
+// build graph and hands the tool one package at a time):
+//
+//	go build -o /tmp/flick-lint ./cmd/flick-lint
+//	go vet -vettool=/tmp/flick-lint ./...
+//
+// Exit status 2 when any finding is reported, matching go vet.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"flick/internal/lint"
+)
+
+func main() {
+	// The vet driver probes the tool's version (`flick-lint -V=full`)
+	// for its action cache.
+	version := flag.String("V", "", "print version and exit (vet protocol)")
+	flags := flag.Bool("flags", false, "print analyzer flags as JSON and exit (vet protocol)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: flick-lint [packages] | flick-lint <vet-config>.cfg")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *version != "" {
+		fmt.Println("flick-lint version 1")
+		return
+	}
+	if *flags {
+		// The driver asks which flags the tool accepts; it has none.
+		fmt.Println("[]")
+		return
+	}
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVet(args[0]))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(runStandalone(args))
+}
+
+func runStandalone(patterns []string) int {
+	pkgs, err := lint.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	found := 0
+	for _, p := range pkgs {
+		diags, err := lint.Analyze(p, lint.All())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+			found++
+		}
+	}
+	if found > 0 {
+		return 2
+	}
+	return 0
+}
+
+// vetConfig mirrors the JSON the go command writes for -vettool tools
+// (the unitchecker protocol); only the fields the analyzers need are
+// decoded.
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+func runVet(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flick-lint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "flick-lint: parsing vet config:", err)
+		return 1
+	}
+	// The tool exchanges no facts; write the (empty) facts file the
+	// driver expects before anything can fail.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "flick-lint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	// Resolve source-level import paths through ImportMap (vendoring,
+	// std importmaps) onto export-data files.
+	exports := map[string]string{}
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	for src, canonical := range cfg.ImportMap {
+		if f, ok := cfg.PackageFile[canonical]; ok {
+			exports[src] = f
+		}
+	}
+	pkg, err := lint.TypecheckFiles(cfg.ImportPath, cfg.GoFiles, exports)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	diags, err := lint.Analyze(pkg, lint.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -17,6 +17,7 @@ import (
 
 	"flick"
 	"flick/internal/backend/gostub"
+	"flick/internal/verify"
 )
 
 func main() {
@@ -34,6 +35,8 @@ func main() {
 	flag.StringVar(&out, "o", "", "output file (default stdout)")
 	noOpt := flag.String("disable", "", "comma-separated optimizations to disable: group,chunk,memcpy,inline")
 	stats := flag.Bool("stats", false, "print per-stub optimizer counters to stderr")
+	noVerify := flag.Bool("noverify", false, "skip stage-boundary IR verification")
+	verifyFlag := flag.String("verify", "on", "IR verification mode: on, off, or strict (adds O(n²) chunk overlap checks)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -71,6 +74,14 @@ func main() {
 		}
 	}
 
+	opt.Verify, err = verify.ParseMode(*verifyFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if *noVerify {
+		opt.Verify = verify.Off
+	}
+
 	if *stats {
 		opt.Stats = &gostub.Stats{}
 	}
@@ -81,6 +92,9 @@ func main() {
 	}
 	if *stats {
 		fmt.Fprint(os.Stderr, opt.Stats.Report())
+		if opt.Verify != verify.Off {
+			fmt.Fprintln(os.Stderr, opt.Stats.Verify.Report())
+		}
 	}
 	if out == "" {
 		fmt.Print(code)

@@ -27,6 +27,7 @@ import (
 	"flick/internal/mir"
 	"flick/internal/pgen"
 	"flick/internal/presc"
+	"flick/internal/verify"
 	"flick/internal/wire"
 )
 
@@ -72,6 +73,13 @@ type Options struct {
 	// per-stub boundary in its emitter, so its counters land in
 	// Stats.Total only.
 	Stats *gostub.Stats
+	// Verify selects how much stage-boundary IR verification runs: the
+	// zero value (verify.On) checks the PRES-C presentation (MINT message
+	// shapes + PRES mapping trees + target decls) before the back end and
+	// every post-optimize MIR program before emission; verify.Off skips
+	// both (`flick -noverify`); verify.Strict adds the O(n²) chunk
+	// overlap checks (`flick -verify=strict`).
+	Verify verify.Mode
 }
 
 func (o Options) mirOptions() *mir.Options {
@@ -172,6 +180,20 @@ func Compile(filename, src string, opt Options) (string, error) {
 		}
 	}
 
+	// Stage boundary: verify the presentation (MINT message shapes, PRES
+	// mapping trees, target declarations) before handing it to a back
+	// end, so a presentation-generator bug is reported against the IR
+	// node that carries it rather than as corrupt generated code.
+	if opt.Verify != verify.Off {
+		var vc *verify.Counters
+		if opt.Stats != nil {
+			vc = &opt.Stats.Verify
+		}
+		if fs := verify.PRESC(pf, vc); len(fs) > 0 {
+			return "", fs.AsError()
+		}
+	}
+
 	switch opt.Lang {
 	case "go":
 		return gostub.Generate(pf, gostub.Config{
@@ -183,16 +205,16 @@ func Compile(filename, src string, opt Options) (string, error) {
 			SkipDecls:  opt.SkipDecls,
 			EmitRPC:    opt.EmitRPC,
 			Stats:      opt.Stats,
+			Verify:     opt.Verify,
 		})
 	case "c":
 		copts := *opt.mirOptions()
+		ccfg := cstub.Config{Format: format, Opts: copts, Verify: opt.Verify}
 		if opt.Stats != nil {
-			copts.Stats = &opt.Stats.Total
+			ccfg.Opts.Stats = &opt.Stats.Total
+			ccfg.VerifyCounters = &opt.Stats.Verify
 		}
-		return cstub.Generate(pf, cstub.Config{
-			Format: format,
-			Opts:   copts,
-		})
+		return cstub.Generate(pf, ccfg)
 	default:
 		return "", fmt.Errorf("flick: unknown target language %q", opt.Lang)
 	}

@@ -34,6 +34,26 @@ func (d Direction) String() string {
 	return fmt.Sprintf("Direction(%d)", int(d))
 }
 
+// Pos locates a declaration in its IDL source (1-based line and column;
+// the zero Pos means the front end recorded no position). Validate uses
+// declaration positions to point diagnostics at the offending line of
+// IDL rather than at the AOI graph.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// IsValid reports whether p carries a real source position.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return p.File
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
 // File is the AOI produced from one IDL source file.
 type File struct {
 	// Source names the IDL file (or "<input>" when unknown).
@@ -73,6 +93,8 @@ func (f *File) LookupInterface(name string) *Interface {
 type TypeDef struct {
 	Name string
 	Type Type
+	// Pos is the declaration site (zero when unrecorded).
+	Pos Pos
 }
 
 // ConstDef is a named constant. Exactly one of Int and Str is meaningful,
@@ -103,6 +125,8 @@ type Interface struct {
 	Ops     []*Operation
 	Attrs   []*Attribute
 	Excepts []*Exception
+	// Pos is the declaration site (zero when unrecorded).
+	Pos Pos
 }
 
 // QualifiedName returns Module::Name, or Name when Module is empty.
@@ -137,6 +161,8 @@ type Operation struct {
 	Result Type
 	// Raises names user exceptions the operation may raise.
 	Raises []string
+	// Pos is the declaration site (zero when unrecorded).
+	Pos Pos
 }
 
 // Param is one operation parameter.

@@ -8,12 +8,22 @@ import (
 // references, unique names within each scope, union arms covering distinct
 // labels, and acyclic value types (cycles are legal only through Optional,
 // mirroring XDR's recursion-through-pointer rule).
+//
+// Diagnostics are positioned: when the front end recorded a declaration
+// Pos, the error begins with "file:line:col"; otherwise it falls back to
+// the file's Source name. Either way invalid IDL fails at parse time
+// with an error naming the offending declaration, not deep in pgen.
 func Validate(f *File) error {
-	v := &validator{path: map[Type]bool{}, entered: map[Type]bool{}}
+	v := &validator{
+		path:    map[Type]bool{},
+		entered: map[Type]bool{},
+		src:     f.Source,
+	}
 	names := map[string]bool{}
 	for _, td := range f.Types {
+		v.pos = td.Pos
 		if names[td.Name] {
-			return fmt.Errorf("aoi: duplicate type name %q", td.Name)
+			return v.errf("duplicate type name %q", td.Name)
 		}
 		names[td.Name] = true
 		if err := v.checkType(td.Type, td.Name); err != nil {
@@ -22,16 +32,18 @@ func Validate(f *File) error {
 	}
 	cnames := map[string]bool{}
 	for _, cd := range f.Consts {
+		v.pos = Pos{}
 		if cnames[cd.Name] {
-			return fmt.Errorf("aoi: duplicate const name %q", cd.Name)
+			return v.errf("duplicate const name %q", cd.Name)
 		}
 		cnames[cd.Name] = true
 	}
 	inames := map[string]bool{}
 	for _, it := range f.Interfaces {
+		v.pos = it.Pos
 		q := it.QualifiedName()
 		if inames[q] {
-			return fmt.Errorf("aoi: duplicate interface %q", q)
+			return v.errf("duplicate interface %q", q)
 		}
 		inames[q] = true
 		if err := v.checkInterface(it); err != nil {
@@ -50,23 +62,49 @@ type validator struct {
 	// entered holds every node whose traversal has begun anywhere; it
 	// terminates traversal of recursive graphs.
 	entered map[Type]bool
+	// src is the file's Source name, the fallback diagnostic prefix.
+	src string
+	// pos is the position of the declaration under scrutiny (zero when
+	// the front end recorded none).
+	pos Pos
+}
+
+// errf builds a positioned diagnostic: "file:line:col: aoi: msg" when
+// the current declaration carries a position, "source: aoi: msg" when
+// only the file name is known, bare "aoi: msg" otherwise.
+func (v *validator) errf(format string, args ...any) error {
+	msg := fmt.Sprintf(format, args...)
+	switch {
+	case v.pos.IsValid():
+		return fmt.Errorf("%s: aoi: %s", v.pos, msg)
+	case v.src != "":
+		return fmt.Errorf("%s: aoi: %s", v.src, msg)
+	default:
+		return fmt.Errorf("aoi: %s", msg)
+	}
 }
 
 func (v *validator) checkInterface(it *Interface) error {
+	ifacePos := v.pos
 	ops := map[string]bool{}
 	codes := map[uint32]string{}
 	for _, op := range it.Ops {
+		if op.Pos.IsValid() {
+			v.pos = op.Pos
+		} else {
+			v.pos = ifacePos
+		}
 		if ops[op.Name] {
-			return fmt.Errorf("aoi: interface %s: duplicate operation %q", it.Name, op.Name)
+			return v.errf("interface %s: duplicate operation %q", it.Name, op.Name)
 		}
 		ops[op.Name] = true
 		if prev, dup := codes[op.Code]; dup {
-			return fmt.Errorf("aoi: interface %s: operations %q and %q share code %d",
+			return v.errf("interface %s: operations %q and %q share code %d",
 				it.Name, prev, op.Name, op.Code)
 		}
 		codes[op.Code] = op.Name
 		if op.Result == nil {
-			return fmt.Errorf("aoi: interface %s: operation %q has nil result", it.Name, op.Name)
+			return v.errf("interface %s: operation %q has nil result", it.Name, op.Name)
 		}
 		if err := v.checkType(op.Result, it.Name+"."+op.Name); err != nil {
 			return err
@@ -74,39 +112,40 @@ func (v *validator) checkInterface(it *Interface) error {
 		pnames := map[string]bool{}
 		for _, p := range op.Params {
 			if pnames[p.Name] {
-				return fmt.Errorf("aoi: %s.%s: duplicate parameter %q", it.Name, op.Name, p.Name)
+				return v.errf("%s.%s: duplicate parameter %q", it.Name, op.Name, p.Name)
 			}
 			pnames[p.Name] = true
 			if p.Type == nil {
-				return fmt.Errorf("aoi: %s.%s: parameter %q has nil type", it.Name, op.Name, p.Name)
+				return v.errf("%s.%s: parameter %q has nil type", it.Name, op.Name, p.Name)
 			}
 			if err := v.checkType(p.Type, it.Name+"."+op.Name); err != nil {
 				return err
 			}
 			if IsVoid(p.Type) {
-				return fmt.Errorf("aoi: %s.%s: parameter %q is void", it.Name, op.Name, p.Name)
+				return v.errf("%s.%s: parameter %q is void", it.Name, op.Name, p.Name)
 			}
 		}
 		if op.Oneway {
 			if !IsVoid(op.Result) {
-				return fmt.Errorf("aoi: %s.%s: oneway operation has a result", it.Name, op.Name)
+				return v.errf("%s.%s: oneway operation has a result", it.Name, op.Name)
 			}
 			for _, p := range op.Params {
 				if p.Dir != In {
-					return fmt.Errorf("aoi: %s.%s: oneway operation has %s parameter %q",
+					return v.errf("%s.%s: oneway operation has %s parameter %q",
 						it.Name, op.Name, p.Dir, p.Name)
 				}
 			}
 			if len(op.Raises) > 0 {
-				return fmt.Errorf("aoi: %s.%s: oneway operation raises exceptions", it.Name, op.Name)
+				return v.errf("%s.%s: oneway operation raises exceptions", it.Name, op.Name)
 			}
 		}
 		for _, ex := range op.Raises {
 			if !hasExcept(it, ex) {
-				return fmt.Errorf("aoi: %s.%s: raises undeclared exception %q", it.Name, op.Name, ex)
+				return v.errf("%s.%s: raises undeclared exception %q", it.Name, op.Name, ex)
 			}
 		}
 	}
+	v.pos = ifacePos
 	for _, at := range it.Attrs {
 		if err := v.checkType(at.Type, it.Name+"."+at.Name); err != nil {
 			return err
@@ -133,10 +172,10 @@ func hasExcept(it *Interface, name string) bool {
 
 func (v *validator) checkType(t Type, ctx string) error {
 	if t == nil {
-		return fmt.Errorf("aoi: %s: nil type", ctx)
+		return v.errf("%s: nil type", ctx)
 	}
 	if v.path[t] {
-		return fmt.Errorf("aoi: %s: illegal type cycle through %s (recursion is legal only through optional/pointer types)", ctx, t)
+		return v.errf("%s: illegal type cycle through %s (recursion is legal only through optional/pointer types)", ctx, t)
 	}
 	if v.entered[t] {
 		return nil
@@ -149,19 +188,19 @@ func (v *validator) checkType(t Type, ctx string) error {
 		// leaves
 	case *Sequence:
 		if t.Elem == nil {
-			return fmt.Errorf("aoi: %s: sequence with nil element", ctx)
+			return v.errf("%s: sequence with nil element", ctx)
 		}
 		return v.checkType(t.Elem, ctx)
 	case *Array:
 		if t.Length == 0 {
-			return fmt.Errorf("aoi: %s: zero-length array", ctx)
+			return v.errf("%s: zero-length array", ctx)
 		}
 		return v.checkType(t.Elem, ctx)
 	case *Struct:
 		names := map[string]bool{}
 		for _, f := range t.Fields {
 			if names[f.Name] {
-				return fmt.Errorf("aoi: %s: struct %s: duplicate field %q", ctx, t, f.Name)
+				return v.errf("%s: struct %s: duplicate field %q", ctx, t, f.Name)
 			}
 			names[f.Name] = true
 			if err := v.checkType(f.Type, ctx); err != nil {
@@ -170,18 +209,18 @@ func (v *validator) checkType(t Type, ctx string) error {
 		}
 	case *Union:
 		if t.Discrim == nil {
-			return fmt.Errorf("aoi: %s: union %s: nil discriminator", ctx, t)
+			return v.errf("%s: union %s: nil discriminator", ctx, t)
 		}
 		switch d := Resolve(t.Discrim).(type) {
 		case *Primitive:
 			switch d.Kind {
 			case Boolean, Char, Short, UShort, Long, ULong:
 			default:
-				return fmt.Errorf("aoi: %s: union %s: invalid discriminator type %s", ctx, t, d)
+				return v.errf("%s: union %s: invalid discriminator type %s", ctx, t, d)
 			}
 		case *Enum:
 		default:
-			return fmt.Errorf("aoi: %s: union %s: invalid discriminator type %s", ctx, t, t.Discrim)
+			return v.errf("%s: union %s: invalid discriminator type %s", ctx, t, t.Discrim)
 		}
 		labels := map[int64]bool{}
 		defaults := 0
@@ -189,35 +228,35 @@ func (v *validator) checkType(t Type, ctx string) error {
 			if c.IsDefault {
 				defaults++
 				if len(c.Labels) != 0 {
-					return fmt.Errorf("aoi: %s: union %s: default arm with labels", ctx, t)
+					return v.errf("%s: union %s: default arm with labels", ctx, t)
 				}
 			} else if len(c.Labels) == 0 {
-				return fmt.Errorf("aoi: %s: union %s: arm with no labels", ctx, t)
+				return v.errf("%s: union %s: arm with no labels", ctx, t)
 			}
 			for _, l := range c.Labels {
 				if labels[l] {
-					return fmt.Errorf("aoi: %s: union %s: duplicate case label %d", ctx, t, l)
+					return v.errf("%s: union %s: duplicate case label %d", ctx, t, l)
 				}
 				labels[l] = true
 			}
 			if c.Field.Type == nil {
-				return fmt.Errorf("aoi: %s: union %s: arm %q has nil type", ctx, t, c.Field.Name)
+				return v.errf("%s: union %s: arm %q has nil type", ctx, t, c.Field.Name)
 			}
 			if err := v.checkType(c.Field.Type, ctx); err != nil {
 				return err
 			}
 		}
 		if defaults > 1 {
-			return fmt.Errorf("aoi: %s: union %s: multiple default arms", ctx, t)
+			return v.errf("%s: union %s: multiple default arms", ctx, t)
 		}
 	case *NamedRef:
 		if t.Def == nil {
-			return fmt.Errorf("aoi: %s: unresolved type reference %q", ctx, t.Name)
+			return v.errf("%s: unresolved type reference %q", ctx, t.Name)
 		}
 		return v.checkType(t.Def, ctx)
 	case *Optional:
 		if t.Elem == nil {
-			return fmt.Errorf("aoi: %s: optional with nil element", ctx)
+			return v.errf("%s: optional with nil element", ctx)
 		}
 		// Recursion through a pointer is legal: visit the element in a
 		// fresh pointer-free region.
@@ -227,7 +266,7 @@ func (v *validator) checkType(t Type, ctx string) error {
 		v.path = saved
 		return err
 	default:
-		return fmt.Errorf("aoi: %s: unknown type node %T", ctx, t)
+		return v.errf("%s: unknown type node %T", ctx, t)
 	}
 	return nil
 }

@@ -21,6 +21,7 @@ import (
 	"flick/internal/mir"
 	"flick/internal/pres"
 	"flick/internal/presc"
+	"flick/internal/verify"
 	"flick/internal/wire"
 )
 
@@ -68,6 +69,9 @@ type Config struct {
 	// Stats, when non-nil, collects the optimizer counters of every
 	// stub compiled in this run (the `flick -stats` report).
 	Stats *Stats
+	// Verify selects how much stage-boundary verification runs on each
+	// post-optimize MIR program. The zero value is verify.On.
+	Verify verify.Mode
 }
 
 // Stats aggregates compiler-side optimization counters for one
@@ -77,6 +81,9 @@ type Config struct {
 type Stats struct {
 	Total mir.Stats
 	Stubs []StubStats
+	// Verify accumulates the stage-boundary verifier coverage counters
+	// (MINT nodes, PRES-C stubs, MIR programs and chunk layouts checked).
+	Verify verify.Counters
 }
 
 // StubStats is one stub's optimizer counters (all of its marshal and
@@ -369,16 +376,30 @@ func pointerRootMap(roots []root) map[string]string {
 	return m
 }
 
-func (e *emitter) lowerRoots(dir mir.Dir, roots []root) (*mir.Program, error) {
+func (e *emitter) lowerRoots(name string, dir mir.Dir, roots []root) (*mir.Program, error) {
 	mroots := make([]mir.Root, len(roots))
 	for i, r := range roots {
 		mroots[i] = mir.Root{Name: r.name, Pres: r.pres}
 	}
-	return mir.Lower(dir, mroots, e.cfg.Format, e.opts)
+	prog, err := mir.Lower(dir, mroots, e.cfg.Format, e.opts)
+	if err != nil {
+		return nil, err
+	}
+	// Stage boundary: the optimized program must satisfy the emitter's
+	// invariants (space-check dominance, chunk layout, bulk identity)
+	// before any code is generated from it.
+	var vc *verify.Counters
+	if e.cfg.Stats != nil {
+		vc = &e.cfg.Stats.Verify
+	}
+	if fs := verify.MIR(prog, e.cfg.Format, name, e.cfg.Verify, vc); len(fs) > 0 {
+		return nil, fs.AsError()
+	}
+	return prog, nil
 }
 
 func (e *emitter) marshalFunc(name string, roots []root) (string, error) {
-	prog, err := e.lowerRoots(mir.Marshal, roots)
+	prog, err := e.lowerRoots(name, mir.Marshal, roots)
 	if err != nil {
 		return "", err
 	}
@@ -406,7 +427,7 @@ func (e *emitter) marshalFunc(name string, roots []root) (string, error) {
 }
 
 func (e *emitter) unmarshalFunc(name string, roots []root) (string, error) {
-	prog, err := e.lowerRoots(mir.Unmarshal, roots)
+	prog, err := e.lowerRoots(name, mir.Unmarshal, roots)
 	if err != nil {
 		return "", err
 	}
@@ -439,7 +460,7 @@ func (e *emitter) unmarshalFunc(name string, roots []root) (string, error) {
 // replyMarshalFunc writes the success reply: status 0 followed by the
 // result and out parameters.
 func (e *emitter) replyMarshalFunc(name string, roots []root) (string, error) {
-	prog, err := e.lowerRoots(mir.Marshal, roots)
+	prog, err := e.lowerRoots(name, mir.Marshal, roots)
 	if err != nil {
 		return "", err
 	}
@@ -468,7 +489,7 @@ func (e *emitter) replyMarshalFunc(name string, roots []root) (string, error) {
 }
 
 func (e *emitter) exceptionMarshalFunc(name string, status uint32, body *pres.Node) (string, error) {
-	prog, err := e.lowerRoots(mir.Marshal, []root{{"ex", body}})
+	prog, err := e.lowerRoots(name, mir.Marshal, []root{{"ex", body}})
 	if err != nil {
 		return "", err
 	}
@@ -501,7 +522,7 @@ func (e *emitter) emitStatus(v uint32) {
 }
 
 func (e *emitter) replyUnmarshalFunc(name string, roots []root, s *presc.Stub) (string, error) {
-	prog, err := e.lowerRoots(mir.Unmarshal, roots)
+	prog, err := e.lowerRoots(name, mir.Unmarshal, roots)
 	if err != nil {
 		return "", err
 	}
@@ -537,7 +558,7 @@ func (e *emitter) replyUnmarshalFunc(name string, roots []root, s *presc.Stub) (
 	e.indent--
 	var exProgs []*mir.Program
 	for i, exName := range s.ExceptionNames {
-		exProg, lerr := e.lowerRoots(mir.Unmarshal, []root{{"ex", s.ExceptionPres[i]}})
+		exProg, lerr := e.lowerRoots(exName, mir.Unmarshal, []root{{"ex", s.ExceptionPres[i]}})
 		if lerr != nil {
 			return "", lerr
 		}

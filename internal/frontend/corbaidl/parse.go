@@ -68,6 +68,13 @@ func (p *parser) defineType(name string, t aoi.Type) error {
 	return p.defineQualified(p.scopedName(name), t)
 }
 
+// declPos captures the current token's position as an AOI declaration
+// site, so aoi.Validate diagnostics point back into the IDL source.
+func (p *parser) declPos() aoi.Pos {
+	file, line, col := p.Pos()
+	return aoi.Pos{File: file, Line: line, Col: col}
+}
+
 // defineQualified registers a type whose name is already fully scoped
 // (struct/union/enum bodies scope their own names).
 func (p *parser) defineQualified(qual string, t aoi.Type) error {
@@ -75,7 +82,7 @@ func (p *parser) defineQualified(qual string, t aoi.Type) error {
 		return p.Errf("redefinition of %q", qual)
 	}
 	p.types[qual] = t
-	p.file.Types = append(p.file.Types, &aoi.TypeDef{Name: qual, Type: t})
+	p.file.Types = append(p.file.Types, &aoi.TypeDef{Name: qual, Type: t, Pos: p.declPos()})
 	return nil
 }
 
@@ -193,6 +200,7 @@ func (p *parser) parseInterface() error {
 	if err := p.Expect("interface"); err != nil {
 		return err
 	}
+	pos := p.declPos()
 	name, err := p.ExpectIdent()
 	if err != nil {
 		return err
@@ -208,6 +216,7 @@ func (p *parser) parseInterface() error {
 		Name:   name,
 		Module: strings.Join(p.module, "::"),
 		ID:     "IDL:" + strings.Join(append(append([]string{}, p.module...), name), "/") + ":1.0",
+		Pos:    pos,
 	}
 	if ok, err := p.Accept(":"); err != nil {
 		return err
@@ -368,7 +377,7 @@ func (p *parser) parseAttribute(it *aoi.Interface) error {
 }
 
 func (p *parser) parseOperation(it *aoi.Interface, code *uint32) error {
-	op := &aoi.Operation{Code: *code}
+	op := &aoi.Operation{Code: *code, Pos: p.declPos()}
 	*code++
 	var err error
 	if op.Oneway, err = p.Accept("oneway"); err != nil {

@@ -1,0 +1,45 @@
+package corbaidl
+
+import (
+	"strings"
+	"testing"
+)
+
+// Invalid IDL must fail at parse time with a positioned aoi.Validate
+// error, not deep in pgen.
+func TestParseRejectsInvalidIDLWithPosition(t *testing.T) {
+	src := `interface Bad {
+	void ok();
+	oneway long broken();
+};
+`
+	_, err := Parse("bad.idl", src)
+	if err == nil {
+		t.Fatal("Parse(oneway with result) = nil error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "oneway operation has a result") {
+		t.Errorf("error %q does not name the violation", msg)
+	}
+	if !strings.Contains(msg, "bad.idl:3:") {
+		t.Errorf("error %q is not positioned at the broken operation (want bad.idl:3:...)", msg)
+	}
+}
+
+func TestParseRejectsOnewayOutParam(t *testing.T) {
+	src := `interface Bad {
+	oneway void poke(out long v);
+};
+`
+	_, err := Parse("bad.idl", src)
+	if err == nil {
+		t.Fatal("Parse(oneway with out param) = nil error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "oneway operation has out parameter") {
+		t.Errorf("error %q does not name the violation", msg)
+	}
+	if !strings.Contains(msg, "bad.idl:2:") {
+		t.Errorf("error %q is not positioned (want bad.idl:2:...)", msg)
+	}
+}

@@ -104,6 +104,10 @@ func New(file, src string, extraPuncts ...string) *Lexer {
 	return l
 }
 
+// File returns the source file name the lexer was created with (used by
+// parsers to build positioned declarations).
+func (l *Lexer) File() string { return l.file }
+
 func (l *Lexer) errf(format string, args ...any) *Error {
 	return &Error{File: l.file, Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
 }

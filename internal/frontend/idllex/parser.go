@@ -69,6 +69,12 @@ func (p *Parser) ExpectInt() (int64, error) {
 	return v, p.Advance()
 }
 
+// Pos returns the current token's position as (file, line, col), for
+// parsers recording declaration sites.
+func (p *Parser) Pos() (file string, line, col int) {
+	return p.Lex.File(), p.tok.Line, p.tok.Col
+}
+
 // Errf builds a positioned error at the current token.
 func (p *Parser) Errf(format string, args ...any) error {
 	return p.Lex.Errf(p.tok, format, args...)

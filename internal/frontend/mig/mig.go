@@ -59,7 +59,15 @@ type parser struct {
 	types map[string]aoi.Type
 }
 
+// declPos captures the current token's position as an AOI declaration
+// site, so aoi.Validate diagnostics point back into the IDL source.
+func (p *parser) declPos() aoi.Pos {
+	file, line, col := p.Pos()
+	return aoi.Pos{File: file, Line: line, Col: col}
+}
+
 func (p *parser) parseSubsystem() (*aoi.Interface, error) {
+	pos := p.declPos()
 	if err := p.Expect("subsystem"); err != nil {
 		return nil, err
 	}
@@ -79,6 +87,7 @@ func (p *parser) parseSubsystem() (*aoi.Interface, error) {
 		ID:      fmt.Sprintf("mig:%s:%d", name, baseID),
 		Program: uint32(baseID),
 		Version: 1,
+		Pos:     pos,
 	}
 	idx := uint32(0)
 	for !p.AtEOF() {
@@ -136,6 +145,7 @@ func (p *parser) parseTypedef() error {
 }
 
 func (p *parser) parseRoutine(idx uint32) (*aoi.Operation, error) {
+	pos := p.declPos()
 	simple := p.At("simpleroutine")
 	if err := p.Advance(); err != nil {
 		return nil, err
@@ -152,6 +162,7 @@ func (p *parser) parseRoutine(idx uint32) (*aoi.Operation, error) {
 		Code:   idx,
 		Oneway: simple,
 		Result: &aoi.Primitive{Kind: aoi.Void},
+		Pos:    pos,
 	}
 	first := true
 	for !p.At(")") {

@@ -1,0 +1,28 @@
+package mig
+
+import (
+	"strings"
+	"testing"
+
+	"flick/internal/presc"
+)
+
+// Invalid MIG input must fail at parse time with a positioned
+// aoi.Validate error, not deep in the conjoined presentation generator.
+func TestParseRejectsDuplicateRoutineWithPosition(t *testing.T) {
+	src := `subsystem dup 100;
+routine ping(in v : int);
+routine ping(in w : int);
+`
+	_, err := Parse("dup.defs", src, presc.Client)
+	if err == nil {
+		t.Fatal("Parse(duplicate routine) = nil error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `duplicate operation "ping"`) {
+		t.Errorf("error %q does not name the duplicate routine", msg)
+	}
+	if !strings.Contains(msg, "dup.defs:3:") {
+		t.Errorf("error %q is not positioned at the second routine (want dup.defs:3:...)", msg)
+	}
+}

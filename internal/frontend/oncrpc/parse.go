@@ -53,8 +53,15 @@ func (p *parser) defineType(name string, t aoi.Type) error {
 		return p.Errf("redefinition of %q", name)
 	}
 	p.types[name] = t
-	p.file.Types = append(p.file.Types, &aoi.TypeDef{Name: name, Type: t})
+	p.file.Types = append(p.file.Types, &aoi.TypeDef{Name: name, Type: t, Pos: p.declPos()})
 	return nil
+}
+
+// declPos captures the current token's position as an AOI declaration
+// site, so aoi.Validate diagnostics point back into the IDL source.
+func (p *parser) declPos() aoi.Pos {
+	file, line, col := p.Pos()
+	return aoi.Pos{File: file, Line: line, Col: col}
 }
 
 func (p *parser) parseSpec() error {
@@ -601,9 +608,11 @@ func (p *parser) parseProgram() error {
 		name string
 		ops  []*aoi.Operation
 		num  int64
+		pos  aoi.Pos
 	}
 	var versions []versionDecl
 	for p.At("version") {
+		vPos := p.declPos()
 		if err := p.Advance(); err != nil {
 			return err
 		}
@@ -638,7 +647,7 @@ func (p *parser) parseProgram() error {
 		if err := p.Expect(";"); err != nil {
 			return err
 		}
-		versions = append(versions, versionDecl{name: vName, ops: ops, num: vNum})
+		versions = append(versions, versionDecl{name: vName, ops: ops, num: vNum, pos: vPos})
 	}
 	if err := p.Expect("}"); err != nil {
 		return err
@@ -667,12 +676,14 @@ func (p *parser) parseProgram() error {
 			Program: uint32(progNum),
 			Version: uint32(v.num),
 			Ops:     v.ops,
+			Pos:     v.pos,
 		})
 	}
 	return nil
 }
 
 func (p *parser) parseProcedure() (*aoi.Operation, error) {
+	pos := p.declPos()
 	result, err := p.parseResultType()
 	if err != nil {
 		return nil, err
@@ -684,7 +695,7 @@ func (p *parser) parseProcedure() (*aoi.Operation, error) {
 	if err := p.Expect("("); err != nil {
 		return nil, err
 	}
-	op := &aoi.Operation{Name: name, Result: result}
+	op := &aoi.Operation{Name: name, Result: result, Pos: pos}
 	argIdx := 1
 	for !p.At(")") {
 		f, err := p.parseDeclaration()

@@ -1,0 +1,29 @@
+package oncrpc
+
+import (
+	"strings"
+	"testing"
+)
+
+// Invalid rpcgen input must fail at parse time with a positioned
+// aoi.Validate error, not deep in pgen.
+func TestParseRejectsDuplicateProcedureNumbers(t *testing.T) {
+	src := `program DUP {
+	version DUP_V1 {
+		int first(int) = 1;
+		int second(int) = 1;
+	} = 1;
+} = 0x20000100;
+`
+	_, err := Parse("dup.x", src)
+	if err == nil {
+		t.Fatal("Parse(duplicate procedure numbers) = nil error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "share code 1") {
+		t.Errorf("error %q does not name the shared procedure number", msg)
+	}
+	if !strings.Contains(msg, "dup.x:") {
+		t.Errorf("error %q is not positioned in dup.x", msg)
+	}
+}

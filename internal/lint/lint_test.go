@@ -1,0 +1,148 @@
+package lint_test
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"flick/internal/lint"
+)
+
+// The analyzer tests follow the x/tools analysistest convention without
+// the dependency: each fixture under testdata/ marks every expected
+// finding with a trailing
+//
+//	// want `regexp`
+//
+// comment on the offending line. The harness type-checks the fixture
+// against the real flick/rt export data, runs one analyzer, and demands
+// a one-to-one match between expectations and diagnostics — an
+// unexpected finding fails the test exactly like a missed one.
+
+var wantRE = regexp.MustCompile("// want `([^`]+)`")
+
+type want struct {
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+func parseWants(t *testing.T, path string) []*want {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open fixture: %v", err)
+	}
+	defer f.Close()
+	var wants []*want
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		m := wantRE.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		re, err := regexp.Compile(m[1])
+		if err != nil {
+			t.Fatalf("%s:%d: bad want pattern %q: %v", path, line, m[1], err)
+		}
+		wants = append(wants, &want{line: line, pattern: re})
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("read fixture: %v", err)
+	}
+	return wants
+}
+
+func runFixture(t *testing.T, file string, a *lint.Analyzer) {
+	t.Helper()
+	exports, err := lint.ExportsFor("flick/rt")
+	if err != nil {
+		t.Fatalf("resolving flick/rt export data: %v", err)
+	}
+	path := filepath.Join("testdata", file)
+	pkg, err := lint.TypecheckFiles("fixture", []string{path}, exports)
+	if err != nil {
+		t.Fatalf("typechecking fixture: %v", err)
+	}
+	diags, err := lint.Analyze(pkg, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	wants := parseWants(t, path)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.line == d.Pos.Line && w.pattern.MatchString(d.Msg) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", path, w.line, w.pattern)
+		}
+	}
+}
+
+func TestReleaseCheck(t *testing.T) { runFixture(t, "releasecheck.go", lint.ReleaseCheck) }
+func TestSendSafe(t *testing.T)     { runFixture(t, "sendsafe.go", lint.SendSafe) }
+func TestPoolEscape(t *testing.T)   { runFixture(t, "poolescape.go", lint.PoolEscape) }
+
+// TestFixturesCleanUnderOtherAnalyzers pins down that each fixture
+// violates only its own analyzer's contract: running the full set over a
+// fixture must produce no findings beyond the annotated ones.
+func TestFixturesCleanUnderOtherAnalyzers(t *testing.T) {
+	exports, err := lint.ExportsFor("flick/rt")
+	if err != nil {
+		t.Fatalf("resolving flick/rt export data: %v", err)
+	}
+	byFixture := map[string]string{
+		"releasecheck.go": "releasecheck",
+		"sendsafe.go":     "sendsafe",
+		"poolescape.go":   "poolescape",
+	}
+	for file, own := range byFixture {
+		path := filepath.Join("testdata", file)
+		pkg, err := lint.TypecheckFiles("fixture", []string{path}, exports)
+		if err != nil {
+			t.Fatalf("typechecking %s: %v", file, err)
+		}
+		diags, err := lint.Analyze(pkg, lint.All())
+		if err != nil {
+			t.Fatalf("analyze %s: %v", file, err)
+		}
+		for _, d := range diags {
+			if d.Analyzer != own {
+				t.Errorf("%s: cross-analyzer finding: %s", file, d)
+			}
+		}
+	}
+}
+
+// TestRuntimeIsClean keeps the runtime itself honest against its own
+// ownership contract: flick/rt must lint clean (the two sanctioned
+// reply handoffs carry //lint:allow annotations).
+func TestRuntimeIsClean(t *testing.T) {
+	pkgs, err := lint.Load([]string{"flick/rt"})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	for _, p := range pkgs {
+		diags, err := lint.Analyze(p, lint.All())
+		if err != nil {
+			t.Fatalf("analyze: %v", err)
+		}
+		for _, d := range diags {
+			t.Errorf("finding in flick/rt: %s", d)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolEscape flags pooled runtime objects (*rt.Decoder, *rt.Encoder)
+// escaping their borrowing call: stores into struct fields, package
+// -level variables, or composite values that outlive the call. A pooled
+// object returns to its sync.Pool on release, so a retained pointer
+// silently starts reading (or writing) another call's buffer.
+//
+// rt's own reply-handoff store (the reader delivering a decoder to the
+// pending call slot) is the one sanctioned escape; it is annotated with
+// `//lint:allow poolescape`.
+var PoolEscape = &Analyzer{
+	Name: "poolescape",
+	Doc:  "pooled rt objects must not be stored into fields or globals",
+	Run:  runPoolEscape,
+}
+
+func runPoolEscape(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if len(n.Lhs) != len(n.Rhs) {
+						break
+					}
+					if !isPooledExpr(pass, rhs) {
+						continue
+					}
+					if isEscapingDest(pass, n.Lhs[i]) {
+						pass.Reportf(n.Pos(), "pooled %s stored into a field or global (its lifetime is the call that borrowed it)", typeName(pass, rhs))
+					}
+				}
+			case *ast.CompositeLit:
+				for _, el := range n.Elts {
+					v := el
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if isPooledExpr(pass, v) {
+						pass.Reportf(v.Pos(), "pooled %s stored into a composite value (its lifetime is the call that borrowed it)", typeName(pass, v))
+					}
+				}
+			case *ast.ValueSpec:
+				// Package-level `var g = <pooled>`.
+				if pass.Info.Defs[n.Names[0]] != nil &&
+					isPkgLevelSpec(pass, n) {
+					for _, v := range n.Values {
+						if isPooledExpr(pass, v) {
+							pass.Reportf(v.Pos(), "pooled %s stored into a package-level variable", typeName(pass, v))
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isPooledExpr reports whether expr's type is a pooled runtime object
+// pointer. Nil literals don't count: assigning nil to a field is how
+// the slot is cleared.
+func isPooledExpr(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.IsNil() {
+		return false
+	}
+	return isPooledType(tv.Type)
+}
+
+func typeName(pass *Pass, expr ast.Expr) string {
+	tv, ok := pass.Info.Types[expr]
+	if !ok {
+		return "object"
+	}
+	// Qualify foreign packages by name, not import path: the contract
+	// names read as written at the use site ("*rt.Decoder").
+	return types.TypeString(tv.Type, func(p *types.Package) string {
+		if p == pass.Pkg {
+			return ""
+		}
+		return p.Name()
+	})
+}
+
+func isPkgLevelSpec(pass *Pass, spec *ast.ValueSpec) bool {
+	for _, name := range spec.Names {
+		if obj := pass.Info.Defs[name]; obj != nil {
+			if v, ok := obj.(*types.Var); ok && v.Parent() == pass.Pkg.Scope() {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SendSafe enforces the Conn.Send contract ("the buffer may be reused
+// by the caller after Send returns"): an implementation of
+// Send(msg []byte) error must not retain msg — not store it (or a slice
+// of it) into a struct field or package-level variable, and not send it
+// on a channel. Retention hands the caller's reusable buffer to code
+// that will read it after the caller has overwritten it.
+var SendSafe = &Analyzer{
+	Name: "sendsafe",
+	Doc:  "Conn.Send implementations must not retain the message buffer",
+	Run:  runSendSafe,
+}
+
+func runSendSafe(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil || fn.Name.Name != "Send" {
+				continue
+			}
+			msg := sendMsgParam(pass, fn)
+			if msg == nil {
+				continue
+			}
+			checkRetention(pass, fn.Body, msg)
+		}
+	}
+	return nil
+}
+
+// sendMsgParam returns the object of the []byte message parameter of a
+// Send(msg []byte) error method, or nil when fn has another shape.
+func sendMsgParam(pass *Pass, fn *ast.FuncDecl) types.Object {
+	ft := fn.Type
+	if ft.Params == nil || len(ft.Params.List) != 1 || len(ft.Params.List[0].Names) != 1 {
+		return nil
+	}
+	name := ft.Params.List[0].Names[0]
+	obj := pass.Info.Defs[name]
+	if obj == nil {
+		return nil
+	}
+	sl, ok := obj.Type().(*types.Slice)
+	if !ok {
+		return nil
+	}
+	b, ok := sl.Elem().(*types.Basic)
+	if !ok || b.Kind() != types.Byte {
+		return nil
+	}
+	return obj
+}
+
+// checkRetention flags stores of msg (or a reslice of it) to
+// non-local destinations.
+func checkRetention(pass *Pass, body *ast.BlockStmt, msg types.Object) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if !aliasesBuffer(pass, rhs, msg) {
+					continue
+				}
+				if i < len(n.Lhs) && isEscapingDest(pass, n.Lhs[i]) {
+					pass.Reportf(n.Pos(), "Send retains the caller's buffer (the buffer may be reused after Send returns)")
+				}
+			}
+		case *ast.SendStmt:
+			if aliasesBuffer(pass, n.Value, msg) {
+				pass.Reportf(n.Pos(), "Send publishes the caller's buffer on a channel (the buffer may be reused after Send returns)")
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if aliasesBuffer(pass, v, msg) {
+					pass.Reportf(v.Pos(), "Send stores the caller's buffer in a composite value (the buffer may be reused after Send returns)")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// aliasesBuffer reports whether expr evaluates to memory aliasing the
+// message buffer: the parameter itself or a reslice of it. A copy
+// (append to a fresh slice, copy into a new buffer) does not alias.
+func aliasesBuffer(pass *Pass, expr ast.Expr, msg types.Object) bool {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return pass.Info.Uses[e] == msg
+	case *ast.SliceExpr:
+		return aliasesBuffer(pass, e.X, msg)
+	case *ast.ParenExpr:
+		return aliasesBuffer(pass, e.X, msg)
+	}
+	return false
+}
+
+// isEscapingDest reports whether the assignment destination outlives the
+// call: a struct field, a dereferenced pointer, an element of a
+// non-local container, or a package-level variable.
+func isEscapingDest(pass *Pass, lhs ast.Expr) bool {
+	switch l := lhs.(type) {
+	case *ast.SelectorExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	case *ast.IndexExpr:
+		return isEscapingDest(pass, l.X) || isPkgLevel(pass, l.X)
+	case *ast.Ident:
+		return isPkgLevel(pass, l)
+	}
+	return false
+}
+
+// isPkgLevel reports whether expr names a package-level variable.
+func isPkgLevel(pass *Pass, expr ast.Expr) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		obj = pass.Info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	return ok && v.Parent() == pass.Pkg.Scope()
+}

@@ -1,0 +1,62 @@
+package fixture
+
+import "flick/rt"
+
+// ok: the canonical generated-stub shape — call, check error,
+// unmarshal, release, return.
+func wellBehaved(c *rt.Client) (v uint32, err error) {
+	d, err := c.Call(1, "op", false, func(e *rt.Encoder) {})
+	if err != nil {
+		return
+	}
+	v = d.U32BE()
+	d.Release()
+	return
+}
+
+func missingRelease(c *rt.Client) (uint32, error) {
+	d, err := c.Call(1, "op", false, func(e *rt.Encoder) {}) // want `pooled decoder d obtained here is never released`
+	if err != nil {
+		return 0, err
+	}
+	return d.U32BE(), nil
+}
+
+func doubleRelease(c *rt.Client) error {
+	d, err := c.Call(1, "op", false, func(e *rt.Encoder) {})
+	if err != nil {
+		return err
+	}
+	d.Release()
+	d.Release() // want `d released twice`
+	return nil
+}
+
+func useAfterRelease(c *rt.Client) (uint32, error) {
+	d, err := c.Call(1, "op", false, func(e *rt.Encoder) {})
+	if err != nil {
+		return 0, err
+	}
+	d.Release()
+	return d.U32BE(), nil // want `use of d after release`
+}
+
+func deferThenRelease(c *rt.Client) error {
+	d, err := c.Call(1, "op", false, func(e *rt.Encoder) {})
+	if err != nil {
+		return err
+	}
+	defer d.Release()
+	_ = d.U32BE()
+	d.Release() // want `d released here and again by the deferred release`
+	return nil
+}
+
+// ok: ownership transferred to the caller by returning the decoder.
+func transfersOwnership(c *rt.Client) (*rt.Decoder, error) {
+	d, err := c.Call(1, "op", false, func(e *rt.Encoder) {})
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}

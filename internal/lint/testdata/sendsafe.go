@@ -1,0 +1,89 @@
+package fixture
+
+// Send-method fixtures for the sendsafe analyzer: a transport's Send
+// must not retain the caller's buffer after returning (the caller
+// reuses it — rt's pooled Encoder is Reset for the next request as
+// soon as Send returns).
+
+var lastGlobal []byte
+
+type badConn struct {
+	last []byte
+}
+
+func (c *badConn) Send(msg []byte) error {
+	c.last = msg // want `Send retains the caller's buffer`
+	return nil
+}
+
+type resliceConn struct {
+	head []byte
+}
+
+func (c *resliceConn) Send(msg []byte) error {
+	c.head = msg[:4] // want `Send retains the caller's buffer`
+	return nil
+}
+
+type chanConn struct {
+	out chan []byte
+}
+
+func (c *chanConn) Send(msg []byte) error {
+	c.out <- msg // want `Send publishes the caller's buffer on a channel`
+	return nil
+}
+
+type frame struct {
+	data []byte
+}
+
+type compositeConn struct {
+	frames []frame
+}
+
+func (c *compositeConn) Send(msg []byte) error {
+	f := frame{data: msg} // want `Send stores the caller's buffer in a composite value`
+	c.frames = append(c.frames, f)
+	return nil
+}
+
+type globalConn struct{}
+
+func (globalConn) Send(msg []byte) error {
+	lastGlobal = msg // want `Send retains the caller's buffer`
+	return nil
+}
+
+// ok: copying before retaining is the sanctioned pattern (rt's
+// in-process pipe transport does exactly this).
+type copyConn struct {
+	out chan []byte
+}
+
+func (c *copyConn) Send(msg []byte) error {
+	out := make([]byte, len(msg))
+	copy(out, msg)
+	c.out <- out
+	return nil
+}
+
+// ok: a local alias that never outlives the call.
+type writeConn struct{}
+
+func (writeConn) Send(msg []byte) error {
+	tmp := msg
+	_ = tmp
+	return nil
+}
+
+// ok: methods not named Send (or with a different shape) are outside
+// the contract.
+type notSend struct {
+	buf []byte
+}
+
+func (n *notSend) Stash(msg []byte) error {
+	n.buf = msg
+	return nil
+}

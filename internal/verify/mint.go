@@ -1,0 +1,183 @@
+package verify
+
+import (
+	"fmt"
+
+	"flick/internal/mint"
+)
+
+// MINT verifies a message-type graph: every reference resolves, integer
+// ranges are representable, unions have atomic discriminators and
+// distinct labels that the discriminator can actually carry, constants
+// fit their underlying types, and the graph is acyclic except through a
+// union arm (MINT's encoding of optional data — a cycle that never
+// passes a discriminator describes an infinitely large message).
+//
+// root names the graph in diagnostics (e.g. "stub Mail_send: request").
+func MINT(t mint.Type, root string, c *Counters) Findings {
+	v := &mintVerifier{
+		c:       c,
+		path:    map[mint.Type]bool{},
+		entered: map[mint.Type]bool{},
+	}
+	v.check(t, root)
+	if c != nil {
+		c.Findings += len(v.out)
+	}
+	return v.out
+}
+
+type mintVerifier struct {
+	c   *Counters
+	out Findings
+	// path holds the nodes in progress within the current union-free
+	// region; revisiting one means an illegal cycle. Crossing a union
+	// arm starts a fresh region (the discriminator provides the base
+	// case, exactly as a pointer does in XDR).
+	path map[mint.Type]bool
+	// entered holds every node whose traversal began anywhere; it
+	// terminates traversal of (legally) recursive graphs.
+	entered map[mint.Type]bool
+}
+
+func (v *mintVerifier) failf(path, format string, args ...any) {
+	v.out = append(v.out, Finding{Stage: "MINT", Path: path, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (v *mintVerifier) check(t mint.Type, path string) {
+	if t == nil {
+		v.failf(path, "nil type")
+		return
+	}
+	if v.path[t] {
+		v.failf(path, "illegal type cycle through %s (recursion is legal only through a union arm)", t)
+		return
+	}
+	if v.entered[t] {
+		return
+	}
+	v.entered[t] = true
+	v.path[t] = true
+	defer delete(v.path, t)
+	if v.c != nil {
+		v.c.MintNodes++
+	}
+
+	switch t := t.(type) {
+	case *mint.Integer:
+		v.checkInteger(t, path)
+
+	case *mint.Scalar:
+		switch t.Kind {
+		case mint.Void, mint.Boolean, mint.Char8, mint.Float32, mint.Float64:
+		default:
+			v.failf(path, "unknown scalar kind %d", int(t.Kind))
+		}
+
+	case *mint.Array:
+		if t.Length == nil {
+			v.failf(path, "array with nil length type")
+		} else {
+			if t.Length.Min < 0 {
+				v.failf(path+".len", "array length with negative minimum %d", t.Length.Min)
+			}
+			v.checkInteger(t.Length, path+".len")
+		}
+		if t.Elem == nil {
+			v.failf(path, "array with nil element type")
+		} else {
+			v.check(t.Elem, path+".elem")
+		}
+
+	case *mint.Struct:
+		for i, s := range t.Slots {
+			p := fmt.Sprintf("%s.slots[%d]", path, i)
+			if s.Type == nil {
+				v.failf(p, "struct slot %q with nil type", s.Name)
+				continue
+			}
+			v.check(s.Type, p)
+		}
+
+	case *mint.Union:
+		v.checkUnion(t, path)
+
+	case *mint.Const:
+		if t.Of == nil {
+			v.failf(path, "const with nil underlying type")
+			return
+		}
+		v.check(t.Of, path+".of")
+		if i, ok := mint.Deref(t.Of).(*mint.Integer); ok && !i.Contains(t.Value) {
+			v.failf(path, "const value %d outside underlying range %s", t.Value, i)
+		}
+
+	case *mint.TypeRef:
+		if t.Target == nil {
+			v.failf(path, "unresolved type ref %q", t.Name)
+			return
+		}
+		v.check(t.Target, path)
+
+	default:
+		v.failf(path, "unknown MINT node %T", t)
+	}
+}
+
+func (v *mintVerifier) checkInteger(t *mint.Integer, path string) {
+	if t.Min > 0 && uint64(t.Min)+t.Range < t.Range {
+		v.failf(path, "integer range [%d, %d+%d] overflows uint64", t.Min, t.Min, t.Range)
+	}
+	// The lowering maps every integer onto an 8/16/32/64-bit atom; Bits
+	// must return one of those.
+	switch bits, _ := t.Bits(); bits {
+	case 8, 16, 32, 64:
+	default:
+		v.failf(path, "integer %s has no power-of-two wire width (got %d bits)", t, bits)
+	}
+}
+
+func (v *mintVerifier) checkUnion(t *mint.Union, path string) {
+	if t.Discrim == nil {
+		v.failf(path, "union with nil discriminator")
+	} else {
+		switch d := mint.Deref(t.Discrim).(type) {
+		case *mint.Integer:
+			v.checkInteger(d, path+".discrim")
+		case *mint.Scalar:
+			if d.Kind != mint.Boolean && d.Kind != mint.Char8 {
+				v.failf(path+".discrim", "non-discrete discriminator scalar %s", d)
+			}
+		default:
+			v.failf(path+".discrim", "non-atomic union discriminator %s", t.Discrim)
+		}
+	}
+	seen := map[int64]bool{}
+	for i, c := range t.Cases {
+		p := fmt.Sprintf("%s.cases[%d]", path, i)
+		if seen[c.Value] {
+			v.failf(p, "duplicate union case label %d", c.Value)
+		}
+		seen[c.Value] = true
+		if d, ok := mint.Deref(t.Discrim).(*mint.Integer); ok && !d.Contains(c.Value) {
+			v.failf(p, "case label %d outside discriminator range %s", c.Value, d)
+		}
+		if c.Type == nil {
+			v.failf(p, "union arm with nil type")
+			continue
+		}
+		v.checkArm(c.Type, p)
+	}
+	if t.Default != nil {
+		v.checkArm(t.Default, path+".default")
+	}
+}
+
+// checkArm visits a union arm in a fresh union-free region: recursion
+// through the arm is legal because the discriminator terminates it.
+func (v *mintVerifier) checkArm(t mint.Type, path string) {
+	saved := v.path
+	v.path = map[mint.Type]bool{}
+	v.check(t, path)
+	v.path = saved
+}

@@ -1,0 +1,159 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"flick/internal/mint"
+)
+
+// wantFinding asserts that fs contains a finding whose Stage matches
+// stage and whose rendered text contains every fragment.
+func wantFinding(t *testing.T, fs Findings, stage string, fragments ...string) {
+	t.Helper()
+	for _, f := range fs {
+		if f.Stage != stage {
+			continue
+		}
+		s := f.String()
+		ok := true
+		for _, frag := range fragments {
+			if !strings.Contains(s, frag) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+	}
+	t.Fatalf("no %s finding containing %q; got:\n%s", stage, fragments, Findings(fs).Error())
+}
+
+func TestMINTAcceptsHealthyGraph(t *testing.T) {
+	// A realistic message: struct { u32; string<64>; union(bool){void, f64} }.
+	typ := &mint.Struct{Name: "msg", Slots: []mint.Slot{
+		{Name: "id", Type: mint.U32()},
+		{Name: "name", Type: mint.NewString(64)},
+		{Name: "opt", Type: &mint.Union{
+			Discrim: mint.Bool(),
+			Cases: []mint.UnionCase{
+				{Value: 0, Type: mint.VoidT()},
+				{Value: 1, Type: mint.F64()},
+			},
+		}},
+	}}
+	if fs := MINT(typ, "msg", nil); len(fs) != 0 {
+		t.Fatalf("healthy graph rejected:\n%s", fs.Error())
+	}
+}
+
+func TestMINTRecursionThroughUnionArmIsLegal(t *testing.T) {
+	// A linked list: node = struct { i32; opt(next) } where opt is a
+	// 2-case union — recursion crosses a union arm, so it terminates.
+	node := &mint.Struct{Name: "node"}
+	opt := &mint.Union{
+		Discrim: mint.Bool(),
+		Cases: []mint.UnionCase{
+			{Value: 0, Type: mint.VoidT()},
+			{Value: 1, Type: node},
+		},
+	}
+	node.Slots = []mint.Slot{
+		{Name: "val", Type: mint.I32()},
+		{Name: "next", Type: opt},
+	}
+	if fs := MINT(node, "node", nil); len(fs) != 0 {
+		t.Fatalf("legal recursion rejected:\n%s", fs.Error())
+	}
+}
+
+func TestMINTUnresolvedRef(t *testing.T) {
+	typ := &mint.Struct{Slots: []mint.Slot{
+		{Name: "x", Type: &mint.TypeRef{Name: "dangling"}},
+	}}
+	fs := MINT(typ, "root", nil)
+	wantFinding(t, fs, "MINT", "root.slots[0]", `unresolved type ref "dangling"`)
+}
+
+func TestMINTIllegalCycle(t *testing.T) {
+	// struct s { s } — a cycle with no union arm in between describes an
+	// infinitely large message.
+	s := &mint.Struct{Name: "s"}
+	s.Slots = []mint.Slot{{Name: "self", Type: s}}
+	fs := MINT(s, "root", nil)
+	wantFinding(t, fs, "MINT", "illegal type cycle")
+}
+
+func TestMINTDuplicateUnionLabels(t *testing.T) {
+	u := &mint.Union{
+		Discrim: mint.U32(),
+		Cases: []mint.UnionCase{
+			{Value: 3, Type: mint.I32()},
+			{Value: 3, Type: mint.F32()},
+		},
+	}
+	fs := MINT(u, "u", nil)
+	wantFinding(t, fs, "MINT", "u.cases[1]", "duplicate union case label 3")
+}
+
+func TestMINTLabelOutsideDiscriminatorRange(t *testing.T) {
+	u := &mint.Union{
+		Discrim: mint.U8(),
+		Cases: []mint.UnionCase{
+			{Value: 300, Type: mint.I32()},
+		},
+	}
+	fs := MINT(u, "u", nil)
+	wantFinding(t, fs, "MINT", "case label 300 outside discriminator range")
+}
+
+func TestMINTNonAtomicDiscriminator(t *testing.T) {
+	u := &mint.Union{
+		Discrim: &mint.Struct{Slots: []mint.Slot{{Name: "x", Type: mint.I32()}}},
+		Cases:   []mint.UnionCase{{Value: 0, Type: mint.VoidT()}},
+	}
+	fs := MINT(u, "u", nil)
+	wantFinding(t, fs, "MINT", "u.discrim", "non-atomic union discriminator")
+}
+
+func TestMINTConstOutsideRange(t *testing.T) {
+	c := &mint.Const{Of: mint.U8(), Value: 900}
+	fs := MINT(c, "c", nil)
+	wantFinding(t, fs, "MINT", "const value 900 outside underlying range")
+}
+
+func TestMINTNegativeArrayLength(t *testing.T) {
+	a := &mint.Array{
+		Elem:   mint.U8(),
+		Length: &mint.Integer{Min: -4, Range: 8},
+	}
+	fs := MINT(a, "a", nil)
+	wantFinding(t, fs, "MINT", "a.len", "negative minimum -4")
+}
+
+func TestMINTNilTypes(t *testing.T) {
+	fs := MINT(nil, "root", nil)
+	wantFinding(t, fs, "MINT", "nil type")
+
+	st := &mint.Struct{Slots: []mint.Slot{{Name: "x", Type: nil}}}
+	fs = MINT(st, "root", nil)
+	wantFinding(t, fs, "MINT", `struct slot "x" with nil type`)
+}
+
+func TestMINTCountsNodes(t *testing.T) {
+	var c Counters
+	typ := &mint.Struct{Slots: []mint.Slot{
+		{Name: "a", Type: mint.U32()},
+		{Name: "b", Type: mint.F64()},
+	}}
+	if fs := MINT(typ, "m", &c); len(fs) != 0 {
+		t.Fatalf("unexpected findings:\n%s", fs.Error())
+	}
+	if c.MintNodes != 3 {
+		t.Fatalf("MintNodes = %d, want 3", c.MintNodes)
+	}
+	if c.Findings != 0 {
+		t.Fatalf("Findings = %d, want 0", c.Findings)
+	}
+}

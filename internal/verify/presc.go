@@ -1,0 +1,367 @@
+package verify
+
+import (
+	"fmt"
+
+	"flick/internal/cast"
+	"flick/internal/mint"
+	"flick/internal/pres"
+	"flick/internal/presc"
+)
+
+// PRESC verifies a complete presentation: the MINT message types of
+// every stub, the PRES trees connecting parameters to those messages,
+// and (for C presentations) the CAST declaration list. The PRES checks
+// enforce the mapping-layer contract:
+//
+//   - every node's kind matches the MINT shape beneath it (a counted
+//     node presents a variable array, a terminated node a char array,
+//     an opt_ptr a two-case union, ...);
+//   - every child presents exactly the corresponding component of the
+//     parent's MINT type (structural equality — "connects a live MINT
+//     node");
+//   - data-carrying nodes have a live target type (CType), counted C
+//     aggregates carry length and buffer members, refs resolve;
+//   - C declaration lists contain no dangling (nil or unnamed) decls.
+func PRESC(f *presc.File, c *Counters) Findings {
+	v := &prescVerifier{c: c, lang: f.Lang}
+	if f.Side != presc.Client && f.Side != presc.Server {
+		v.failf("file", "bad side %d", int(f.Side))
+	}
+	names := map[string]bool{}
+	for _, s := range f.Stubs {
+		if c != nil {
+			c.PrescStubs++
+		}
+		if s.Name == "" {
+			v.failf(fmt.Sprintf("stub for op %q", s.Op), "empty stub name")
+			continue
+		}
+		stubPath := "stub " + s.Name
+		if names[s.Name] && s.Kind != presc.ServerWork {
+			v.failf(stubPath, "duplicate stub name")
+		}
+		names[s.Name] = true
+		v.checkStub(s, stubPath)
+	}
+	v.checkDecls(f)
+	if c != nil {
+		c.Findings += len(v.out)
+	}
+	return v.out
+}
+
+type prescVerifier struct {
+	c    *Counters
+	lang string
+	out  Findings
+}
+
+func (v *prescVerifier) failf(path, format string, args ...any) {
+	v.out = append(v.out, Finding{Stage: "PRES-C", Path: path, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (v *prescVerifier) checkStub(s *presc.Stub, path string) {
+	if s.Request == nil {
+		v.failf(path, "nil request type")
+	} else {
+		v.out = append(v.out, MINT(s.Request, path+": request", v.c)...)
+	}
+	if s.Oneway != (s.Reply == nil) {
+		v.failf(path, "oneway=%v but reply=%v", s.Oneway, s.Reply != nil)
+	}
+	if s.Reply != nil {
+		v.out = append(v.out, MINT(s.Reply, path+": reply", v.c)...)
+	}
+	for i := range s.Params {
+		p := &s.Params[i]
+		pp := fmt.Sprintf("%s: param %s", path, p.Name)
+		switch p.Role {
+		case presc.RoleRequest, presc.RoleBoth:
+			if p.Request == nil {
+				v.failf(pp, "request role without a request PRES tree")
+			} else {
+				v.checkNode(p.Request, pp+".request", map[*pres.Node]bool{})
+			}
+		}
+		switch p.Role {
+		case presc.RoleReply, presc.RoleBoth:
+			if p.Reply == nil {
+				v.failf(pp, "reply role without a reply PRES tree")
+			} else {
+				v.checkNode(p.Reply, pp+".reply", map[*pres.Node]bool{})
+			}
+		}
+	}
+	if s.Result != nil && s.Result.Reply != nil {
+		v.checkNode(s.Result.Reply, path+": result", map[*pres.Node]bool{})
+	}
+	if len(s.ExceptionPres) != len(s.ExceptionNames) {
+		v.failf(path, "%d exception PRES trees for %d exception names",
+			len(s.ExceptionPres), len(s.ExceptionNames))
+		return
+	}
+	for i, ex := range s.ExceptionPres {
+		if ex == nil {
+			v.failf(fmt.Sprintf("%s: exception %s", path, s.ExceptionNames[i]), "nil PRES tree")
+			continue
+		}
+		v.checkNode(ex, fmt.Sprintf("%s: exception %s", path, s.ExceptionNames[i]), map[*pres.Node]bool{})
+	}
+}
+
+// needsCType reports whether nodes of kind k present data and therefore
+// must carry a live target type.
+func needsCType(k pres.Kind) bool {
+	switch k {
+	case pres.VoidKind, pres.RefKind:
+		return false
+	}
+	return true
+}
+
+func (v *prescVerifier) checkNode(n *pres.Node, path string, seen map[*pres.Node]bool) {
+	if n == nil {
+		v.failf(path, "nil PRES node")
+		return
+	}
+	if seen[n] {
+		return
+	}
+	seen[n] = true
+
+	if n.Mint == nil && n.Kind != pres.VoidKind && n.Kind != pres.RefKind {
+		v.failf(path, "%s node with no MINT type (dangling mapping)", n.Kind)
+		return
+	}
+	if needsCType(n.Kind) && n.CType == nil {
+		v.failf(path, "%s node with no target type (dangling %s decl)", n.Kind, v.targetName())
+	}
+
+	switch n.Kind {
+	case pres.VoidKind:
+		return
+
+	case pres.RefKind:
+		if n.Target == nil {
+			v.failf(path, "unresolved ref %q", n.Name)
+			return
+		}
+		v.checkNode(n.Target, path, seen)
+		return
+
+	case pres.DirectKind, pres.EnumKind:
+		switch mint.Deref(n.Mint).(type) {
+		case *mint.Integer, *mint.Scalar, *mint.Const:
+		default:
+			v.failf(path, "%s node over non-atomic MINT %s", n.Kind, n.Mint)
+		}
+
+	case pres.FixedArrayKind:
+		arr, ok := mint.Deref(n.Mint).(*mint.Array)
+		if !ok || !arr.Fixed() {
+			v.failf(path, "fixed_array node over %s (want fixed-length array)", n.Mint)
+			return
+		}
+		v.checkElem(n, arr, path, seen)
+
+	case pres.CountedKind, pres.TerminatedKind:
+		arr, ok := mint.Deref(n.Mint).(*mint.Array)
+		if !ok {
+			v.failf(path, "%s node over non-array MINT %s", n.Kind, n.Mint)
+			return
+		}
+		if arr.Fixed() {
+			v.failf(path, "%s node over fixed array %s (no length travels)", n.Kind, n.Mint)
+		}
+		if n.Kind == pres.TerminatedKind && !isCharElem(arr) {
+			v.failf(path, "terminated node over non-char element %s (terminated strings map char-like items)", arr.Elem)
+		}
+		// Counted C aggregates must name where the length and the data
+		// live; Go counted nodes present slices/strings, whose length
+		// is intrinsic.
+		if n.Kind == pres.CountedKind {
+			if _, isGo := n.CType.(string); !isGo && n.CType != nil {
+				if n.LengthField == "" {
+					v.failf(path, "counted C aggregate without a length member")
+				}
+				if n.BufferField == "" {
+					v.failf(path, "counted C aggregate without a buffer member")
+				}
+			}
+		}
+		v.checkElem(n, arr, path, seen)
+
+	case pres.OptPtrKind:
+		u, ok := mint.Deref(n.Mint).(*mint.Union)
+		if !ok || len(u.Cases) != 2 {
+			v.failf(path, "opt_ptr node over %s (want 2-case union)", n.Mint)
+			return
+		}
+		// The element presents the non-void arm.
+		var present mint.Type
+		for _, c := range u.Cases {
+			if !isVoid(c.Type) {
+				present = c.Type
+			}
+		}
+		if present == nil {
+			v.failf(path, "opt_ptr union has no data-carrying arm")
+			return
+		}
+		if len(n.Children) != 1 {
+			v.failf(path, "opt_ptr node with %d children, want 1", len(n.Children))
+			return
+		}
+		v.checkChildMint(n.Children[0], present, path+".elem")
+		v.checkNode(n.Children[0], path+".elem", seen)
+
+	case pres.StructKind:
+		st, ok := mint.Deref(n.Mint).(*mint.Struct)
+		if !ok {
+			v.failf(path, "struct node over %s", n.Mint)
+			return
+		}
+		if len(n.Children) != len(st.Slots) {
+			v.failf(path, "struct node has %d children for %d MINT slots", len(n.Children), len(st.Slots))
+			return
+		}
+		if len(n.FieldNames) != len(n.Children) {
+			v.failf(path, "struct node has %d field names for %d children", len(n.FieldNames), len(n.Children))
+		}
+		for i, c := range n.Children {
+			p := fmt.Sprintf("%s.%s", path, fieldName(n, i))
+			v.checkChildMint(c, st.Slots[i].Type, p)
+			v.checkNode(c, p, seen)
+		}
+
+	case pres.UnionKind:
+		u, ok := mint.Deref(n.Mint).(*mint.Union)
+		if !ok {
+			v.failf(path, "union node over %s", n.Mint)
+			return
+		}
+		want := len(u.Cases)
+		if u.Default != nil {
+			want++
+		}
+		if len(n.Children) != want {
+			v.failf(path, "union node has %d children for %d arms", len(n.Children), want)
+			return
+		}
+		if n.DiscrimCType == nil {
+			v.failf(path, "union node with no presented discriminator type")
+		}
+		for i, c := range n.Children {
+			p := fmt.Sprintf("%s.%s", path, fieldName(n, i))
+			if i < len(u.Cases) {
+				v.checkChildMint(c, u.Cases[i].Type, p)
+			} else {
+				v.checkChildMint(c, u.Default, p)
+			}
+			v.checkNode(c, p, seen)
+		}
+
+	default:
+		v.failf(path, "unknown PRES kind %d", int(n.Kind))
+	}
+}
+
+// checkElem validates an array-like node's single child against the
+// array's element type.
+func (v *prescVerifier) checkElem(n *pres.Node, arr *mint.Array, path string, seen map[*pres.Node]bool) {
+	if len(n.Children) != 1 {
+		v.failf(path, "%s node with %d children, want 1", n.Kind, len(n.Children))
+		return
+	}
+	v.checkChildMint(n.Children[0], arr.Elem, path+".elem")
+	v.checkNode(n.Children[0], path+".elem", seen)
+}
+
+// checkChildMint enforces the "live MINT node" rule: a child node must
+// present exactly the MINT component its parent hands it. Structural
+// equality (not pointer identity) is used because presentation
+// generators may synthesize equal-but-fresh atoms (e.g. byte elements
+// of an object key).
+func (v *prescVerifier) checkChildMint(child *pres.Node, want mint.Type, path string) {
+	if child == nil || want == nil {
+		return // reported by the caller's shape checks
+	}
+	got := child.Mint
+	if r := resolveRef(child); r != nil {
+		got = r.Mint
+	}
+	if got == nil {
+		return // void/ref nodes; checkNode reports genuinely missing Mint
+	}
+	if !mint.Equal(got, want) {
+		v.failf(path, "child presents MINT %s but parent carries %s (dangling PRES→MINT ref)", got, want)
+	}
+}
+
+// resolveRef follows RefKind chains without panicking on dangling refs
+// (those are reported as findings instead).
+func resolveRef(n *pres.Node) *pres.Node {
+	for hops := 0; n != nil && n.Kind == pres.RefKind && hops < 1000; hops++ {
+		n = n.Target
+	}
+	return n
+}
+
+func fieldName(n *pres.Node, i int) string {
+	if i < len(n.FieldNames) && n.FieldNames[i] != "" {
+		return n.FieldNames[i]
+	}
+	return fmt.Sprintf("children[%d]", i)
+}
+
+func isVoid(t mint.Type) bool {
+	s, ok := mint.Deref(t).(*mint.Scalar)
+	return ok && s.Kind == mint.Void
+}
+
+func isCharElem(arr *mint.Array) bool {
+	s, ok := mint.Deref(arr.Elem).(*mint.Scalar)
+	return ok && s.Kind == mint.Char8
+}
+
+func (v *prescVerifier) targetName() string {
+	if v.lang == "c" {
+		return "CAST"
+	}
+	return "Go type"
+}
+
+// checkDecls validates a C presentation's CAST declaration list: no nil
+// entries and no unnamed (dangling) declarations.
+func (v *prescVerifier) checkDecls(f *presc.File) {
+	decls, ok := f.Decls.([]cast.Decl)
+	if !ok {
+		return // Go presentations carry source text
+	}
+	for i, d := range decls {
+		path := fmt.Sprintf("decls[%d]", i)
+		switch d := d.(type) {
+		case nil:
+			v.failf(path, "nil CAST declaration")
+		case *cast.TypedefDecl:
+			if d.Name == "" {
+				v.failf(path, "typedef with empty name")
+			}
+			if d.Type == nil {
+				v.failf(path, "typedef %q of nil type (dangling CAST decl)", d.Name)
+			}
+		case *cast.FuncDecl:
+			if d.Name == "" {
+				v.failf(path, "function declaration with empty name")
+			}
+		case *cast.VarDecl:
+			if d.Name == "" {
+				v.failf(path, "variable declaration with empty name")
+			}
+			if d.Type == nil {
+				v.failf(path, "variable %q of nil type (dangling CAST decl)", d.Name)
+			}
+		}
+	}
+}

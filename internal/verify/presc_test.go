@@ -1,0 +1,186 @@
+package verify
+
+import (
+	"testing"
+
+	"flick/internal/cast"
+	"flick/internal/mint"
+	"flick/internal/pres"
+	"flick/internal/presc"
+)
+
+// goStubFile builds a minimal healthy Go presentation: one stub with a
+// single u32 in-parameter and a string result.
+func goStubFile() *presc.File {
+	reqMint := mint.U32()
+	repMint := mint.NewString(64)
+	return &presc.File{
+		Name: "t.idl",
+		Side: presc.Client,
+		Lang: "go",
+		Stubs: []*presc.Stub{{
+			Kind:    presc.ClientCall,
+			Name:    "Echo_Shout",
+			Op:      "shout",
+			Request: &mint.Struct{Slots: []mint.Slot{{Name: "n", Type: reqMint}}},
+			Reply:   &mint.Struct{Slots: []mint.Slot{{Name: "_ret", Type: repMint}}},
+			Params: []presc.ParamPres{{
+				Name: "n",
+				Role: presc.RoleRequest,
+				Request: &pres.Node{
+					Kind:  pres.DirectKind,
+					Mint:  reqMint,
+					CType: "uint32",
+				},
+			}},
+			Result: &presc.ParamPres{Name: "_ret", Role: presc.RoleReply, Reply: &pres.Node{
+				Kind:  pres.CountedKind,
+				Mint:  repMint,
+				CType: "string",
+				Children: []*pres.Node{{
+					Kind:  pres.DirectKind,
+					Mint:  repMint.Elem,
+					CType: "byte",
+				}},
+			}},
+		}},
+	}
+}
+
+func TestPRESCAcceptsHealthyFile(t *testing.T) {
+	var c Counters
+	if fs := PRESC(goStubFile(), &c); len(fs) != 0 {
+		t.Fatalf("healthy presentation rejected:\n%s", fs.Error())
+	}
+	if c.PrescStubs != 1 {
+		t.Fatalf("PrescStubs = %d, want 1", c.PrescStubs)
+	}
+}
+
+func TestPRESCDanglingMintRef(t *testing.T) {
+	// A PRES node that presents no MINT type at all: the mapping layer
+	// lost the connection between presented data and the message.
+	f := goStubFile()
+	f.Stubs[0].Params[0].Request.Mint = nil
+	fs := PRESC(f, nil)
+	wantFinding(t, fs, "PRES-C", "param n", "no MINT type (dangling mapping)")
+}
+
+func TestPRESCChildPresentsWrongMint(t *testing.T) {
+	// The counted node's element presents a float64 while the array's
+	// element type is char: a dangling PRES→MINT ref.
+	f := goStubFile()
+	f.Stubs[0].Result.Reply.Children[0].Mint = mint.F64()
+	fs := PRESC(f, nil)
+	wantFinding(t, fs, "PRES-C", "result.elem", "dangling PRES→MINT ref")
+}
+
+func TestPRESCMissingTargetType(t *testing.T) {
+	f := goStubFile()
+	f.Stubs[0].Params[0].Request.CType = nil
+	fs := PRESC(f, nil)
+	wantFinding(t, fs, "PRES-C", "param n", "no target type")
+}
+
+func TestPRESCKindMintMismatch(t *testing.T) {
+	// A counted node over a non-array MINT type.
+	f := goStubFile()
+	f.Stubs[0].Result.Reply.Mint = mint.U32()
+	fs := PRESC(f, nil)
+	wantFinding(t, fs, "PRES-C", "counted node over non-array MINT")
+}
+
+func TestPRESCTerminatedOverNonChar(t *testing.T) {
+	f := goStubFile()
+	n := f.Stubs[0].Result.Reply
+	n.Kind = pres.TerminatedKind
+	n.Mint = mint.NewOpaque(64)
+	n.Children[0].Mint = mint.U8()
+	fs := PRESC(f, nil)
+	wantFinding(t, fs, "PRES-C", "terminated node over non-char element")
+}
+
+func TestPRESCUnresolvedRef(t *testing.T) {
+	f := goStubFile()
+	f.Stubs[0].Params[0].Request = &pres.Node{Kind: pres.RefKind, Name: "ghost"}
+	fs := PRESC(f, nil)
+	wantFinding(t, fs, "PRES-C", `unresolved ref "ghost"`)
+}
+
+func TestPRESCOnewayWithReply(t *testing.T) {
+	f := goStubFile()
+	f.Stubs[0].Oneway = true
+	fs := PRESC(f, nil)
+	wantFinding(t, fs, "PRES-C", "oneway=true but reply=true")
+}
+
+func TestPRESCCountedCAggregateNeedsMembers(t *testing.T) {
+	// A C presentation's counted aggregate must name its length and
+	// buffer members; this one names neither.
+	str := mint.NewString(0)
+	f := &presc.File{
+		Name: "t.idl",
+		Side: presc.Client,
+		Lang: "c",
+		Stubs: []*presc.Stub{{
+			Kind:    presc.ClientCall,
+			Name:    "f_op",
+			Op:      "op",
+			Oneway:  true,
+			Request: &mint.Struct{Slots: []mint.Slot{{Name: "s", Type: str}}},
+			Params: []presc.ParamPres{{
+				Name: "s",
+				Role: presc.RoleRequest,
+				Request: &pres.Node{
+					Kind:  pres.CountedKind,
+					Mint:  str,
+					CType: &cast.Named{Name: "buf_t"},
+					Children: []*pres.Node{{
+						Kind:  pres.DirectKind,
+						Mint:  str.Elem,
+						CType: cast.Char,
+					}},
+				},
+			}},
+		}},
+	}
+	fs := PRESC(f, nil)
+	wantFinding(t, fs, "PRES-C", "counted C aggregate without a length member")
+	wantFinding(t, fs, "PRES-C", "counted C aggregate without a buffer member")
+}
+
+func TestPRESCDanglingCASTDecl(t *testing.T) {
+	f := &presc.File{
+		Name: "t.idl",
+		Side: presc.Client,
+		Lang: "c",
+		Decls: []cast.Decl{
+			&cast.TypedefDecl{Name: "ok_t", Type: cast.Char},
+			&cast.TypedefDecl{Name: "bad_t", Type: nil},
+			nil,
+		},
+	}
+	fs := PRESC(f, nil)
+	wantFinding(t, fs, "PRES-C", "decls[1]", `typedef "bad_t" of nil type (dangling CAST decl)`)
+	wantFinding(t, fs, "PRES-C", "decls[2]", "nil CAST declaration")
+}
+
+func TestPRESCStructChildCountMismatch(t *testing.T) {
+	st := &mint.Struct{Slots: []mint.Slot{
+		{Name: "a", Type: mint.U32()},
+		{Name: "b", Type: mint.F64()},
+	}}
+	f := goStubFile()
+	f.Stubs[0].Params[0].Request = &pres.Node{
+		Kind:       pres.StructKind,
+		Mint:       st,
+		CType:      "T",
+		FieldNames: []string{"A"},
+		Children: []*pres.Node{
+			{Kind: pres.DirectKind, Mint: st.Slots[0].Type, CType: "uint32"},
+		},
+	}
+	f.Stubs[0].Request = &mint.Struct{Slots: []mint.Slot{{Name: "n", Type: st}}}
+	fs := PRESC(f, nil)
+	wantFinding(t, fs, "PRES-C", "struct node has 1 children for 2 MINT slots")
+}

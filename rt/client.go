@@ -335,7 +335,10 @@ func (c *Client) readReplies() {
 				putDecoder(d)
 				ca.err = ErrSystem
 			} else {
-				ca.dec = d
+				// Ownership handoff, not retention: the reader passes
+				// the decoder to the pending call slot; the stub that
+				// receives it releases it.
+				ca.dec = d //lint:allow poolescape
 			}
 			ca.done <- struct{}{}
 			continue

@@ -321,6 +321,7 @@ func TestLoopbackMetricsE2E(t *testing.T) {
 		if got := d.U32BE(); got != 2*i {
 			t.Errorf("double(%d) = %d", i, got)
 		}
+		d.Release()
 	}
 	// One failing call (server work error -> system error reply).
 	if _, err := c.Call(2, "fail", false, func(e *Encoder) {}); !errors.Is(err, ErrSystem) {
@@ -418,6 +419,7 @@ func TestBadHeaderDropCounted(t *testing.T) {
 	if !d.Ensure(4) || d.U32BE() != 42 {
 		t.Errorf("call after dropped garbage failed")
 	}
+	d.Release()
 	if got := sm.BadHeaders.Load(); got != 1 {
 		t.Errorf("bad headers = %d", got)
 	}

@@ -192,7 +192,10 @@ func (s *Server) ServeConn(conn Conn) error {
 		if metrics != nil {
 			metrics.QueueDepth.Add(1)
 		}
-		jobs <- srvJob{h: h, dec: d, reqBytes: len(msg), begin: begin}
+		// Ownership handoff, not retention: the acceptor passes the
+		// decoder to exactly one worker, which releases it after
+		// dispatch.
+		jobs <- srvJob{h: h, dec: d, reqBytes: len(msg), begin: begin} //lint:allow poolescape
 	}
 
 	// Graceful drain: stop feeding, let the workers finish what is

@@ -190,6 +190,7 @@ func TestClientServerConcurrentClients(t *testing.T) {
 					t.Errorf("got %d, want %d", got, v*2)
 					return
 				}
+				d.Release()
 			}
 		}(g)
 	}

@@ -1,0 +1,107 @@
+package flick_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flick"
+	"flick/internal/backend/gostub"
+	"flick/internal/verify"
+)
+
+// corpusIDLs returns every IDL source shipped with the repository: the
+// examples plus the exhaustive type-coverage interface used by the
+// round-trip tests.
+func corpusIDLs(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	// typestubs matters: its type zoo (unions inside sequences, recursion
+	// through optionals) regression-tests the verifier's budget model for
+	// grouped ensure checks absorbed across switch arms.
+	for _, dir := range []string{"examples/idl", "internal/teststubs", "internal/typestubs"} {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			if strings.HasSuffix(e.Name(), ".idl") || strings.HasSuffix(e.Name(), ".x") ||
+				strings.HasSuffix(e.Name(), ".defs") {
+				files = append(files, filepath.Join(dir, e.Name()))
+			}
+		}
+	}
+	if len(files) < 4 {
+		t.Fatalf("corpus too small: %v", files)
+	}
+	return files
+}
+
+// TestVerifyCorpusZeroFindings compiles every shipped IDL under every
+// wire format and code style with strict verification: the MINT, PRES-C,
+// and MIR verifiers must pass every stage of every pipeline with zero
+// findings. This is the "verifiers are on by default and the compiler's
+// own output satisfies its own invariants" guarantee.
+func TestVerifyCorpusZeroFindings(t *testing.T) {
+	// The repo ships no .defs file; cover the MIG pipeline inline.
+	type source struct{ file, src string }
+	sources := []source{{"bench.defs", `
+		subsystem bench 2400;
+		routine send_ints(port : mach_port_t; v : array[] of int32_t);
+	`}}
+	for _, file := range corpusIDLs(t) {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources = append(sources, source{file, string(src)})
+	}
+	for _, in := range sources {
+		file, src := in.file, in.src
+		langs := []string{"go", "c"}
+		if strings.HasSuffix(file, ".defs") {
+			langs = []string{"go"}
+		}
+		for _, lang := range langs {
+			for _, format := range []string{"xdr", "cdr", "cdr-le", "mach3", "fluke"} {
+				for _, style := range []string{"flick", "rpcgen", "powerrpc"} {
+					stats := &gostub.Stats{}
+					_, err := flick.Compile(file, src, flick.Options{
+						Lang: lang, Format: format, Style: style,
+						Package: "p", EmitRPC: lang == "go",
+						Verify: verify.Strict,
+						Stats:  stats,
+					})
+					if err != nil {
+						t.Errorf("%s/%s/%s/%s: %v", file, lang, format, style, err)
+						continue
+					}
+					if stats.Verify.Findings != 0 {
+						t.Errorf("%s/%s/%s/%s: %d verifier findings", file, lang, format, style,
+							stats.Verify.Findings)
+					}
+					if stats.Verify.MirPrograms == 0 || stats.Verify.PrescStubs == 0 {
+						t.Errorf("%s/%s/%s/%s: verifier ran over nothing (%s)",
+							file, lang, format, style, stats.Verify.Report())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestVerifyOffSkipsChecks confirms -noverify plumbing: counters stay
+// zero when verification is off.
+func TestVerifyOffSkipsChecks(t *testing.T) {
+	stats := &gostub.Stats{}
+	_, err := flick.Compile("m.idl", mailCorba, flick.Options{
+		Package: "p", Verify: verify.Off, Stats: stats,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Verify.MirPrograms != 0 || stats.Verify.PrescStubs != 0 {
+		t.Fatalf("verification ran despite Off: %s", stats.Verify.Report())
+	}
+}
