@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-race bench bench-rt generate generate-check stats ci
+.PHONY: all build vet lint test test-race bench bench-rt chaos chaos-short generate generate-check stats ci
 
 all: build
 
@@ -34,6 +34,18 @@ bench:
 # (BenchmarkClientCall vs BenchmarkClientCallMetrics/Traced).
 bench-rt:
 	$(GO) test -bench=. -benchmem -run=^$$ ./rt
+
+# The full chaos gate: the 10k-call race-enabled soak plus the fault
+# rate sweep report. CI runs the shortened soak (see chaos-short); run
+# this one locally before touching the fault-tolerance layer.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|TestFault|TestChecksum|TestFailCloseRace' ./rt ./internal/experiment
+	$(GO) run ./cmd/flick-bench -exp chaos
+
+# The CI-sized soak: same invariants, fewer calls (-short drops the
+# soak to 1500 calls and skips the reproducibility sweep).
+chaos-short:
+	$(GO) test -race -short -count=1 -run 'TestChaos|TestFault|TestChecksum|TestFailCloseRace' ./rt ./internal/experiment
 
 generate:
 	$(GO) generate ./...

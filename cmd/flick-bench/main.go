@@ -15,6 +15,7 @@
 //	flick-bench -exp rpcstats  # runtime metrics of a loopback RPC workload
 //	flick-bench -exp checks    # space checks executed per message, by stub style
 //	flick-bench -exp pipeline  # throughput vs in-flight depth, multiplexed client
+//	flick-bench -exp chaos     # chaos soak: faults vs retries/redials; wrong answers must be 0
 //	flick-bench -exp all
 package main
 
@@ -27,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, fig7, table2, table3, ablation, rpcstats, checks, pipeline, all")
+	exp := flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, fig7, table2, table3, ablation, rpcstats, checks, pipeline, chaos, all")
 	flag.Parse()
 
 	run := func(name string) bool {
@@ -78,6 +79,10 @@ func main() {
 	}
 	if run("pipeline") {
 		fmt.Println(experiment.Pipeline())
+		ran = true
+	}
+	if run("chaos") {
+		fmt.Println(experiment.Chaos())
 		ran = true
 	}
 	if !ran {

@@ -156,7 +156,12 @@ type Operation struct {
 	Code uint32
 	// Oneway marks operations with no reply message.
 	Oneway bool
-	Params []Param
+	// Idempotent marks operations that are safe to execute more than
+	// once (the //flick:idempotent annotation; CORBA attribute getters
+	// are idempotent implicitly). The RPC runtime re-sends only
+	// idempotent operations after ambiguous failures.
+	Idempotent bool
+	Params     []Param
 	// Result is the return type; Void for none.
 	Result Type
 	// Raises names user exceptions the operation may raise.

@@ -20,6 +20,8 @@ interface Acct {
 
 	void move(in points v);
 	long withdraw(in long amount, out long balance) raises (Overdrawn);
+	//flick:idempotent
+	long balance();
 	oneway void nudge(in point p);
 };
 `

@@ -115,11 +115,14 @@ func (e *emitter) clientMethod(clientType string, s *presc.Stub) error {
 	e.pf("func (c *%s) %s {", clientType, sig)
 	e.indent++
 	reqArgs := append([]string{"e"}, callArgs(s.RequestParams())...)
+	// The idempotency flag rides from the IDL's //flick:idempotent
+	// annotation into the runtime's retry policy: only idempotent
+	// operations may be re-sent after an ambiguous failure.
 	if s.Oneway {
-		e.pf("_, err = c.C.Call(%d, %q, true, func(e *rt.Encoder) {", s.OpCode, s.OpName)
+		e.pf("_, err = c.C.CallIdem(%d, %q, true, %v, func(e *rt.Encoder) {", s.OpCode, s.OpName, s.Idempotent)
 	} else {
 		e.pf("var d *rt.Decoder")
-		e.pf("d, err = c.C.Call(%d, %q, false, func(e *rt.Encoder) {", s.OpCode, s.OpName)
+		e.pf("d, err = c.C.CallIdem(%d, %q, false, %v, func(e *rt.Encoder) {", s.OpCode, s.OpName, s.Idempotent)
 	}
 	e.indent++
 	e.pf("Marshal%sRequest(%s)", prefix, strings.Join(reqArgs, ", "))

@@ -1,0 +1,121 @@
+package experiment
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestChaosSoak is the acceptance gate for the fault-tolerance layer:
+// thousands of calls through a link injecting a combined ~5% fault rate
+// (drops, duplicates, reordering, corruption, truncation, resets) must
+// produce zero wrong answers, zero unclassified errors, zero pooled-
+// buffer leaks, and zero leaked goroutines. Run it with -race.
+func TestChaosSoak(t *testing.T) {
+	calls := 10000
+	if testing.Short() {
+		calls = 1500
+	}
+	goroutinesBefore := runtime.NumGoroutine()
+
+	res, err := RunChaos(ChaosConfig{
+		Calls:     calls,
+		Callers:   8,
+		Seed:      1,
+		Plan:      DefaultChaosPlan(0.05),
+		PingEvery: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("chaos: %d calls, %d ok, %d/%d/%d/%d failed (retryable/notretryable/breaker/other), "+
+		"%d faults, %d crc drops, %d retries, %d redials, %d dupes, %d stale, %v wall",
+		res.Calls, res.Succeeded, res.FailedRetryable, res.FailedNotRetryable,
+		res.FailedBreaker, res.FailedOther, res.FaultsInjected, res.ChecksumRejects,
+		res.Retries, res.Reconnects, res.DroppedDupes, res.StaleReplies, res.Wall)
+
+	// Hard invariants: never a wrong answer, never an unclassified error.
+	if res.Mismatches != 0 {
+		t.Errorf("payload corruption reached the caller: %d wrong answers", res.Mismatches)
+	}
+	if res.FailedOther != 0 {
+		t.Errorf("%d failures carried no retry classification", res.FailedOther)
+	}
+	if res.Calls != uint64((calls/8)*8) {
+		t.Errorf("calls = %d, want %d (a caller hung or double-counted)", res.Calls, (calls/8)*8)
+	}
+	// The soak must actually exercise the machinery: faults injected,
+	// damage rejected by the CRC layer, retries recovering lost calls,
+	// and most calls surviving.
+	if res.FaultsInjected == 0 {
+		t.Error("no faults injected: the soak tested a clean wire")
+	}
+	if res.ChecksumRejects == 0 {
+		t.Error("no frames rejected: corruption/truncation never hit the integrity layer")
+	}
+	if res.Retries == 0 {
+		t.Error("no retries: the policy never engaged")
+	}
+	if res.Reconnects == 0 {
+		t.Error("no redials: injected resets never exercised reconnection")
+	}
+	if res.Succeeded*10 < res.Calls*9 {
+		t.Errorf("only %d/%d calls succeeded: retry stack too weak for a 5%% fault rate",
+			res.Succeeded, res.Calls)
+	}
+	// Leak invariants: pools balanced, goroutines bounded.
+	if !res.PoolDelta.Balanced() {
+		t.Errorf("pooled buffers leaked under chaos: %+v", res.PoolDelta)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > goroutinesBefore+2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > goroutinesBefore+2 {
+		t.Errorf("goroutines grew %d -> %d after quiescence", goroutinesBefore, now)
+	}
+}
+
+// TestChaosCleanWire pins the degenerate case: at a 0%% fault rate the
+// soak is just a load test — every call must succeed with no retries,
+// no redials, and balanced pools.
+func TestChaosCleanWire(t *testing.T) {
+	res, err := RunChaos(ChaosConfig{Calls: 400, Callers: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Succeeded != res.Calls {
+		t.Errorf("clean wire: %d/%d succeeded", res.Succeeded, res.Calls)
+	}
+	if res.Mismatches != 0 || res.Retries != 0 || res.Reconnects != 0 {
+		t.Errorf("clean wire saw mismatches=%d retries=%d redials=%d",
+			res.Mismatches, res.Retries, res.Reconnects)
+	}
+	if !res.PoolDelta.Balanced() {
+		t.Errorf("clean wire leaked pooled buffers: %+v", res.PoolDelta)
+	}
+}
+
+// TestChaosReproducible: the same seed must produce the same fault
+// counts — the property that makes a chaos failure debuggable.
+func TestChaosReproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reproducibility sweep skipped in -short")
+	}
+	cfg := ChaosConfig{Calls: 800, Callers: 1, Seed: 3, Plan: DefaultChaosPlan(0.04)}
+	a, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a single caller the message sequence is deterministic, so the
+	// injected fault totals must match run for run.
+	if a.FaultsInjected != b.FaultsInjected || a.ChecksumRejects != b.ChecksumRejects {
+		t.Errorf("same seed, different chaos: faults %d vs %d, crc %d vs %d",
+			a.FaultsInjected, b.FaultsInjected, a.ChecksumRejects, b.ChecksumRejects)
+	}
+}

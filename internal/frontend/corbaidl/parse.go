@@ -29,6 +29,9 @@ func Parse(filename, src string) (*aoi.File, error) {
 	if err := p.parseSpec(); err != nil {
 		return nil, err
 	}
+	if err := idllex.ApplyFlickPragmas(lex, p.file); err != nil {
+		return nil, err
+	}
 	if err := aoi.Validate(p.file); err != nil {
 		return nil, err
 	}

@@ -85,6 +85,9 @@ type Lexer struct {
 	col  int
 	// puncts lists multi-character punctuation, longest first.
 	puncts []string
+	// pragmas collects //flick: annotation comments in source order as
+	// they are skipped (see Pragmas and ApplyFlickPragmas).
+	pragmas []Pragma
 }
 
 // New returns a Lexer over src. extraPuncts lists language-specific
@@ -146,12 +149,24 @@ func (l *Lexer) skipSpaceAndComments() error {
 		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
 			l.advance()
 		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			startLine, startCol := l.line, l.col
+			start := l.pos
 			for {
 				c, ok := l.peekByte()
 				if !ok || c == '\n' {
 					break
 				}
 				l.advance()
+			}
+			// Line comments are skipped, except //flick: annotations,
+			// which are recorded with their position so the front end
+			// can attach them to the adjacent declaration (and reject
+			// dangling or misspelled ones).
+			if text, ok := strings.CutPrefix(l.src[start:l.pos], "//flick:"); ok {
+				l.pragmas = append(l.pragmas, Pragma{
+					Line: startLine, Col: startCol,
+					Text: strings.TrimSpace(text),
+				})
 			}
 		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
 			startLine, startCol := l.line, l.col

@@ -43,6 +43,9 @@ func Parse(filename, src string, side presc.Side) (*presc.File, error) {
 		return nil, err
 	}
 	af := &aoi.File{Source: filename, IDL: "mig", Interfaces: []*aoi.Interface{iface}}
+	if err := idllex.ApplyFlickPragmas(lex, af); err != nil {
+		return nil, err
+	}
 	if err := aoi.Validate(af); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,47 @@
+package oncrpc
+
+import (
+	"strings"
+	"testing"
+)
+
+// The //flick: annotation mechanism lives in the shared lexer, so it
+// works identically in rpcgen's .x grammar: these tests pin the ONC
+// front-end down to the same binding and error behaviour as CORBA IDL.
+
+func TestIdempotentPragmaInXDR(t *testing.T) {
+	f := mustParse(t, `
+		program Acct {
+			version AcctV {
+				//flick:idempotent
+				int balance(void) = 1;
+				int withdraw(int) = 2;
+				int audit(void) = 3; //flick:idempotent
+			} = 1;
+		} = 0x20000099;
+	`)
+	it := f.LookupInterface("Acct")
+	if op := it.LookupOp("balance"); op == nil || !op.Idempotent {
+		t.Error("preceding //flick:idempotent did not mark balance")
+	}
+	if op := it.LookupOp("audit"); op == nil || !op.Idempotent {
+		t.Error("trailing //flick:idempotent did not mark audit")
+	}
+	if op := it.LookupOp("withdraw"); op == nil || op.Idempotent {
+		t.Error("unannotated withdraw marked idempotent")
+	}
+}
+
+func TestUnknownDirectiveInXDRIsError(t *testing.T) {
+	_, err := Parse("test.x", `
+		program Acct {
+			version AcctV {
+				//flick:retryable
+				int balance(void) = 1;
+			} = 1;
+		} = 0x20000099;
+	`)
+	if err == nil || !strings.Contains(err.Error(), "unknown //flick: directive") {
+		t.Errorf("unknown directive error = %v", err)
+	}
+}

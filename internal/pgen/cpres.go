@@ -497,16 +497,17 @@ func (g *CPresentation) opStub(it *aoi.Interface, op *aoi.Operation, side presc.
 		kind = presc.SendOnly
 	}
 	stub := &presc.Stub{
-		Kind:      kind,
-		Name:      g.stubName(it, op),
-		Interface: it.Name,
-		Op:        op.Name,
-		OpCode:    op.Code,
-		OpName:    op.Name,
-		Prog:      it.Program,
-		Vers:      it.Version,
-		Oneway:    op.Oneway,
-		Request:   g.mb.BuildRequest(it.Name, op),
+		Kind:       kind,
+		Name:       g.stubName(it, op),
+		Interface:  it.Name,
+		Op:         op.Name,
+		OpCode:     op.Code,
+		OpName:     op.Name,
+		Prog:       it.Program,
+		Vers:       it.Version,
+		Oneway:     op.Oneway,
+		Idempotent: op.Idempotent,
+		Request:    g.mb.BuildRequest(it.Name, op),
 	}
 	if !op.Oneway {
 		stub.Reply = g.mb.BuildReply(it.Name, op, it.Excepts)

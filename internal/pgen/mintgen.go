@@ -229,9 +229,12 @@ func EffectiveOps(it *aoi.Interface) []*aoi.Operation {
 	}
 	for _, at := range it.Attrs {
 		ops = append(ops, &aoi.Operation{
-			Name:   "_get_" + at.Name,
-			Code:   next,
-			Result: at.Type,
+			Name: "_get_" + at.Name,
+			Code: next,
+			// Reading an attribute is idempotent by construction; the
+			// runtime may re-send a lost _get_ freely.
+			Idempotent: true,
+			Result:     at.Type,
 		})
 		next++
 		if !at.ReadOnly {

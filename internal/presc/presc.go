@@ -109,6 +109,11 @@ type Stub struct {
 	Prog   uint32
 	Vers   uint32
 	Oneway bool
+	// Idempotent carries the AOI operation's idempotency mark through
+	// to the back ends: generated client stubs pass it to the runtime,
+	// which only retries idempotent operations after ambiguous
+	// failures.
+	Idempotent bool
 	// CDecl is the stub's target-language declaration (a *cast.FuncDecl
 	// for C presentations; a signature string for Go).
 	CDecl any

@@ -11,20 +11,130 @@ import (
 // ErrBadXID reports a reply whose transaction id matches no call this
 // client has in flight. Calls are multiplexed over the connection and
 // replies are matched to callers by XID, so out-of-order replies are
-// normal; a reply for an XID that was never issued (and does not belong
-// to a timed-out call, which is dropped silently and counted in
+// normal; a reply for an XID that was never issued (and is not in the
+// retired window of recently completed or timed-out calls, whose late
+// and duplicate replies are dropped silently and counted in
 // StaleReplies) means the stream is desynchronized — a broken peer or
 // frame corruption — and subsequent replies may misparse. The client
-// poisons itself: every pending call and every later Call returns this
-// error, and callers should reconnect. The BadXIDs counter in an
+// poisons the session: every pending call returns this error; with a
+// Redial function configured the next call transparently reconnects,
+// otherwise every later Call fails too. The BadXIDs counter in an
 // attached Metrics makes the condition visible to operators.
 var ErrBadXID = errors.New("rt: reply xid matches no pending call (connection desynchronized)")
 
-// ErrTimeout reports a call that exceeded the client's per-call
+// ErrTimeout reports a call attempt that exceeded the client's per-call
 // deadline. The call's reply slot is retired: if the reply arrives
 // later it is dropped (and counted in StaleReplies) without disturbing
 // other in-flight calls.
 var ErrTimeout = errors.New("rt: call deadline exceeded")
+
+// retiredWindow is the number of recently completed or abandoned XIDs a
+// session remembers so that late or duplicated replies (timed-out
+// calls, retransmitting links) are recognized and dropped instead of
+// being mistaken for desynchronization.
+const retiredWindow = 1024
+
+// retiredRing is a fixed-size set of recently retired XIDs: a ring for
+// FIFO eviction plus a map for O(1) membership. Zero-allocation in
+// steady state (the map is pre-sized and insert/delete balance).
+type retiredRing struct {
+	set  map[uint32]struct{}
+	ring [retiredWindow]uint32
+	next int
+	full bool
+}
+
+func (r *retiredRing) add(xid uint32) {
+	if r.set == nil {
+		r.set = make(map[uint32]struct{}, retiredWindow)
+	}
+	if r.full {
+		delete(r.set, r.ring[r.next])
+	}
+	r.ring[r.next] = xid
+	r.set[xid] = struct{}{}
+	r.next++
+	if r.next == retiredWindow {
+		r.next, r.full = 0, true
+	}
+}
+
+func (r *retiredRing) has(xid uint32) bool {
+	_, ok := r.set[xid]
+	return ok
+}
+
+// session is one connection's worth of client state: the in-flight
+// table, the retired-XID window, and the poison marker. Retrying and
+// reconnecting swap in a whole fresh session, so stale replies from a
+// dying connection can never touch the new one's calls.
+//
+// Completion invariant (this is what makes concurrent fail/Close/
+// timeout/delivery safe): a call completes exactly once, because every
+// completer — the reply reader delivering, fail draining, or the
+// issuing goroutine abandoning on timeout or send error — must first
+// remove the call from pending under mu, and only the remover touches
+// the call slot afterwards.
+type session struct {
+	conn Conn
+
+	mu      sync.Mutex
+	pending map[uint32]*call
+	retired retiredRing
+	// failed, once set, poisons the session: every pending call was
+	// drained with it and every subsequent register on this session
+	// returns it.
+	failed   error
+	readerOn bool
+}
+
+func newSession(conn Conn) *session {
+	return &session{conn: conn, pending: make(map[uint32]*call)}
+}
+
+// forget removes xid from the in-flight table, retiring it so a late or
+// duplicate reply is dropped rather than treated as desynchronization.
+// It reports whether the call was still pending (false means another
+// completer got there first).
+func (s *session) forget(xid uint32) bool {
+	s.mu.Lock()
+	_, ok := s.pending[xid]
+	if ok {
+		delete(s.pending, xid)
+		s.retired.add(xid)
+	}
+	s.mu.Unlock()
+	return ok
+}
+
+// fail poisons the session with err (first failure wins) and drains
+// every pending call with it. Safe to call from multiple goroutines
+// concurrently (reader on receive error, Close, a redialing caller):
+// each pending call is drained by exactly one of them because removal
+// from the table is what claims the right to complete it.
+func (s *session) fail(err error) {
+	s.mu.Lock()
+	if s.failed == nil {
+		s.failed = err
+	}
+	drained := make([]*call, 0, len(s.pending))
+	for xid, ca := range s.pending {
+		delete(s.pending, xid)
+		drained = append(drained, ca)
+	}
+	err = s.failed
+	s.mu.Unlock()
+	for _, ca := range drained {
+		ca.err = err
+		ca.done <- struct{}{}
+	}
+}
+
+func (s *session) failedErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
+}
 
 // Client issues RPCs over one connection. Calls are multiplexed: any
 // number of goroutines may Call concurrently, each call is tagged with
@@ -37,8 +147,14 @@ var ErrTimeout = errors.New("rt: call deadline exceeded")
 // reply arrives in a pooled Decoder that the caller — in practice the
 // generated client stub — releases with Decoder.Release after
 // unmarshaling.
+//
+// Fault tolerance is opt-in: with Retry, Redial, and/or Breaker set
+// the client classifies failures (see ErrRetryable/ErrNotRetryable),
+// re-attempts idempotent or never-sent calls under the retry policy,
+// transparently reconnects poisoned sessions, and sheds load when the
+// breaker opens. With all three nil (the default) failure handling is
+// exactly the raw single-attempt behaviour.
 type Client struct {
-	conn  Conn
 	proto Protocol
 
 	// Prog and Vers identify the ONC program; ObjectKey the GIOP target.
@@ -48,42 +164,55 @@ type Client struct {
 
 	// Metrics, when non-nil, collects per-operation call/error counts,
 	// latency histograms, byte totals, encoder/decoder space-check
-	// counters, and the InFlight gauge. Hooks, when non-nil, receives
-	// one TraceEvent per call. Both must be set before the first Call
-	// and not changed after; nil (the default) costs one pointer test
-	// per call.
+	// counters, fault-tolerance counters (Retries, Reconnects,
+	// BreakerOpen, BreakerRejects), and the InFlight gauge. Hooks, when
+	// non-nil, receives one TraceEvent per call. Both must be set
+	// before the first Call and not changed after; nil (the default)
+	// costs one pointer test per call.
 	Metrics *Metrics
 	Hooks   TraceHook
 
-	// Timeout, when positive, bounds each call's wait for its reply.
-	// A call that times out returns ErrTimeout; its late reply, if it
-	// ever arrives, is dropped without poisoning the connection. Set
-	// before the first Call.
+	// Timeout, when positive, bounds each call attempt's wait for its
+	// reply. An attempt that times out returns ErrTimeout (retried
+	// under the Retry policy for idempotent operations); its late
+	// reply, if it ever arrives, is dropped without poisoning the
+	// connection. Set before the first Call.
 	Timeout time.Duration
+
+	// Retry, when non-nil, re-attempts failed calls that are safe to
+	// retry: idempotent operations, and calls whose request provably
+	// never reached the transport. Set before the first Call.
+	Retry *RetryPolicy
+
+	// Redial, when non-nil, reconnects a poisoned client: after a
+	// receive failure, desynchronization, or injected reset drains the
+	// session, the next call (or retry attempt) dials a fresh
+	// connection and carries on. In-flight calls on the dead session
+	// fail with the session's terminal error and are retried under the
+	// Retry policy if eligible. Set before the first Call.
+	Redial func() (Conn, error)
+
+	// Breaker, when non-nil, sheds calls with ErrBreakerOpen after
+	// consecutive transport failures (see Breaker). Set before the
+	// first Call.
+	Breaker *Breaker
 
 	xid    atomic.Uint32
 	closed atomic.Bool
 
-	readerUp   atomic.Bool
-	readerOnce sync.Once
-
-	// mu guards the in-flight table, the stale set, and failed.
-	mu      sync.Mutex
-	pending map[uint32]*call
-	stale   map[uint32]struct{}
-	// failed, once set, poisons the client: every pending call was
-	// drained with it and every subsequent Call returns it.
-	failed error
+	// sessMu guards the current-session pointer and serializes
+	// redials (one goroutine dials; the rest wait and share the
+	// result).
+	sessMu sync.Mutex
+	sess   *session
 }
 
 // NewClient wraps a connection with a message protocol.
 func NewClient(conn Conn, proto Protocol) *Client {
 	return &Client{
-		conn:      conn,
 		proto:     proto,
 		ObjectKey: []byte("flick"),
-		pending:   make(map[uint32]*call),
-		stale:     make(map[uint32]struct{}),
+		sess:      newSession(conn),
 	}
 }
 
@@ -92,9 +221,48 @@ func NewClient(conn Conn, proto Protocol) *Client {
 // raw transport error. Close is idempotent.
 func (c *Client) Close() error {
 	c.closed.Store(true)
-	err := c.conn.Close()
-	c.fail(ErrClosed)
+	c.sessMu.Lock()
+	s := c.sess
+	c.sessMu.Unlock()
+	err := s.conn.Close()
+	s.fail(ErrClosed)
 	return err
+}
+
+// session returns the current healthy session, transparently dialing a
+// replacement when the current one is poisoned and a Redial function is
+// configured. Only one goroutine dials; concurrent callers wait on
+// sessMu and share the fresh session.
+func (c *Client) session(metrics *Metrics) (*session, error) {
+	c.sessMu.Lock()
+	defer c.sessMu.Unlock()
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	s := c.sess
+	ferr := s.failedErr()
+	if ferr == nil {
+		return s, nil
+	}
+	if c.Redial == nil {
+		return nil, ferr
+	}
+	conn, err := c.Redial()
+	if err != nil {
+		return nil, fmt.Errorf("rt: redial: %w", err)
+	}
+	if c.closed.Load() {
+		// Close raced the dial: don't resurrect a closed client.
+		conn.Close()
+		return nil, ErrClosed
+	}
+	s.conn.Close()
+	ns := newSession(conn)
+	c.sess = ns
+	if metrics != nil {
+		metrics.Reconnects.Add(1)
+	}
+	return ns, nil
 }
 
 // Call performs one invocation: marshal writes the request payload into
@@ -103,14 +271,25 @@ func (c *Client) Close() error {
 // Decoder.Release after unmarshaling. Oneway calls return (nil, nil)
 // as soon as the transport accepts the request. Call is safe for
 // concurrent use; calls proceed independently and may complete out of
-// order.
+// order. Call treats the operation as non-idempotent; generated stubs
+// use CallIdem and pass the IDL's //flick:idempotent annotation.
 func (c *Client) Call(proc uint32, opName string, oneway bool, marshal func(*Encoder)) (*Decoder, error) {
+	return c.CallIdem(proc, opName, oneway, false, marshal)
+}
+
+// CallIdem is Call with an explicit idempotency flag, which gates
+// retries: with a Retry policy attached, a failed attempt is re-sent
+// only when the operation is idempotent or the request provably never
+// reached the transport — otherwise the call fails fast with an error
+// matching ErrNotRetryable, because retrying might execute the
+// operation twice.
+func (c *Client) CallIdem(proc uint32, opName string, oneway, idempotent bool, marshal func(*Encoder)) (*Decoder, error) {
 	metrics, hooks := c.Metrics, c.Hooks
 	if metrics == nil && hooks == nil {
 		// Fast path: observability disabled costs exactly the two nil
 		// tests above (no timestamps, no per-call allocation beyond the
 		// transport's own).
-		return c.call(proc, opName, oneway, marshal, nil, nil)
+		return c.invoke(proc, opName, oneway, idempotent, marshal, nil, nil)
 	}
 
 	var ev *TraceEvent
@@ -118,7 +297,7 @@ func (c *Client) Call(proc uint32, opName string, oneway bool, marshal func(*Enc
 		ev = &TraceEvent{Kind: TraceClientCall, Op: opName, Proc: proc, OneWay: oneway}
 	}
 	begin := time.Now()
-	d, err := c.call(proc, opName, oneway, marshal, ev, metrics)
+	d, err := c.invoke(proc, opName, oneway, idempotent, marshal, ev, metrics)
 
 	if metrics != nil {
 		op := metrics.Op(opName)
@@ -149,13 +328,102 @@ func (c *Client) Call(proc uint32, opName string, oneway bool, marshal func(*Enc
 	return d, err
 }
 
-// call is the invocation body. ev, when non-nil, receives the request
-// byte count, the XID, the post-transmit timestamp, and (behind
-// WantWire) the raw request. metrics, when non-nil, receives the
-// request byte total and the drained encoder/decoder counters.
-func (c *Client) call(proc uint32, opName string, oneway bool, marshal func(*Encoder), ev *TraceEvent, metrics *Metrics) (*Decoder, error) {
+// invoke runs the resilience loop around single call attempts. Without
+// Retry, Redial, and Breaker it is exactly one raw attempt (errors
+// unwrapped, zero added cost). With them it classifies each failure,
+// paces re-attempts with the policy's jittered backoff inside the
+// optional per-call budget, and keeps the breaker posted.
+func (c *Client) invoke(proc uint32, opName string, oneway, idempotent bool, marshal func(*Encoder), ev *TraceEvent, metrics *Metrics) (*Decoder, error) {
+	if c.Retry == nil && c.Redial == nil && c.Breaker == nil {
+		d, err, _ := c.callOnce(proc, opName, oneway, marshal, ev, metrics)
+		return d, err
+	}
+
+	if b := c.Breaker; b != nil && !b.allow() {
+		if metrics != nil {
+			metrics.BreakerRejects.Add(1)
+		}
+		return nil, ErrBreakerOpen
+	}
+
+	attempts := 1
+	if c.Retry != nil {
+		attempts = c.Retry.attempts()
+	}
+	var deadline time.Time
+	if c.Retry != nil && c.Retry.Budget > 0 {
+		deadline = time.Now().Add(c.Retry.Budget)
+	}
+	var lastErr error
+	for k := 0; k < attempts; k++ {
+		if k > 0 {
+			if metrics != nil {
+				metrics.Retries.Add(1)
+			}
+			sleep := c.Retry.backoff(k - 1)
+			if !deadline.IsZero() {
+				rem := time.Until(deadline)
+				if rem <= 0 {
+					break
+				}
+				if sleep > rem {
+					sleep = rem
+				}
+			}
+			time.Sleep(sleep)
+		}
+		d, err, sent := c.callOnce(proc, opName, oneway, marshal, ev, metrics)
+		if err == nil {
+			if c.Breaker != nil {
+				c.Breaker.success()
+			}
+			return d, nil
+		}
+		if errors.Is(err, ErrSystem) {
+			// The server answered (with a fault): the transport works,
+			// and retrying would re-execute. Terminal, breaker-healthy.
+			if c.Breaker != nil {
+				c.Breaker.success()
+			}
+			return nil, err
+		}
+		if c.closed.Load() {
+			return nil, err
+		}
+		if b := c.Breaker; b != nil {
+			if b.failure() && metrics != nil {
+				metrics.BreakerOpen.Add(1)
+			}
+		}
+		if !idempotent && sent {
+			// The request may have reached the server; re-sending a
+			// non-idempotent operation could execute it twice.
+			return nil, notRetryable(err)
+		}
+		lastErr = err
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			break
+		}
+	}
+	return nil, retryable(lastErr)
+}
+
+// callOnce is one attempt: session acquisition (redialing if needed),
+// marshal, register-before-send, transmit, and the bounded wait for the
+// matched reply. sent reports whether the request may have reached the
+// peer (false only when it provably did not: registration failed, or
+// the transport refused the whole message deterministically). ev, when
+// non-nil, receives the request byte count, the XID, the post-transmit
+// timestamp, and (behind WantWire) the raw request. metrics, when
+// non-nil, receives the request byte total and the drained
+// encoder/decoder counters.
+func (c *Client) callOnce(proc uint32, opName string, oneway bool, marshal func(*Encoder), ev *TraceEvent, metrics *Metrics) (dec *Decoder, err error, sent bool) {
 	if c.closed.Load() {
-		return nil, ErrClosed
+		return nil, ErrClosed, false
+	}
+	s, err := c.session(metrics)
+	if err != nil {
+		return nil, err, false
 	}
 	xid := c.xid.Add(1)
 	h := ReqHeader{
@@ -185,30 +453,31 @@ func (c *Client) call(proc uint32, opName string, oneway bool, marshal func(*Enc
 	var ca *call
 	if !oneway {
 		// Register before sending so a reply cannot race past its slot,
-		// then make sure someone is reading replies.
+		// then make sure someone is reading replies on this session.
 		ca = getCall()
-		c.mu.Lock()
-		if c.failed != nil {
-			err := c.failed
-			c.mu.Unlock()
+		s.mu.Lock()
+		if s.failed != nil {
+			err := s.failed
+			s.mu.Unlock()
 			putCall(ca)
 			putEncoder(enc)
-			return nil, err
+			return nil, err, false
 		}
-		c.pending[xid] = ca
-		c.mu.Unlock()
+		s.pending[xid] = ca
+		startReader := !s.readerOn
+		if startReader {
+			s.readerOn = true
+		}
+		s.mu.Unlock()
 		if metrics != nil {
 			metrics.InFlight.Add(1)
 		}
-		if !c.readerUp.Load() {
-			c.readerOnce.Do(func() {
-				c.readerUp.Store(true)
-				go c.readReplies()
-			})
+		if startReader {
+			go c.readReplies(s)
 		}
 	}
 
-	err := c.conn.Send(enc.Bytes())
+	err = s.conn.Send(enc.Bytes())
 	if ev != nil {
 		ev.Sent = time.Now()
 		if c.Hooks.WantWire() {
@@ -217,8 +486,13 @@ func (c *Client) call(proc uint32, opName string, oneway bool, marshal func(*Enc
 	}
 	putEncoder(enc)
 	if err != nil {
+		// ErrClosed is a deterministic whole-message refusal: the
+		// transport never took the frame, so even a non-idempotent call
+		// is safe to re-send on a fresh connection. Any other send
+		// error may have left a prefix on the wire.
+		sent = !errors.Is(err, ErrClosed)
 		if !oneway {
-			if !c.forget(xid) {
+			if !s.forget(xid) {
 				// The reader (or a drain) delivered concurrently:
 				// consume the signal so the pooled call is clean.
 				<-ca.done
@@ -232,12 +506,12 @@ func (c *Client) call(proc uint32, opName string, oneway bool, marshal func(*Enc
 			}
 		}
 		if c.closed.Load() {
-			return nil, ErrClosed
+			return nil, ErrClosed, sent
 		}
-		return nil, fmt.Errorf("rt: send: %w", err)
+		return nil, fmt.Errorf("rt: send: %w", err), sent
 	}
 	if oneway {
-		return nil, nil
+		return nil, nil, true
 	}
 
 	// Wait for the reader to deliver the matched reply (or the drain
@@ -248,14 +522,15 @@ func (c *Client) call(proc uint32, opName string, oneway bool, marshal func(*Enc
 		case <-ca.done:
 			timer.Stop()
 		case <-timer.C:
-			if c.forget(xid) {
+			if s.forget(xid) {
 				// The reply had not arrived: retire the slot. A late
-				// reply finds the XID in the stale set and is dropped.
+				// reply finds the XID in the retired window and is
+				// dropped.
 				putCall(ca)
 				if metrics != nil {
 					metrics.InFlight.Add(-1)
 				}
-				return nil, ErrTimeout
+				return nil, ErrTimeout, true
 			}
 			// Delivery raced the deadline; take the reply.
 			<-ca.done
@@ -269,45 +544,32 @@ func (c *Client) call(proc uint32, opName string, oneway bool, marshal func(*Enc
 	d, derr := ca.dec, ca.err
 	putCall(ca)
 	if derr != nil {
-		return nil, derr
+		return nil, derr, true
 	}
 	if metrics != nil {
 		// Drain the header-read checks now; the unmarshal-side checks
 		// drain when the stub releases the decoder (d.sink).
 		metrics.addDec(d.TakeStats())
 	}
-	return d, nil
+	return d, nil, true
 }
 
-// forget removes xid from the in-flight table, marking it stale so a
-// late reply is dropped rather than treated as desynchronization. It
-// reports whether the call was still pending (false means the reader
-// already delivered).
-func (c *Client) forget(xid uint32) bool {
-	c.mu.Lock()
-	_, ok := c.pending[xid]
-	if ok {
-		delete(c.pending, xid)
-		c.stale[xid] = struct{}{}
-	}
-	c.mu.Unlock()
-	return ok
-}
-
-// readReplies is the client's dedicated reply reader: it owns the
+// readReplies is a session's dedicated reply reader: it owns the
 // receive side of the connection, matches each reply to its in-flight
 // call by XID, and hands the positioned decoder over. It exits — after
 // draining every pending call with the terminal error — when the
 // connection fails, the client closes, or the stream desynchronizes.
-func (c *Client) readReplies() {
+// The session it drains is left poisoned; with Redial configured the
+// next call swaps in a fresh session (and a fresh reader).
+func (c *Client) readReplies(s *session) {
 	metrics := c.Metrics
 	for {
-		msg, err := c.conn.Recv()
+		msg, err := s.conn.Recv()
 		if err != nil {
 			if c.closed.Load() {
-				c.fail(ErrClosed)
+				s.fail(ErrClosed)
 			} else {
-				c.fail(fmt.Errorf("rt: recv: %w", err))
+				s.fail(fmt.Errorf("rt: recv: %w", err))
 			}
 			return
 		}
@@ -322,15 +584,19 @@ func (c *Client) readReplies() {
 			// The reply header did not parse: nothing identifies the
 			// caller and the stream position is suspect. Poison.
 			putDecoder(d)
-			c.fail(fmt.Errorf("rt: reply header: %w", err))
+			s.fail(fmt.Errorf("rt: reply header: %w", err))
 			return
 		}
 
-		c.mu.Lock()
-		ca, ok := c.pending[rh.XID]
+		s.mu.Lock()
+		ca, ok := s.pending[rh.XID]
 		if ok {
-			delete(c.pending, rh.XID)
-			c.mu.Unlock()
+			delete(s.pending, rh.XID)
+			// Retire delivered XIDs too: a retransmitting link can
+			// duplicate a reply, and the duplicate must not be taken
+			// for desynchronization.
+			s.retired.add(rh.XID)
+			s.mu.Unlock()
 			if rh.Status != ReplyOK {
 				putDecoder(d)
 				ca.err = ErrSystem
@@ -343,44 +609,24 @@ func (c *Client) readReplies() {
 			ca.done <- struct{}{}
 			continue
 		}
-		if _, wasStale := c.stale[rh.XID]; wasStale {
-			// A reply for a timed-out call: benign, drop it.
-			delete(c.stale, rh.XID)
-			c.mu.Unlock()
+		if s.retired.has(rh.XID) {
+			// A late or duplicated reply for a completed or timed-out
+			// call: benign, drop it.
+			s.mu.Unlock()
 			putDecoder(d)
 			if metrics != nil {
 				metrics.StaleReplies.Add(1)
 			}
 			continue
 		}
-		c.mu.Unlock()
-		// An XID this client never issued (or answered twice): the
-		// connection is desynchronized.
+		s.mu.Unlock()
+		// An XID this client never issued: the connection is
+		// desynchronized.
 		putDecoder(d)
 		if metrics != nil {
 			metrics.BadXIDs.Add(1)
 		}
-		c.fail(fmt.Errorf("%w: reply xid %d", ErrBadXID, rh.XID))
+		s.fail(fmt.Errorf("%w: reply xid %d", ErrBadXID, rh.XID))
 		return
-	}
-}
-
-// fail poisons the client with err (first failure wins) and drains
-// every pending call with it.
-func (c *Client) fail(err error) {
-	c.mu.Lock()
-	if c.failed == nil {
-		c.failed = err
-	}
-	drained := make([]*call, 0, len(c.pending))
-	for xid, ca := range c.pending {
-		delete(c.pending, xid)
-		drained = append(drained, ca)
-	}
-	err = c.failed
-	c.mu.Unlock()
-	for _, ca := range drained {
-		ca.err = err
-		ca.done <- struct{}{}
 	}
 }

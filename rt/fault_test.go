@@ -1,0 +1,372 @@
+package rt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Tests for the fault-injection and frame-integrity layers: every fault
+// kind behaves as advertised, the same seed yields the same fault
+// sequence, and a ChecksumConn converts wire damage into loss.
+
+// scriptConn is a deterministic in-memory Conn for fault tests: Send
+// records frames (cloned, honouring the caller-may-reuse contract) and
+// Recv serves a pre-loaded queue, then io.EOF.
+type scriptConn struct {
+	mu     sync.Mutex
+	sent   [][]byte
+	queue  [][]byte
+	closed bool
+}
+
+func (s *scriptConn) Send(msg []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.sent = append(s.sent, append([]byte(nil), msg...))
+	return nil
+}
+
+func (s *scriptConn) Recv() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queue) == 0 {
+		if s.closed {
+			return nil, ErrClosed
+		}
+		return nil, io.EOF
+	}
+	msg := s.queue[0]
+	s.queue = s.queue[1:]
+	return msg, nil
+}
+
+func (s *scriptConn) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *scriptConn) sentFrames() [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([][]byte(nil), s.sent...)
+}
+
+func mustFault(t *testing.T, inner Conn, plan FaultPlan) *FaultConn {
+	t.Helper()
+	f, err := NewFaultConn(inner, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFaultPlanRejectsOverfullRates(t *testing.T) {
+	_, err := NewFaultConn(&scriptConn{}, FaultPlan{Drop: 0.7, Corrupt: 0.5})
+	if err == nil {
+		t.Fatal("fault rates summing past 1 were accepted")
+	}
+}
+
+// TestFaultConnSeededDeterminism is the reproducibility contract: the
+// same seed and the same message sequence yield byte-identical delivered
+// frames and identical fault counts.
+func TestFaultConnSeededDeterminism(t *testing.T) {
+	plan := FaultPlan{
+		Seed: 42, Drop: 0.1, Duplicate: 0.1, Reorder: 0.1,
+		Corrupt: 0.1, Truncate: 0.1, Delay: 0.05,
+		DelayMax: time.Nanosecond, // Int63n(1) == 0: no real sleeping
+	}
+	run := func() ([][]byte, []uint64) {
+		inner := &scriptConn{}
+		f := mustFault(t, inner, plan)
+		msg := make([]byte, 32)
+		for i := 0; i < 200; i++ {
+			for j := range msg {
+				msg[j] = byte(i + j)
+			}
+			if err := f.Send(msg); err != nil {
+				t.Fatalf("send %d: %v", i, err)
+			}
+		}
+		st := &f.Stats
+		return inner.sentFrames(), []uint64{
+			st.Messages.Load(), st.Drops.Load(), st.Dups.Load(), st.Reorders.Load(),
+			st.Corrupts.Load(), st.Truncates.Load(), st.Delays.Load(),
+		}
+	}
+	frames1, stats1 := run()
+	frames2, stats2 := run()
+	if len(frames1) != len(frames2) {
+		t.Fatalf("same seed delivered %d vs %d frames", len(frames1), len(frames2))
+	}
+	for i := range frames1 {
+		if !bytes.Equal(frames1[i], frames2[i]) {
+			t.Fatalf("same seed diverged at frame %d", i)
+		}
+	}
+	for i := range stats1 {
+		if stats1[i] != stats2[i] {
+			t.Fatalf("same seed produced different fault counts: %v vs %v", stats1, stats2)
+		}
+	}
+	if stats1[1] == 0 || stats1[2] == 0 || stats1[4] == 0 {
+		t.Errorf("200 messages at 10%% rates injected no faults: %v", stats1)
+	}
+}
+
+func TestFaultConnDrop(t *testing.T) {
+	inner := &scriptConn{queue: [][]byte{{1}, {2}}}
+	f := mustFault(t, inner, FaultPlan{Drop: 1})
+	if err := f.Send([]byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(inner.sentFrames()); n != 0 {
+		t.Errorf("dropped send still delivered %d frames", n)
+	}
+	// Every queued inbound message drops too; the link then reports EOF.
+	if _, err := f.Recv(); !errors.Is(err, io.EOF) {
+		t.Errorf("Recv over all-drop link = %v, want io.EOF", err)
+	}
+	if got := f.Stats.Drops.Load(); got != 3 {
+		t.Errorf("Drops = %d, want 3", got)
+	}
+}
+
+func TestFaultConnDuplicate(t *testing.T) {
+	inner := &scriptConn{queue: [][]byte{{1, 2, 3}}}
+	f := mustFault(t, inner, FaultPlan{Duplicate: 1})
+	if err := f.Send([]byte{7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	sent := inner.sentFrames()
+	if len(sent) != 2 || !bytes.Equal(sent[0], sent[1]) || !bytes.Equal(sent[0], []byte{7, 8}) {
+		t.Errorf("duplicated send delivered %v", sent)
+	}
+	// Recv side: the same message arrives twice.
+	a, err := f.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, []byte{1, 2, 3}) || !bytes.Equal(a, b) {
+		t.Errorf("duplicated recv = %v, %v", a, b)
+	}
+}
+
+func TestFaultConnReorderSend(t *testing.T) {
+	inner := &scriptConn{}
+	f := mustFault(t, inner, FaultPlan{Reorder: 1})
+	f.Send([]byte{1})
+	if n := len(inner.sentFrames()); n != 0 {
+		t.Fatalf("held message delivered early (%d frames)", n)
+	}
+	f.Send([]byte{2})
+	sent := inner.sentFrames()
+	if len(sent) != 2 || !bytes.Equal(sent[0], []byte{2}) || !bytes.Equal(sent[1], []byte{1}) {
+		t.Errorf("reordered sends = %v, want [[2] [1]]", sent)
+	}
+}
+
+func TestFaultConnReorderRecv(t *testing.T) {
+	inner := &scriptConn{queue: [][]byte{{1}, {2}, {3}}}
+	f := mustFault(t, inner, FaultPlan{Reorder: 1})
+	var got []byte
+	for {
+		msg, err := f.Recv()
+		if err != nil {
+			break
+		}
+		got = append(got, msg...)
+	}
+	// Every message must still arrive exactly once, in some order.
+	if len(got) != 3 {
+		t.Fatalf("reordering lost messages: got %v", got)
+	}
+	seen := map[byte]bool{}
+	for _, b := range got {
+		seen[b] = true
+	}
+	if !seen[1] || !seen[2] || !seen[3] {
+		t.Errorf("reordering lost or invented messages: %v", got)
+	}
+	if bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("all-reorder link delivered in order: %v", got)
+	}
+}
+
+func TestFaultConnCorrupt(t *testing.T) {
+	inner := &scriptConn{}
+	f := mustFault(t, inner, FaultPlan{Corrupt: 1, Seed: 7})
+	orig := []byte{0xAA, 0xBB, 0xCC, 0xDD}
+	msg := append([]byte(nil), orig...)
+	if err := f.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(msg, orig) {
+		t.Error("corruption mutated the caller's buffer (must damage a copy)")
+	}
+	sent := inner.sentFrames()
+	if len(sent) != 1 || len(sent[0]) != len(orig) {
+		t.Fatalf("corrupt send delivered %v", sent)
+	}
+	diff := 0
+	for i := range orig {
+		for b := sent[0][i] ^ orig[i]; b != 0; b &= b - 1 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("corruption flipped %d bits, want exactly 1", diff)
+	}
+}
+
+func TestFaultConnTruncate(t *testing.T) {
+	inner := &scriptConn{}
+	f := mustFault(t, inner, FaultPlan{Truncate: 1, Seed: 3})
+	orig := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := f.Send(orig); err != nil {
+		t.Fatal(err)
+	}
+	sent := inner.sentFrames()
+	if len(sent) != 1 {
+		t.Fatalf("truncate send delivered %d frames", len(sent))
+	}
+	if len(sent[0]) >= len(orig) || !bytes.Equal(sent[0], orig[:len(sent[0])]) {
+		t.Errorf("truncated frame %v is not a strict prefix of %v", sent[0], orig)
+	}
+}
+
+func TestFaultConnReset(t *testing.T) {
+	inner := &scriptConn{}
+	f := mustFault(t, inner, FaultPlan{Reset: 1})
+	if err := f.Send([]byte{1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("reset send = %v, want ErrClosed", err)
+	}
+	inner.mu.Lock()
+	closed := inner.closed
+	inner.mu.Unlock()
+	if !closed {
+		t.Error("reset did not close the underlying connection")
+	}
+	// The connection stays dead.
+	if err := f.Send([]byte{2}); !errors.Is(err, ErrClosed) {
+		t.Errorf("send after reset = %v, want ErrClosed", err)
+	}
+	if got := f.Stats.Resets.Load(); got != 1 {
+		t.Errorf("Resets = %d, want 1", got)
+	}
+}
+
+func TestFaultConnDelayPassesThrough(t *testing.T) {
+	inner := &scriptConn{queue: [][]byte{{5}}}
+	f := mustFault(t, inner, FaultPlan{Delay: 1, DelayMax: time.Nanosecond})
+	if err := f.Send([]byte{4}); err != nil {
+		t.Fatal(err)
+	}
+	if sent := inner.sentFrames(); len(sent) != 1 || !bytes.Equal(sent[0], []byte{4}) {
+		t.Errorf("delayed send delivered %v", sent)
+	}
+	msg, err := f.Recv()
+	if err != nil || !bytes.Equal(msg, []byte{5}) {
+		t.Errorf("delayed recv = %v, %v", msg, err)
+	}
+	if got := f.Stats.Delays.Load(); got != 2 {
+		t.Errorf("Delays = %d, want 2", got)
+	}
+}
+
+// --- ChecksumConn ------------------------------------------------------------
+
+func TestChecksumRoundTrip(t *testing.T) {
+	a, b := Pipe()
+	ca, cb := WrapChecksum(a), WrapChecksum(b)
+	defer ca.Close()
+	want := []byte("flick checksum round trip")
+	if err := ca.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("round trip = %q, want %q", got, want)
+	}
+	if cb.Rejected.Load() != 0 {
+		t.Errorf("clean link rejected %d frames", cb.Rejected.Load())
+	}
+}
+
+// TestChecksumRejectsDamage feeds a damaged frame and a runt frame past
+// the verifier: both must be dropped (and counted), and the next clean
+// frame delivered.
+func TestChecksumRejectsDamage(t *testing.T) {
+	inner := &scriptConn{}
+	cs := WrapChecksum(inner)
+	if err := cs.Send([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	frame := inner.sentFrames()[0]
+	damaged := append([]byte(nil), frame...)
+	damaged[2] ^= 0x10
+	inner.mu.Lock()
+	inner.queue = [][]byte{damaged, {1, 2}, frame} // corrupt, runt, clean
+	inner.mu.Unlock()
+	got, err := cs.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("payload")) {
+		t.Errorf("Recv = %q, want the clean frame", got)
+	}
+	if got := cs.Rejected.Load(); got != 2 {
+		t.Errorf("Rejected = %d, want 2", got)
+	}
+}
+
+// TestChecksumConvertsCorruptionToLoss stacks the verifier outside a
+// corrupting FaultConn: every frame either arrives intact or not at
+// all — a damaged frame never surfaces as a plausible payload.
+func TestChecksumConvertsCorruptionToLoss(t *testing.T) {
+	a, b := Pipe()
+	fc := mustFault(t, a, FaultPlan{Corrupt: 0.5, Seed: 11})
+	sender := WrapChecksum(fc)
+	receiver := WrapChecksum(b)
+	defer sender.Close()
+
+	const n = 12
+	for i := 0; i < n; i++ {
+		msg := bytes.Repeat([]byte{byte(i + 1)}, 16)
+		if err := sender.Send(msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	corrupted := int(fc.Stats.Corrupts.Load())
+	if corrupted == 0 || corrupted == n {
+		t.Fatalf("corruption rate degenerate: %d/%d", corrupted, n)
+	}
+	for i := 0; i < n-corrupted; i++ {
+		msg, err := receiver.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msg) != 16 || !bytes.Equal(msg, bytes.Repeat([]byte{msg[0]}, 16)) {
+			t.Fatalf("damaged frame surfaced as payload: %v", msg)
+		}
+	}
+	if got := int(receiver.Rejected.Load()); got != corrupted {
+		t.Errorf("Rejected = %d, want %d (every corrupt frame dropped)", got, corrupted)
+	}
+}

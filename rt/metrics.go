@@ -182,6 +182,28 @@ type Metrics struct {
 	// Oneways counts invocations that did not expect a reply.
 	Oneways atomic.Uint64
 
+	// Fault-tolerance counters (client side). Retries counts
+	// re-attempts under a RetryPolicy (attempts beyond each call's
+	// first); Reconnects counts sessions transparently redialed after
+	// a poisoned connection; BreakerOpen counts closed/half-open →
+	// open transitions of the circuit breaker; BreakerRejects counts
+	// calls shed with ErrBreakerOpen.
+	Retries        atomic.Uint64
+	Reconnects     atomic.Uint64
+	BreakerOpen    atomic.Uint64
+	BreakerRejects atomic.Uint64
+
+	// Fault-tolerance counters (server side). PanicsRecovered counts
+	// handler panics converted into RPC system-error replies;
+	// DroppedDupes counts duplicate requests suppressed by the
+	// DupWindow cache (re-answered from cache or dropped);
+	// IdleReaped counts connections closed by the IdleTimeout;
+	// Oversized counts frames dropped for exceeding MaxMessage.
+	PanicsRecovered atomic.Uint64
+	DroppedDupes    atomic.Uint64
+	IdleReaped      atomic.Uint64
+	Oversized       atomic.Uint64
+
 	// InFlight is a gauge of client calls issued and not yet completed
 	// (awaiting their reply, drain, or deadline).
 	InFlight atomic.Int64
@@ -268,6 +290,15 @@ type Snapshot struct {
 	InFlight       int64  `json:"in_flight"`
 	QueueDepth     int64  `json:"queue_depth"`
 
+	Retries         uint64 `json:"retries"`
+	Reconnects      uint64 `json:"reconnects"`
+	BreakerOpen     uint64 `json:"breaker_open"`
+	BreakerRejects  uint64 `json:"breaker_rejects"`
+	PanicsRecovered uint64 `json:"panics_recovered"`
+	DroppedDupes    uint64 `json:"dropped_dupes"`
+	IdleReaped      uint64 `json:"idle_reaped"`
+	Oversized       uint64 `json:"oversized"`
+
 	EncGrowChecks   uint64 `json:"enc_grow_checks"`
 	EncGrowAllocs   uint64 `json:"enc_grow_allocs"`
 	DecEnsureChecks uint64 `json:"dec_ensure_checks"`
@@ -288,6 +319,14 @@ func (m *Metrics) Snapshot() Snapshot {
 		Oneways:         m.Oneways.Load(),
 		InFlight:        m.InFlight.Load(),
 		QueueDepth:      m.QueueDepth.Load(),
+		Retries:         m.Retries.Load(),
+		Reconnects:      m.Reconnects.Load(),
+		BreakerOpen:     m.BreakerOpen.Load(),
+		BreakerRejects:  m.BreakerRejects.Load(),
+		PanicsRecovered: m.PanicsRecovered.Load(),
+		DroppedDupes:    m.DroppedDupes.Load(),
+		IdleReaped:      m.IdleReaped.Load(),
+		Oversized:       m.Oversized.Load(),
 		EncGrowChecks:   m.EncGrowChecks.Load(),
 		EncGrowAllocs:   m.EncGrowAllocs.Load(),
 		DecEnsureChecks: m.DecEnsureChecks.Load(),
@@ -341,6 +380,14 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 		{"flick_stale_replies", s.StaleReplies},
 		{"flick_dispatch_errors", s.DispatchErrors},
 		{"flick_oneways", s.Oneways},
+		{"flick_retries", s.Retries},
+		{"flick_reconnects", s.Reconnects},
+		{"flick_breaker_open", s.BreakerOpen},
+		{"flick_breaker_rejects", s.BreakerRejects},
+		{"flick_panics_recovered", s.PanicsRecovered},
+		{"flick_dropped_dupes", s.DroppedDupes},
+		{"flick_idle_reaped", s.IdleReaped},
+		{"flick_oversized", s.Oversized},
 		{"flick_enc_grow_checks", s.EncGrowChecks},
 		{"flick_enc_grow_allocs", s.EncGrowAllocs},
 		{"flick_dec_ensure_checks", s.DecEnsureChecks},

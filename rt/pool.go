@@ -20,12 +20,69 @@
 // runtime while allowing any number of calls in flight.
 package rt
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// poolCounters tracks every pool checkout and return. The chaos harness
+// (and any leak-sensitive test) asserts Get/Put balance after
+// quiescence: an imbalance means some error path dropped a pooled
+// buffer on the floor — exactly the contract the flick-lint
+// releasecheck analyzer proves statically, here re-proven dynamically
+// under injected faults.
+var poolCounters struct {
+	encGets, encPuts   atomic.Uint64
+	decGets, decPuts   atomic.Uint64
+	callGets, callPuts atomic.Uint64
+}
+
+// PoolStats is a point-in-time copy of the pool checkout counters.
+// Gets minus Puts is the number of buffers currently checked out; at
+// quiescence (no calls in flight, all stubs done) any difference is a
+// leak.
+type PoolStats struct {
+	EncoderGets, EncoderPuts uint64
+	DecoderGets, DecoderPuts uint64
+	CallGets, CallPuts       uint64
+}
+
+// Balanced reports whether every checkout has been returned.
+func (s PoolStats) Balanced() bool {
+	return s.EncoderGets == s.EncoderPuts &&
+		s.DecoderGets == s.DecoderPuts &&
+		s.CallGets == s.CallPuts
+}
+
+// Sub returns the counter deltas since an earlier snapshot.
+func (s PoolStats) Sub(earlier PoolStats) PoolStats {
+	return PoolStats{
+		EncoderGets: s.EncoderGets - earlier.EncoderGets,
+		EncoderPuts: s.EncoderPuts - earlier.EncoderPuts,
+		DecoderGets: s.DecoderGets - earlier.DecoderGets,
+		DecoderPuts: s.DecoderPuts - earlier.DecoderPuts,
+		CallGets:    s.CallGets - earlier.CallGets,
+		CallPuts:    s.CallPuts - earlier.CallPuts,
+	}
+}
+
+// ReadPoolStats snapshots the process-wide pool checkout counters.
+func ReadPoolStats() PoolStats {
+	return PoolStats{
+		EncoderGets: poolCounters.encGets.Load(),
+		EncoderPuts: poolCounters.encPuts.Load(),
+		DecoderGets: poolCounters.decGets.Load(),
+		DecoderPuts: poolCounters.decPuts.Load(),
+		CallGets:    poolCounters.callGets.Load(),
+		CallPuts:    poolCounters.callPuts.Load(),
+	}
+}
 
 var encoderPool = sync.Pool{New: func() any { return new(Encoder) }}
 
 // getEncoder takes a reset encoder from the pool.
 func getEncoder() *Encoder {
+	poolCounters.encGets.Add(1)
 	e := encoderPool.Get().(*Encoder)
 	e.Reset()
 	return e
@@ -34,6 +91,7 @@ func getEncoder() *Encoder {
 // putEncoder returns an encoder to the pool. Counting is switched off
 // so pooled encoders always re-enter service on the disabled fast path.
 func putEncoder(e *Encoder) {
+	poolCounters.encPuts.Add(1)
 	if e.stats {
 		e.EnableStats(false)
 	}
@@ -45,6 +103,7 @@ var decoderPool = sync.Pool{New: func() any { return new(Decoder) }}
 // getDecoder takes a pooled decoder and marks it runtime-owned so
 // Release returns it here.
 func getDecoder() *Decoder {
+	poolCounters.decGets.Add(1)
 	d := decoderPool.Get().(*Decoder)
 	d.pooled = true
 	return d
@@ -57,6 +116,7 @@ func putDecoder(d *Decoder) {
 	if !d.pooled {
 		return
 	}
+	poolCounters.decPuts.Add(1)
 	d.pooled = false
 	d.sink = nil
 	if d.stats {
@@ -96,9 +156,13 @@ type call struct {
 
 var callPool = sync.Pool{New: func() any { return &call{done: make(chan struct{}, 1)} }}
 
-func getCall() *call { return callPool.Get().(*call) }
+func getCall() *call {
+	poolCounters.callGets.Add(1)
+	return callPool.Get().(*call)
+}
 
 func putCall(ca *call) {
+	poolCounters.callPuts.Add(1)
 	ca.dec = nil
 	ca.err = nil
 	callPool.Put(ca)

@@ -1,0 +1,241 @@
+// Client-side fault tolerance policy: retries, backoff, and the
+// circuit breaker.
+//
+// The division of labour: FaultConn/real networks produce failures,
+// client.go classifies each failed attempt as retryable or terminal
+// (idempotency-aware: a non-idempotent call that may have executed is
+// never re-sent), and this file decides *whether and when* the next
+// attempt happens — bounded attempts, exponential backoff with full
+// jitter, a per-call wall-clock budget, and a breaker that sheds load
+// after consecutive transport failures instead of hammering a dead
+// peer.
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrRetryable classifies a call that failed without a definitive
+// answer but is safe to retry (the request was never sent, or the
+// operation is marked idempotent). Returned — wrapped around the
+// underlying cause — when the retry budget is exhausted; test with
+// errors.Is.
+var ErrRetryable = errors.New("rt: retryable failure")
+
+// ErrNotRetryable classifies a call that failed after the request may
+// have reached the server and the operation is not idempotent:
+// retrying could execute it twice, so the client fails fast instead.
+// Test with errors.Is; the underlying transport cause is wrapped.
+var ErrNotRetryable = errors.New("rt: not retryable (request may have executed)")
+
+// ErrBreakerOpen reports a call shed by an open circuit breaker: the
+// client has seen too many consecutive transport failures and is
+// refusing calls until the cooldown elapses.
+var ErrBreakerOpen = errors.New("rt: circuit breaker open")
+
+// classifiedError wraps an attempt's underlying error with its retry
+// class so callers can test both errors.Is(err, ErrRetryable/
+// ErrNotRetryable) and errors.Is(err, ErrTimeout/ErrClosed/...).
+type classifiedError struct {
+	class error // ErrRetryable or ErrNotRetryable
+	cause error
+}
+
+func (e *classifiedError) Error() string {
+	return fmt.Sprintf("%v: %v", e.class, e.cause)
+}
+
+func (e *classifiedError) Unwrap() []error { return []error{e.class, e.cause} }
+
+// retryable wraps err as exhausted-but-retryable.
+func retryable(err error) error { return &classifiedError{class: ErrRetryable, cause: err} }
+
+// notRetryable wraps err as terminal for idempotency reasons.
+func notRetryable(err error) error { return &classifiedError{class: ErrNotRetryable, cause: err} }
+
+// RetryPolicy bounds and paces a client's re-attempts. The zero value
+// of each field selects a sane default; attach with Client.Retry.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (default 3). 1 disables retries while keeping classification.
+	MaxAttempts int
+	// BaseBackoff seeds the exponential schedule (default 1ms): the
+	// pre-jitter ceiling for attempt k (0-based re-attempt index) is
+	// BaseBackoff << k.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the schedule (default 250ms).
+	MaxBackoff time.Duration
+	// Budget, when positive, bounds the whole call — attempts plus
+	// backoff sleeps — by one wall-clock deadline. When the budget is
+	// spent, the last attempt's error is returned rather than starting
+	// another round.
+	Budget time.Duration
+	// Seed makes the jitter sequence reproducible in tests; 0 derives
+	// a seed from the clock.
+	Seed int64
+
+	once sync.Once
+	mu   sync.Mutex
+	rng  *rand.Rand
+}
+
+func (p *RetryPolicy) attempts() int {
+	if p == nil || p.MaxAttempts <= 0 {
+		return 3
+	}
+	return p.MaxAttempts
+}
+
+// backoff returns the full-jitter sleep before re-attempt k (0-based):
+// uniform in [0, min(MaxBackoff, BaseBackoff<<k)]. Full jitter
+// decorrelates retry storms from concurrent callers that failed
+// together — exactly the chaos-harness scenario.
+func (p *RetryPolicy) backoff(k int) time.Duration {
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	max := p.MaxBackoff
+	if max <= 0 {
+		max = 250 * time.Millisecond
+	}
+	ceil := base
+	for i := 0; i < k && ceil < max; i++ {
+		ceil <<= 1
+	}
+	if ceil > max {
+		ceil = max
+	}
+	p.once.Do(func() {
+		seed := p.Seed
+		if seed == 0 {
+			seed = time.Now().UnixNano()
+		}
+		p.rng = rand.New(rand.NewSource(seed))
+	})
+	p.mu.Lock()
+	d := time.Duration(p.rng.Int63n(int64(ceil) + 1))
+	p.mu.Unlock()
+	return d
+}
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes calls through (the healthy state).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen sheds every call until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits a single probe call; its outcome decides
+	// between reclosing and reopening.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", int32(s))
+}
+
+// Breaker is a consecutive-failure circuit breaker. Closed, it passes
+// calls and counts consecutive transport failures; at Threshold it
+// opens and sheds calls for Cooldown; then it half-opens and admits one
+// probe — success recloses it, failure reopens it. A server-level
+// error (the peer answered) counts as success: the breaker tracks
+// transport health, not application health. The zero value is ready to
+// use; attach with Client.Breaker.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that opens the
+	// breaker (default 5).
+	Threshold int
+	// Cooldown is how long the breaker stays open before probing
+	// (default 100ms).
+	Cooldown time.Duration
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold <= 0 {
+		return 5
+	}
+	return b.Threshold
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown <= 0 {
+		return 100 * time.Millisecond
+	}
+	return b.Cooldown
+}
+
+// State reports the breaker's current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// allow reports whether a call may proceed, transitioning open →
+// half-open when the cooldown has elapsed (the caller becomes the
+// probe).
+func (b *Breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if time.Since(b.openedAt) >= b.cooldown() {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	default: // BreakerHalfOpen: one probe at a time.
+		return false
+	}
+}
+
+// success records a completed call (including server-level errors: the
+// transport worked). It recloses a half-open breaker and resets the
+// consecutive-failure count.
+func (b *Breaker) success() {
+	b.mu.Lock()
+	b.failures = 0
+	b.state = BreakerClosed
+	b.mu.Unlock()
+}
+
+// failure records a transport-level failure and reports whether this
+// one opened the breaker (for the BreakerOpen metric).
+func (b *Breaker) failure() (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		// The probe failed: straight back to open.
+		b.state = BreakerOpen
+		b.openedAt = time.Now()
+		return true
+	}
+	b.failures++
+	if b.state == BreakerClosed && b.failures >= b.threshold() {
+		b.state = BreakerOpen
+		b.openedAt = time.Now()
+		return true
+	}
+	return false
+}

@@ -2,7 +2,9 @@ package rt
 
 import (
 	"errors"
+	"fmt"
 	"io"
+	"net"
 	"sync"
 	"time"
 )
@@ -46,6 +48,28 @@ type Server struct {
 	// serving.
 	Queue int
 
+	// MaxMessage, when positive, bounds accepted request frames. On
+	// transports that pre-validate frame lengths (TCP record marking),
+	// the bound is applied *before* the fragment buffer is allocated,
+	// so a hostile frame claiming a huge body cannot force an
+	// oversized allocation; other transports drop oversized frames
+	// after receipt and keep serving. Dropped frames count in
+	// Metrics.Oversized. Set before serving.
+	MaxMessage int
+	// IdleTimeout, when positive, reaps connections whose read side
+	// has been silent for the duration (deadline-capable transports
+	// only: TCP and UDP). Reaped connections end cleanly — no error —
+	// and count in Metrics.IdleReaped. Set before serving.
+	IdleTimeout time.Duration
+	// DupWindow, when positive, remembers that many recent request
+	// XIDs per connection and suppresses duplicates (a retransmitting
+	// client or duplicating datagram link): a duplicate whose reply is
+	// already cached is answered by re-sending the cached reply
+	// without re-dispatching; one still in progress is dropped (its
+	// reply is coming). Both count in Metrics.DroppedDupes. Set
+	// before serving.
+	DupWindow int
+
 	// Metrics, when non-nil, collects per-operation dispatch counters,
 	// latency histograms, byte totals, transport-level counters
 	// (connections, dropped malformed headers, connection failures),
@@ -86,6 +110,73 @@ func (s *Server) lookup(h *ReqHeader) Dispatch {
 		return d
 	}
 	return s.fallback
+}
+
+// deadlineConn is the optional transport capability behind
+// Server.IdleTimeout (TCP and UDP connections implement it; in-process
+// pipes have no read deadlines).
+type deadlineConn interface {
+	SetReadDeadline(t time.Time) error
+}
+
+// maxMessageConn is the optional transport capability behind
+// Server.MaxMessage: transports that learn a frame's length before
+// reading its body (TCP record marking) enforce the bound *before*
+// allocating the body buffer.
+type maxMessageConn interface {
+	SetMaxMessage(n int)
+}
+
+// dupCache is a per-connection window of recent request XIDs for
+// duplicate suppression (UDP retransmits, duplicating links). Entries
+// progress from in-progress (reply nil) to answered (reply cached);
+// eviction is FIFO by arrival.
+type dupCache struct {
+	mu     sync.Mutex
+	window int
+	seen   map[uint32][]byte // nil value: in progress or oneway
+	order  []uint32          // ring of insertion order
+	next   int
+	full   bool
+}
+
+func newDupCache(window int) *dupCache {
+	return &dupCache{
+		window: window,
+		seen:   make(map[uint32][]byte, window),
+		order:  make([]uint32, window),
+	}
+}
+
+// begin records a fresh XID, or reports a duplicate along with the
+// cached reply (nil while the original is still in progress or was
+// oneway).
+func (dc *dupCache) begin(xid uint32) (dup bool, cached []byte) {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	if reply, ok := dc.seen[xid]; ok {
+		return true, reply
+	}
+	if dc.full {
+		delete(dc.seen, dc.order[dc.next])
+	}
+	dc.order[dc.next] = xid
+	dc.seen[xid] = nil
+	dc.next++
+	if dc.next == dc.window {
+		dc.next, dc.full = 0, true
+	}
+	return false, nil
+}
+
+// finish caches the sent reply for xid so a retransmitted request can
+// be answered without re-dispatching. reply must be a private copy.
+func (dc *dupCache) finish(xid uint32, reply []byte) {
+	dc.mu.Lock()
+	if _, ok := dc.seen[xid]; ok {
+		dc.seen[xid] = reply
+	}
+	dc.mu.Unlock()
 }
 
 // srvJob is one decoded request travelling from the decode loop to a
@@ -142,6 +233,21 @@ func (s *Server) ServeConn(conn Conn) error {
 	if qlen < 1 {
 		qlen = 2 * workers
 	}
+	if s.MaxMessage > 0 {
+		if mc, ok := conn.(maxMessageConn); ok {
+			// Push the bound below the framing layer: hostile length
+			// fields are rejected before the body buffer exists.
+			mc.SetMaxMessage(s.MaxMessage)
+		}
+	}
+	var idle deadlineConn
+	if s.IdleTimeout > 0 {
+		idle, _ = conn.(deadlineConn)
+	}
+	var dups *dupCache
+	if s.DupWindow > 0 {
+		dups = newDupCache(s.DupWindow)
+	}
 	jobs := make(chan srvJob, qlen)
 	fail := &connFail{}
 	var wg sync.WaitGroup
@@ -149,18 +255,39 @@ func (s *Server) ServeConn(conn Conn) error {
 	for i := 0; i < workers; i++ {
 		go func() {
 			defer wg.Done()
-			s.worker(conn, jobs, metrics, hooks, fail)
+			s.worker(conn, jobs, metrics, hooks, fail, dups)
 		}()
 	}
 
 	var loopErr error
 	for {
+		if idle != nil {
+			idle.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+		}
 		msg, err := conn.Recv()
 		if err != nil {
+			var ne net.Error
+			if idle != nil && errors.As(err, &ne) && ne.Timeout() {
+				// Silent past the idle deadline: reap the connection
+				// cleanly rather than surfacing a transport error.
+				if metrics != nil {
+					metrics.IdleReaped.Add(1)
+				}
+				conn.Close()
+				break
+			}
 			if !errors.Is(err, io.EOF) && !errors.Is(err, ErrClosed) {
 				loopErr = err
 			}
 			break
+		}
+		if s.MaxMessage > 0 && len(msg) > s.MaxMessage {
+			// Transports without pre-validation (datagrams, pipes)
+			// enforce the bound here, after receipt: drop and go on.
+			if metrics != nil {
+				metrics.Oversized.Add(1)
+			}
+			continue
 		}
 		var begin time.Time
 		if observed {
@@ -189,6 +316,25 @@ func (s *Server) ServeConn(conn Conn) error {
 			putDecoder(d)
 			continue
 		}
+		if dups != nil {
+			if dup, cached := dups.begin(h.XID); dup {
+				// A retransmitted request: re-send the cached reply if
+				// the original already answered (the client's first
+				// reply may have been lost); drop it if the original is
+				// still in progress or was oneway. Never re-dispatch.
+				if metrics != nil {
+					metrics.DroppedDupes.Add(1)
+					metrics.addDec(d.TakeStats())
+				}
+				putDecoder(d)
+				if cached != nil {
+					if err := conn.Send(cached); err != nil {
+						fail.record(conn, err)
+					}
+				}
+				continue
+			}
+		}
 		if metrics != nil {
 			metrics.QueueDepth.Add(1)
 		}
@@ -215,7 +361,23 @@ func (s *Server) ServeConn(conn Conn) error {
 // optimization, scoped per worker so replies never share a buffer).
 // Reply writes go straight to the connection: Conn.Send is safe for
 // concurrent writers, which serializes whole replies at the transport.
-func (s *Server) worker(conn Conn, jobs <-chan srvJob, metrics *Metrics, hooks TraceHook, fail *connFail) {
+// safeDispatch invokes a dispatcher with panic recovery: a panicking
+// handler is converted into a dispatch error (and so into an RPC
+// system-error reply for the caller) instead of killing the worker —
+// one poisoned request must not take down the pool, the connection, or
+// the process.
+func safeDispatch(dispatch Dispatch, h *ReqHeader, d *Decoder, e *Encoder) (err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("rt: handler panic: %v", r)
+			panicked = true
+		}
+	}()
+	err = dispatch(h, d, e)
+	return err, false
+}
+
+func (s *Server) worker(conn Conn, jobs <-chan srvJob, metrics *Metrics, hooks TraceHook, fail *connFail, dups *dupCache) {
 	var enc Encoder
 	if metrics != nil {
 		enc.EnableStats(true)
@@ -243,9 +405,14 @@ func (s *Server) worker(conn Conn, jobs <-chan srvJob, metrics *Metrics, hooks T
 			s.proto.WriteReply(&enc, &rh)
 		} else {
 			// Reserve the reply header region, then let the dispatcher
-			// append the payload; on failure rewrite a system-error reply.
+			// append the payload; on failure — including a recovered
+			// handler panic — rewrite a system-error reply.
 			s.proto.WriteReply(&enc, &rh)
-			workErr = dispatch(&h, dec, &enc)
+			var panicked bool
+			workErr, panicked = safeDispatch(dispatch, &h, dec, &enc)
+			if panicked && metrics != nil {
+				metrics.PanicsRecovered.Add(1)
+			}
 			if workErr != nil {
 				enc.Reset()
 				rh.Status = ReplySystemError
@@ -257,6 +424,12 @@ func (s *Server) worker(conn Conn, jobs <-chan srvJob, metrics *Metrics, hooks T
 				fail.record(conn, err)
 			} else {
 				replied = true
+				if dups != nil {
+					// Cache a private copy of the reply so a
+					// retransmitted request re-sends it instead of
+					// re-executing the operation.
+					dups.finish(h.XID, append([]byte(nil), enc.Bytes()...))
+				}
 			}
 		}
 		if observed {

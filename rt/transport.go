@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // Conn exchanges whole framed messages.
@@ -38,6 +39,10 @@ var ErrClosed = errors.New("rt: transport closed")
 
 // --- TCP with record marking --------------------------------------------------
 
+// defaultMaxMessage bounds received messages when no tighter limit is
+// configured (Server.MaxMessage / SetMaxMessage).
+const defaultMaxMessage = 64 << 20
+
 // tcpConn frames messages with the ONC record-marking convention: a u32
 // header whose low 31 bits give the fragment length, high bit set on the
 // last fragment. We always send whole messages as single fragments.
@@ -45,6 +50,12 @@ type tcpConn struct {
 	c    net.Conn
 	rbuf []byte
 	wmu  sync.Mutex
+	// maxMsg bounds received messages. The length field of a record
+	// mark is attacker-controlled, so Recv validates it against this
+	// bound — cumulatively across fragments — *before* allocating the
+	// body buffer: a hostile frame claiming a huge body costs the
+	// attacker a connection, not the server a huge allocation.
+	maxMsg int
 }
 
 // DialTCP connects to an RPC server over TCP.
@@ -68,7 +79,19 @@ func (t *tcpConn) Send(msg []byte) error {
 	return err
 }
 
+// SetMaxMessage bounds received messages (headers validated before any
+// body allocation). Applied by Server.MaxMessage; set before the first
+// Recv.
+func (t *tcpConn) SetMaxMessage(n int) { t.maxMsg = n }
+
+// SetReadDeadline bounds the next Recv (Server.IdleTimeout).
+func (t *tcpConn) SetReadDeadline(dl time.Time) error { return t.c.SetReadDeadline(dl) }
+
 func (t *tcpConn) Recv() ([]byte, error) {
+	max := t.maxMsg
+	if max <= 0 {
+		max = defaultMaxMessage
+	}
 	var msg []byte
 	for {
 		var hdr [4]byte
@@ -77,8 +100,11 @@ func (t *tcpConn) Recv() ([]byte, error) {
 		}
 		mark := binary.BigEndian.Uint32(hdr[:])
 		n := int(mark & 0x7FFFFFFF)
-		if n > 64<<20 {
-			return nil, fmt.Errorf("rt: oversized record fragment (%d bytes)", n)
+		// Validate the claimed length — including the running total
+		// across fragments, which was previously unbounded — before
+		// allocating or reading a single body byte.
+		if n > max || len(msg)+n > max {
+			return nil, fmt.Errorf("rt: oversized record fragment (%d bytes, %d max)", len(msg)+n, max)
 		}
 		frag := make([]byte, n)
 		if _, err := io.ReadFull(t.c, frag); err != nil {
@@ -172,6 +198,9 @@ func (u *udpConn) Recv() ([]byte, error) {
 	copy(out, u.rbuf[:n])
 	return out, nil
 }
+
+// SetReadDeadline bounds the next Recv (Server.IdleTimeout).
+func (u *udpConn) SetReadDeadline(dl time.Time) error { return u.c.SetReadDeadline(dl) }
 
 func (u *udpConn) Close() error { return u.c.Close() }
 
