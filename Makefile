@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-race bench bench-rt chaos chaos-short generate generate-check stats ci
+.PHONY: all build vet lint test test-race bench bench-rt chaos chaos-short fleet fleet-short bench-json generate generate-check stats ci
 
 all: build
 
@@ -46,6 +46,24 @@ chaos:
 # soak to 1500 calls and skips the reproducibility sweep).
 chaos-short:
 	$(GO) test -race -short -count=1 -run 'TestChaos|TestFault|TestChecksum|TestFailCloseRace' ./rt ./internal/experiment
+
+# The scale-out fabric gate: the full 1k-100k client sweep (slow; the
+# committed BENCH_fleet.json curve) plus the race-enabled acceptance
+# test. CI runs fleet-short.
+fleet:
+	$(GO) test -race -count=1 -run 'TestFleet|TestPool|TestBatch|TestAdmission' ./rt ./internal/experiment
+	$(GO) run ./cmd/flick-bench -exp fleet
+
+# The CI-sized fabric gate: reduced sweep under -race, plus the pooled
+# chaos soak and the reduced fleet report.
+fleet-short:
+	$(GO) test -race -short -count=1 -run 'TestFleet|TestPool|TestBatch|TestAdmission|TestChaosPooled' ./rt ./internal/experiment
+	$(GO) run ./cmd/flick-bench -exp fleet -short
+
+# Regenerate the committed machine-readable benchmark curves.
+bench-json:
+	$(GO) run ./cmd/flick-bench -exp pipeline -json > BENCH_pipeline.json
+	$(GO) run ./cmd/flick-bench -exp fleet -json > BENCH_fleet.json
 
 generate:
 	$(GO) generate ./...

@@ -16,7 +16,12 @@
 //	flick-bench -exp checks    # space checks executed per message, by stub style
 //	flick-bench -exp pipeline  # throughput vs in-flight depth, multiplexed client
 //	flick-bench -exp chaos     # chaos soak: faults vs retries/redials; wrong answers must be 0
+//	flick-bench -exp fleet     # scale-out fabric: 1k-100k simulated clients, pool+batch+admission
 //	flick-bench -exp all
+//
+// -json emits each report as a machine-readable JSON document instead
+// of the aligned table (committed as BENCH_<exp>.json). -short runs the
+// reduced fleet sweep sized for CI.
 package main
 
 import (
@@ -28,61 +33,78 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, fig7, table2, table3, ablation, rpcstats, checks, pipeline, chaos, all")
+	exp := flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, fig7, table2, table3, ablation, rpcstats, checks, pipeline, chaos, fleet, all")
+	asJSON := flag.Bool("json", false, "emit reports as JSON documents instead of aligned tables")
+	short := flag.Bool("short", false, "run reduced sweeps (CI-sized); currently affects fleet")
 	flag.Parse()
 
+	emit := func(r *experiment.Report) {
+		if *asJSON {
+			fmt.Println(r.JSON())
+		} else {
+			fmt.Println(r)
+		}
+	}
 	run := func(name string) bool {
 		return *exp == "all" || *exp == name
 	}
 	ran := false
 	if run("table3") {
-		fmt.Println(experiment.Table3())
+		emit(experiment.Table3())
 		ran = true
 	}
 	if run("table2") {
-		fmt.Println(experiment.Table2())
+		emit(experiment.Table2())
 		ran = true
 	}
 	if run("fig3") {
 		for _, w := range []experiment.Workload{experiment.Ints, experiment.Rects, experiment.Dirs} {
-			fmt.Println(experiment.Fig3(w))
+			emit(experiment.Fig3(w))
 		}
 		ran = true
 	}
 	if run("fig4") {
-		fmt.Println(experiment.Fig4())
+		emit(experiment.Fig4())
 		ran = true
 	}
 	if run("fig5") {
-		fmt.Println(experiment.Fig5())
+		emit(experiment.Fig5())
 		ran = true
 	}
 	if run("fig6") {
-		fmt.Println(experiment.Fig6())
+		emit(experiment.Fig6())
 		ran = true
 	}
 	if run("fig7") {
-		fmt.Println(experiment.Fig7())
+		emit(experiment.Fig7())
 		ran = true
 	}
 	if run("ablation") {
-		fmt.Println(experiment.Ablation())
+		emit(experiment.Ablation())
 		ran = true
 	}
 	if run("checks") {
-		fmt.Println(experiment.CheckCounts())
+		emit(experiment.CheckCounts())
 		ran = true
 	}
 	if run("rpcstats") {
-		fmt.Println(experiment.RPCStats())
+		emit(experiment.RPCStats())
 		ran = true
 	}
 	if run("pipeline") {
-		fmt.Println(experiment.Pipeline())
+		emit(experiment.Pipeline())
 		ran = true
 	}
 	if run("chaos") {
-		fmt.Println(experiment.Chaos())
+		emit(experiment.Chaos())
+		ran = true
+	}
+	if run("fleet") {
+		if *short {
+			emit(experiment.FleetShort())
+		} else {
+			emit(experiment.Fleet())
+		}
 		ran = true
 	}
 	if !ran {

@@ -39,6 +39,16 @@ type ChaosConfig struct {
 	// PingEvery, when positive, issues a oneway Ping before every Nth
 	// Sum to mix fire-and-forget traffic into the soak.
 	PingEvery int
+	// PoolSize, when positive, drives the soak through an rt.ClientPool
+	// of that many sessions — each its own hostile link with its own
+	// breaker and redial — instead of a single client. The pooled soak
+	// additionally proves session failover under chaos.
+	PoolSize int
+	// Batch, when true (pooled mode only), wraps every session's link
+	// in a coalescing BatchConn, putting the batch envelope itself
+	// under fire: a corrupted batch frame must degrade into the loss of
+	// its calls, never into a wrong answer.
+	Batch bool
 }
 
 // ChaosResult aggregates one soak run's outcome.
@@ -56,6 +66,9 @@ type ChaosResult struct {
 	// Client-side resilience counters.
 	Retries, Reconnects       uint64
 	BreakerOpen, StaleReplies uint64
+	// Pooled-mode counters: calls re-dispatched to another session, and
+	// calls that travelled inside multi-message batch frames.
+	SessionFailovers, BatchedCalls uint64
 	// Server-side hardening counters.
 	DroppedDupes, PanicsRecovered, Oversized uint64
 	// Link-level damage.
@@ -127,21 +140,72 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	}
 
 	poolBefore := rt.ReadPoolStats()
-	first, err := dial()
-	if err != nil {
-		return nil, err
-	}
-	client := ts.NewBenchXDRClient(first)
-	client.C.Metrics = clientMetrics
-	client.C.Timeout = 150 * time.Millisecond
-	client.C.Retry = &rt.RetryPolicy{
+	retry := &rt.RetryPolicy{
 		MaxAttempts: 8,
 		BaseBackoff: 200 * time.Microsecond,
 		MaxBackoff:  5 * time.Millisecond,
 		Seed:        cfg.Seed + 7,
 	}
-	client.C.Redial = dial
-	client.C.Breaker = &rt.Breaker{Threshold: 64, Cooldown: 2 * time.Millisecond}
+
+	// The soak drives either a single resilient client (the PR 4
+	// configuration) or, in pooled mode, the scale-out fabric's
+	// ClientPool — same hostile links, same retry policy, per-session
+	// breakers, failover across sessions.
+	var sumCall func(v []int32) (int32, error)
+	var pingCall func(nonce int32)
+	var closeClient func()
+	if cfg.PoolSize > 0 {
+		var batch *rt.BatchConfig
+		if cfg.Batch {
+			batch = &rt.BatchConfig{MaxMessages: 16}
+		}
+		pool, err := rt.NewClientPool(rt.PoolConfig{
+			Size:             cfg.PoolSize,
+			Dial:             func(int) (rt.Conn, error) { return dial() },
+			Proto:            rt.ONC{},
+			Timeout:          150 * time.Millisecond,
+			Retry:            retry,
+			BreakerThreshold: 64,
+			BreakerCooldown:  2 * time.Millisecond,
+			Redial:           true,
+			Batch:            batch,
+			Metrics:          clientMetrics,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sumCall = func(v []int32) (int32, error) {
+			d, err := pool.CallIdem(3, "sum", false, true, func(e *rt.Encoder) {
+				ts.MarshalBenchSumXDRRequest(e, v)
+			})
+			if err != nil {
+				return 0, err
+			}
+			ret, err := ts.UnmarshalBenchSumXDRReply(d)
+			d.Release()
+			return ret, err
+		}
+		pingCall = func(nonce int32) {
+			pool.CallIdem(5, "ping", true, false, func(e *rt.Encoder) {
+				ts.MarshalBenchPingXDRRequest(e, nonce)
+			})
+		}
+		closeClient = func() { pool.Close() }
+	} else {
+		first, err := dial()
+		if err != nil {
+			return nil, err
+		}
+		client := ts.NewBenchXDRClient(first)
+		client.C.Metrics = clientMetrics
+		client.C.Timeout = 150 * time.Millisecond
+		client.C.Retry = retry
+		client.C.Redial = dial
+		client.C.Breaker = &rt.Breaker{Threshold: 64, Cooldown: 2 * time.Millisecond}
+		sumCall = client.Sum
+		pingCall = func(nonce int32) { client.Ping(nonce) }
+		closeClient = func() { client.C.Close() }
+	}
 
 	res := &ChaosResult{}
 	per := cfg.Calls / cfg.Callers
@@ -160,7 +224,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 			var local ChaosResult
 			for i := 0; i < per; i++ {
 				if cfg.PingEvery > 0 && i%cfg.PingEvery == 0 {
-					client.Ping(int32(i)) // oneway: errors acceptable, ignored
+					pingCall(int32(i)) // oneway: errors acceptable, ignored
 				}
 				n := 1 + rng.Intn(len(v))
 				var want int32
@@ -169,7 +233,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 					want += v[j]
 				}
 				local.Calls++
-				ret, err := client.Sum(v[:n])
+				ret, err := sumCall(v[:n])
 				switch {
 				case err == nil && ret == want:
 					local.Succeeded++
@@ -202,7 +266,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	// Teardown: close the live connection, wait for every server (old
 	// ones died at redial time) to drain, then give the reply readers a
 	// moment to finish returning pooled decoders.
-	client.C.Close()
+	closeClient()
 	serveWG.Wait()
 	deadline := time.Now().Add(3 * time.Second)
 	for {
@@ -217,6 +281,8 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	res.Reconnects = clientMetrics.Reconnects.Load()
 	res.BreakerOpen = clientMetrics.BreakerOpen.Load()
 	res.StaleReplies = clientMetrics.StaleReplies.Load()
+	res.SessionFailovers = clientMetrics.SessionFailovers.Load()
+	res.BatchedCalls = clientMetrics.BatchedCalls.Load()
 	res.DroppedDupes = serverMetrics.DroppedDupes.Load()
 	res.PanicsRecovered = serverMetrics.PanicsRecovered.Load()
 	res.Oversized = serverMetrics.Oversized.Load()

@@ -77,6 +77,72 @@ func TestChaosSoak(t *testing.T) {
 	}
 }
 
+// TestChaosPooled runs the soak through the scale-out fabric: a
+// ClientPool of sessions with adaptive batching, every session its own
+// hostile link. The PR 4 invariants must hold unchanged — zero wrong
+// answers, zero unclassified errors, zero pool leaks, bounded
+// goroutines — and the pooled machinery must actually engage: batches
+// form, and dead sessions fail calls over to live ones.
+func TestChaosPooled(t *testing.T) {
+	calls := 8000
+	if testing.Short() {
+		calls = 1500
+	}
+	goroutinesBefore := runtime.NumGoroutine()
+
+	res, err := RunChaos(ChaosConfig{
+		Calls:     calls,
+		Callers:   8,
+		Seed:      11,
+		Plan:      DefaultChaosPlan(0.05),
+		PingEvery: 16,
+		PoolSize:  4,
+		Batch:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("pooled chaos: %d calls, %d ok, %d/%d/%d/%d failed, %d faults, %d crc drops, "+
+		"%d retries, %d redials, %d failovers, %d batched, %v wall",
+		res.Calls, res.Succeeded, res.FailedRetryable, res.FailedNotRetryable,
+		res.FailedBreaker, res.FailedOther, res.FaultsInjected, res.ChecksumRejects,
+		res.Retries, res.Reconnects, res.SessionFailovers, res.BatchedCalls, res.Wall)
+
+	if res.Mismatches != 0 {
+		t.Errorf("payload corruption reached the caller: %d wrong answers", res.Mismatches)
+	}
+	if res.FailedOther != 0 {
+		t.Errorf("%d failures carried no retry classification", res.FailedOther)
+	}
+	if res.FaultsInjected == 0 {
+		t.Error("no faults injected: the soak tested a clean wire")
+	}
+	if res.ChecksumRejects == 0 {
+		t.Error("no frames rejected: damage never hit the integrity layer")
+	}
+	if res.Reconnects == 0 {
+		t.Error("no redials: injected resets never exercised per-session reconnection")
+	}
+	if res.BatchedCalls == 0 {
+		t.Error("no calls travelled batched: the coalescing writer never engaged")
+	}
+	if res.Succeeded*10 < res.Calls*9 {
+		t.Errorf("only %d/%d calls succeeded through the pooled fabric",
+			res.Succeeded, res.Calls)
+	}
+	if !res.PoolDelta.Balanced() {
+		t.Errorf("pooled buffers leaked under pooled chaos: %+v", res.PoolDelta)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > goroutinesBefore+2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > goroutinesBefore+2 {
+		t.Errorf("goroutines grew %d -> %d after quiescence", goroutinesBefore, now)
+	}
+}
+
 // TestChaosCleanWire pins the degenerate case: at a 0%% fault rate the
 // soak is just a load test — every call must succeed with no retries,
 // no redials, and balanced pools.

@@ -1,0 +1,277 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flick/internal/netsim"
+	ts "flick/internal/teststubs"
+	"flick/rt"
+)
+
+// This file is the scale-out serving experiment: sustained small-call
+// throughput as the number of simulated concurrent clients sweeps from
+// hundreds to a hundred thousand. Two configurations face the same
+// server logic over the same simulated links:
+//
+//   - baseline: the PR 2 engine — one XID-multiplexed client on one
+//     unbatched connection, a worker-pool server, no admission control.
+//     Every call pays the link's serialized per-frame cost alone.
+//   - fabric: the scale-out stack — a ClientPool of sessions (each its
+//     own line), adaptive batching on both ends amortizing the
+//     per-frame cost across coalesced calls, and server-side admission
+//     control shedding overload with a retryable reject instead of
+//     unbounded queueing.
+//
+// The reproduction target is the *shape*: baseline throughput is capped
+// by one line's frame rate no matter how many clients pile on, while
+// the fabric's calls/s keeps climbing (more sessions, fatter batches)
+// and degrades gracefully — zero failed calls — at the far end of the
+// sweep.
+
+// fleetLink models a modern fabric hop: the paper's 100Mbps Ethernet
+// scaled 100x (today's CPU:network ratio, as in the other figures)
+// plus a serialized per-frame cost representing the syscall/driver work
+// a frame costs its sender — the term adaptive batching amortizes.
+func fleetLink() netsim.Link {
+	l := netsim.Ethernet100.Scaled(100)
+	l.Name = "scaled Ethernet (x100) + 40us/frame"
+	l.PerFrame = 40 * time.Microsecond
+	return l
+}
+
+// FleetConfig parameterizes one sweep.
+type FleetConfig struct {
+	// Clients are the simulated concurrent client counts to sweep.
+	Clients []int
+	// TotalCalls is the per-cell call target; each client issues
+	// max(1, TotalCalls/N) calls, so cells with N > TotalCalls issue N.
+	TotalCalls int
+	// Sessions is the fabric's pool width (default 8).
+	Sessions int
+	// Workers is the per-connection server worker count (default 8).
+	Workers int
+	// MaxLoad is the fabric server's admission bound (default 1024).
+	MaxLoad int
+	// Ints is the Sum payload element count (default 16 = 64B payload).
+	Ints int
+}
+
+func (c *FleetConfig) defaults() {
+	if len(c.Clients) == 0 {
+		c.Clients = []int{1000, 4000, 16000, 50000, 100000}
+	}
+	if c.TotalCalls <= 0 {
+		c.TotalCalls = 16000
+	}
+	if c.Sessions <= 0 {
+		c.Sessions = 8
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.MaxLoad <= 0 {
+		c.MaxLoad = 1024
+	}
+	if c.Ints <= 0 {
+		c.Ints = 16
+	}
+}
+
+// fleetCellResult is one (N, configuration) measurement.
+type fleetCellResult struct {
+	callsPerSec float64
+	errors      uint64
+	batchFactor float64 // batched calls per multi-message frame
+	rejects     uint64
+	failovers   uint64
+}
+
+// Fleet runs the full sweep (the committed BENCH_fleet.json curve).
+func Fleet() *Report { return fleetReport(FleetConfig{}) }
+
+// FleetShort runs a reduced sweep sized for CI under -race.
+func FleetShort() *Report {
+	return fleetReport(FleetConfig{
+		Clients:    []int{200, 1000, 4000},
+		TotalCalls: 1500,
+	})
+}
+
+func fleetReport(cfg FleetConfig) *Report {
+	cfg.defaults()
+	rep := &Report{
+		Title: fmt.Sprintf("Scale-out fabric: %d-int Sum() calls vs simulated client count (%s)",
+			cfg.Ints, fleetLink()),
+		Cols: []string{"clients", "calls", "baseline calls/s", "fabric calls/s", "speedup",
+			"batch x", "rejects", "failovers", "errors"},
+		Notes: []string{
+			fmt.Sprintf("baseline: one multiplexed client, one unbatched conn, no admission (the PR 2 engine); server Workers=%d", cfg.Sessions*cfg.Workers),
+			fmt.Sprintf("fabric: ClientPool of %d sessions, adaptive batching both ends, admission MaxLoad=%d, retry-on-overload", cfg.Sessions, cfg.MaxLoad),
+			"each client is a goroutine in a closed loop; the link charges a serialized 40us per frame, so",
+			"baseline calls/s is capped near one line's frame rate while batching amortizes the frame cost",
+			"'batch x' = calls per multi-message frame on the client side; 'errors' must be 0 (overload is",
+			"shed with a retryable reject and absorbed by backoff, not failure — graceful degradation)",
+			"(the host's sleep granularity inflates the absolute per-frame cost; the shape is the result)",
+		},
+	}
+	for _, n := range cfg.Clients {
+		base := fleetCell(cfg, n, false)
+		fab := fleetCell(cfg, n, true)
+		calls := n * maxInt(1, cfg.TotalCalls/n)
+		speedup := "-"
+		if base.callsPerSec > 0 {
+			speedup = fmt.Sprintf("%.1fx", fab.callsPerSec/base.callsPerSec)
+		}
+		batch := "-"
+		if fab.batchFactor > 0 {
+			batch = fmt.Sprintf("%.1f", fab.batchFactor)
+		}
+		rep.AddRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", calls),
+			fmt.Sprintf("%.0f", base.callsPerSec),
+			fmt.Sprintf("%.0f", fab.callsPerSec),
+			speedup,
+			batch,
+			fmt.Sprintf("%d", fab.rejects),
+			fmt.Sprintf("%d", fab.failovers),
+			fmt.Sprintf("%d", base.errors+fab.errors),
+		)
+	}
+	return rep
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// fleetSum issues one Sum call through the pool, exactly as a generated
+// stub would (CallIdem + release).
+func fleetSum(p *rt.ClientPool, v []int32) (int32, error) {
+	d, err := p.CallIdem(3, "sum", false, true, func(e *rt.Encoder) {
+		ts.MarshalBenchSumXDRRequest(e, v)
+	})
+	if err != nil {
+		return 0, err
+	}
+	ret, err := ts.UnmarshalBenchSumXDRReply(d)
+	d.Release()
+	return ret, err
+}
+
+// fleetCell measures one cell: n closed-loop clients against either the
+// baseline single-session engine or the full fabric.
+func fleetCell(cfg FleetConfig, n int, fabric bool) fleetCellResult {
+	link := fleetLink()
+	srvMetrics := rt.NewMetrics()
+	cliMetrics := rt.NewMetrics()
+
+	srv := rt.NewServer(rt.ONC{})
+	srv.Workers = cfg.Workers
+	srv.Metrics = srvMetrics
+	ts.RegisterBenchXDR(srv, pipelineImpl{})
+
+	var serveWG sync.WaitGroup
+	var serverEnds []rt.Conn
+	serve := func(end rt.Conn) {
+		serverEnds = append(serverEnds, end)
+		serveWG.Add(1)
+		go func() { defer serveWG.Done(); srv.ServeConn(end) }()
+	}
+
+	// call is the per-client invocation; close tears the client side down.
+	var call func(v []int32) (int32, error)
+	var closeClient func()
+
+	if fabric {
+		srv.Admission = &rt.Admission{MaxLoad: cfg.MaxLoad}
+		batch := rt.BatchConfig{MaxMessages: 64, MaxBytes: 32 << 10, Queue: 1024}
+		pool, err := rt.NewClientPool(rt.PoolConfig{
+			Size: cfg.Sessions,
+			Dial: func(int) (rt.Conn, error) {
+				clientEnd, serverEnd := SimPipe(link)
+				sb := batch
+				sb.Metrics = srvMetrics
+				serve(rt.NewBatchConn(serverEnd, sb)) // replies batch too
+				return clientEnd, nil
+			},
+			Proto: rt.ONC{}, Prog: 0, Vers: 0,
+			Retry: &rt.RetryPolicy{
+				// Overload is absorbed here: rejected calls back off
+				// (full jitter) and re-attempt until admitted.
+				MaxAttempts: 1 << 20,
+				BaseBackoff: 200 * time.Microsecond,
+				MaxBackoff:  50 * time.Millisecond,
+				Budget:      2 * time.Minute,
+				Seed:        1,
+			},
+			Batch:   &batch,
+			Metrics: cliMetrics,
+		})
+		if err != nil {
+			panic(err)
+		}
+		call = func(v []int32) (int32, error) { return fleetSum(pool, v) }
+		closeClient = func() { pool.Close() }
+	} else {
+		clientEnd, serverEnd := SimPipe(link)
+		// Same total worker budget as the fabric: the comparison isolates
+		// the transport fabric, not server parallelism.
+		srv.Workers = cfg.Sessions * cfg.Workers
+		serve(serverEnd)
+		c := ts.NewBenchXDRClient(clientEnd)
+		c.C.Metrics = cliMetrics
+		call = func(v []int32) (int32, error) { return c.Sum(v) }
+		closeClient = func() { c.C.Close() }
+	}
+
+	ints := IntArray(cfg.Ints * 4)
+	var want int32
+	for _, x := range ints {
+		want += x
+	}
+	per := maxInt(1, cfg.TotalCalls/n)
+
+	var wg sync.WaitGroup
+	var errCount, wrongCount atomic.Uint64
+	start := time.Now()
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ret, err := call(ints)
+				if err != nil {
+					errCount.Add(1)
+				} else if ret != want {
+					wrongCount.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	closeClient()
+	for _, end := range serverEnds {
+		end.Close()
+	}
+	serveWG.Wait()
+
+	res := fleetCellResult{
+		callsPerSec: float64(n*per) / elapsed.Seconds(),
+		errors:      errCount.Load() + wrongCount.Load(),
+		rejects:     srvMetrics.AdmissionRejects.Load(),
+		failovers:   cliMetrics.SessionFailovers.Load(),
+	}
+	if f := cliMetrics.BatchFrames.Load(); f > 0 {
+		res.batchFactor = float64(cliMetrics.BatchedCalls.Load()) / float64(f)
+	}
+	return res
+}

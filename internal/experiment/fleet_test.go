@@ -1,0 +1,42 @@
+package experiment
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestFleetShort is the acceptance gate for the scale-out fabric: a
+// reduced sweep (CI-sized, run under -race) in which every call must
+// succeed — overload is shed and retried, never failed — and the
+// fabric must beat the single-session baseline on small calls once
+// clients pile up, with real multi-message batches on the wire.
+func TestFleetShort(t *testing.T) {
+	cfg := FleetConfig{Clients: []int{100, 800}, TotalCalls: 800}
+	if testing.Short() {
+		cfg = FleetConfig{Clients: []int{200}, TotalCalls: 300}
+	}
+	cfg.defaults()
+
+	for _, n := range cfg.Clients {
+		base := fleetCell(cfg, n, false)
+		fab := fleetCell(cfg, n, true)
+		t.Logf("clients=%d: baseline %.0f calls/s, fabric %.0f calls/s (%.1fx), batch x%.1f, %d rejects, %d errors",
+			n, base.callsPerSec, fab.callsPerSec, fab.callsPerSec/base.callsPerSec,
+			fab.batchFactor, fab.rejects, base.errors+fab.errors)
+
+		if base.errors != 0 || fab.errors != 0 {
+			t.Errorf("clients=%d: %d baseline / %d fabric calls failed; graceful degradation requires 0",
+				n, base.errors, fab.errors)
+		}
+		// The tentpole claim: on ≤64B calls at high client counts the
+		// batching fabric beats the unbatched single-session engine.
+		if fab.callsPerSec <= base.callsPerSec {
+			t.Errorf("clients=%d: fabric %.0f calls/s did not beat baseline %.0f",
+				n, fab.callsPerSec, base.callsPerSec)
+		}
+		if fab.batchFactor <= 1 {
+			t.Errorf("clients=%d: no multi-message batches formed (factor %s)",
+				n, strconv.FormatFloat(fab.batchFactor, 'f', 1, 64))
+		}
+	}
+}

@@ -61,7 +61,7 @@ func (s *simEnd) Send(msg []byte) error {
 	out := make([]byte, len(msg))
 	copy(out, msg) // the caller may reuse its buffer after Send
 	s.mu.Lock()
-	time.Sleep(s.link.TxTime(len(msg))) // occupy the line
+	time.Sleep(s.link.PerFrame + s.link.TxTime(len(msg))) // occupy the line
 	due := time.Now().Add(s.link.PerMessage)
 	select {
 	case s.q <- simMsg{out, due}: // in order, under the line mutex

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -64,6 +65,22 @@ func (r *Report) String() string {
 		b.WriteString("note: " + n + "\n")
 	}
 	return b.String()
+}
+
+// JSON renders the report as a machine-readable document (the BENCH_*
+// files committed alongside EXPERIMENTS.md are this form).
+func (r *Report) JSON() string {
+	doc := struct {
+		Title string     `json:"title"`
+		Notes []string   `json:"notes,omitempty"`
+		Cols  []string   `json:"cols"`
+		Rows  [][]string `json:"rows"`
+	}{r.Title, r.Notes, r.Cols, r.Rows}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return fmt.Sprintf(`{"error":%q}`, err.Error())
+	}
+	return string(b)
 }
 
 func sizeLabel(n int) string {

@@ -31,6 +31,15 @@ type Link struct {
 	// PerMessage is the fixed protocol-stack cost per message
 	// exchanged (system calls, interrupts, protocol headers).
 	PerMessage time.Duration
+	// PerFrame is the serialized per-frame cost paid on the sender's
+	// line for every frame put on the wire (the system-call/driver
+	// component that cannot overlap with other senders). Unlike
+	// PerMessage — propagation, which overlaps across in-flight
+	// messages — PerFrame is paid under the line lock, which is exactly
+	// the cost adaptive batching amortizes: a frame carrying 32 calls
+	// pays it once. Zero (all the paper-era links) leaves the original
+	// model untouched.
+	PerFrame time.Duration
 	// PerByteHostOverhead models additional per-byte host processing
 	// (checksums, kernel copies) beyond the wire itself; zero when the
 	// effective bandwidth already captures it.
@@ -88,6 +97,7 @@ func (l Link) Scaled(factor float64) Link {
 	out.EffectiveMbps = l.EffectiveMbps * factor
 	out.NominalMbps = l.NominalMbps * factor
 	out.PerMessage = time.Duration(float64(l.PerMessage) / factor)
+	out.PerFrame = time.Duration(float64(l.PerFrame) / factor)
 	return out
 }
 

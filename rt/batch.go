@@ -1,0 +1,308 @@
+// Adaptive call batching: the coalescing writer.
+//
+// The paper's throughput argument is about amortization: group the
+// per-datum costs (bounds checks, copies) so each is paid once per
+// chunk instead of once per field. At serving scale the analogous
+// per-*call* costs are the frame header, the write syscall, and the
+// integrity check — BatchConn amortizes those by packing every message
+// that is pending at flush time into one batch frame (see SplitBatch in
+// proto.go for the envelope).
+//
+// The batching is adaptive by construction rather than by timer: a
+// dedicated writer goroutine drains the send queue, and whatever
+// accumulated while the previous frame was being transmitted travels
+// together in the next one. Under light load the queue never holds more
+// than one message and every message ships alone, unwrapped, with zero
+// added latency; under heavy load frames grow toward the configured
+// caps automatically. An optional linger deadline (MaxDelay) trades a
+// bounded latency increase for larger frames at moderate load, and
+// oneway messages — which nothing waits on — are "lazy": they never cut
+// a linger short, riding along with whichever later frame flushes.
+package rt
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BatchConfig tunes a BatchConn. The zero value is usable: pure
+// idle-coalescing with default caps and no linger.
+type BatchConfig struct {
+	// MaxMessages caps how many messages one frame may carry (default
+	// 64, bounded by MaxBatchMessages).
+	MaxMessages int
+	// MaxBytes caps the payload bytes one frame may carry (default
+	// 32KB). A single message larger than the cap still ships, alone.
+	MaxBytes int
+	// MaxDelay, when positive, lets the writer linger after the first
+	// pending eager message for up to this long to accumulate a larger
+	// frame. Zero (the default) flushes the moment the queue drains:
+	// batching then costs no latency at all and still wins whenever the
+	// transport is slower than the callers.
+	MaxDelay time.Duration
+	// Queue bounds the pending-message backlog (default 256); Send
+	// blocks when it is full, which is the fabric's client-side
+	// backpressure.
+	Queue int
+	// Metrics, when non-nil, receives BatchedCalls, BatchFrames, and
+	// the BatchFlush* reason counters.
+	Metrics *Metrics
+}
+
+func (c BatchConfig) maxMessages() int {
+	n := c.MaxMessages
+	if n <= 0 {
+		n = 64
+	}
+	if n > MaxBatchMessages {
+		n = MaxBatchMessages
+	}
+	return n
+}
+
+func (c BatchConfig) maxBytes() int {
+	if c.MaxBytes <= 0 {
+		return 32 << 10
+	}
+	return c.MaxBytes
+}
+
+func (c BatchConfig) queue() int {
+	if c.Queue <= 0 {
+		return 256
+	}
+	return c.Queue
+}
+
+// lazySender is the optional conn capability behind oneway-aware
+// batching: the multiplexed client routes oneway requests through
+// SendLazy when its conn provides it.
+type lazySender interface {
+	SendLazy(msg []byte) error
+}
+
+// batchMsg is one queued message; lazy marks oneway traffic that never
+// cuts a linger short.
+type batchMsg struct {
+	buf  []byte
+	lazy bool
+}
+
+// BatchConn wraps a Conn with adaptive call batching in both
+// directions: Send coalesces queued messages into batch frames, and
+// Recv transparently unpacks batch frames from the peer (so two
+// BatchConns can face each other, or a batching client can face a plain
+// server, whose frame reader also unpacks natively).
+//
+// Send keeps the Conn contract — safe for concurrent use, caller may
+// reuse the buffer — by copying each message into the queue. Recv keeps
+// the single-reader contract. Close tears down the writer; messages
+// still queued are dropped, exactly as bytes buffered in a kernel
+// socket are on close.
+type BatchConn struct {
+	inner Conn
+	cfg   BatchConfig
+
+	sendq  chan batchMsg
+	done   chan struct{}
+	once   sync.Once
+	closed atomic.Bool
+
+	// sendErr latches the writer's first transport failure; later Sends
+	// return it instead of silently queueing onto a dead writer.
+	sendErr atomic.Value // error
+
+	// recvq holds unpacked messages from the last received batch frame
+	// (single-reader: no lock needed).
+	recvq [][]byte
+}
+
+// NewBatchConn wraps inner with a coalescing writer.
+func NewBatchConn(inner Conn, cfg BatchConfig) *BatchConn {
+	b := &BatchConn{
+		inner: inner,
+		cfg:   cfg,
+		sendq: make(chan batchMsg, cfg.queue()),
+		done:  make(chan struct{}),
+	}
+	go b.writer()
+	return b
+}
+
+// Send queues one message for the coalescing writer. It blocks when the
+// queue is full (backpressure) and fails once the conn is closed or the
+// writer has hit a transport error.
+func (b *BatchConn) Send(msg []byte) error { return b.send(msg, false) }
+
+// SendLazy queues a message nothing waits on (oneway calls): it flushes
+// with the caps and deadline like any other, but never cuts a linger
+// short on queue drain. The multiplexed client uses it automatically
+// for oneway operations when its conn is a BatchConn.
+func (b *BatchConn) SendLazy(msg []byte) error { return b.send(msg, true) }
+
+func (b *BatchConn) send(msg []byte, lazy bool) error {
+	if b.closed.Load() {
+		return ErrClosed
+	}
+	if e := b.sendErr.Load(); e != nil {
+		return e.(error)
+	}
+	// The caller may reuse its buffer after Send returns: copy.
+	cp := make([]byte, len(msg))
+	copy(cp, msg)
+	select {
+	case b.sendq <- batchMsg{cp, lazy}:
+		return nil
+	case <-b.done:
+		return ErrClosed
+	}
+}
+
+// Recv returns the next message, unpacking batch frames from the peer.
+func (b *BatchConn) Recv() ([]byte, error) {
+	if len(b.recvq) > 0 {
+		m := b.recvq[0]
+		b.recvq = b.recvq[1:]
+		return m, nil
+	}
+	for {
+		msg, err := b.inner.Recv()
+		if err != nil {
+			return nil, err
+		}
+		parts, ok := SplitBatch(msg)
+		if !ok {
+			return msg, nil
+		}
+		if m := b.cfg.Metrics; m != nil {
+			m.BatchedCalls.Add(uint64(len(parts)))
+		}
+		b.recvq = parts[1:]
+		return parts[0], nil
+	}
+}
+
+// Close stops the writer and closes the wrapped conn. Idempotent.
+func (b *BatchConn) Close() error {
+	b.closed.Store(true)
+	b.once.Do(func() { close(b.done) })
+	return b.inner.Close()
+}
+
+// flush reasons, indexing the metrics counters.
+const (
+	flushSize = iota
+	flushIdle
+	flushDeadline
+	flushClose
+)
+
+// writer is the coalescing loop: block for the first pending message,
+// drain whatever else is queued (lingering up to MaxDelay when
+// configured and only lazy traffic is pending), and emit one frame —
+// unwrapped when a single message is pending, an envelope otherwise.
+func (b *BatchConn) writer() {
+	maxN, maxB := b.cfg.maxMessages(), b.cfg.maxBytes()
+	var pending []batchMsg
+	var frame []byte // reused envelope buffer
+	var timer *time.Timer
+	for {
+		var first batchMsg
+		select {
+		case first = <-b.sendq:
+		case <-b.done:
+			return
+		}
+		pending = append(pending[:0], first)
+		bytes := len(first.buf)
+		eager := !first.lazy
+		reason := flushIdle
+
+		var deadline <-chan time.Time
+		if b.cfg.MaxDelay > 0 {
+			if timer == nil {
+				timer = time.NewTimer(b.cfg.MaxDelay)
+			} else {
+				timer.Reset(b.cfg.MaxDelay)
+			}
+			deadline = timer.C
+		}
+	accumulate:
+		for len(pending) < maxN && bytes < maxB {
+			select {
+			case m := <-b.sendq:
+				pending = append(pending, m)
+				bytes += len(m.buf)
+				eager = eager || !m.lazy
+			default:
+				// Queue drained. With no linger, or with an eager
+				// message waiting on its reply, flush now; with only
+				// lazy traffic pending, keep lingering for company.
+				if deadline == nil || eager {
+					break accumulate
+				}
+				select {
+				case m := <-b.sendq:
+					pending = append(pending, m)
+					bytes += len(m.buf)
+					eager = eager || !m.lazy
+				case <-deadline:
+					deadline = nil
+					reason = flushDeadline
+					break accumulate
+				case <-b.done:
+					b.emit(pending, frame, flushClose)
+					return
+				}
+			}
+		}
+		if len(pending) >= maxN || bytes >= maxB {
+			reason = flushSize
+		}
+		if deadline != nil && !timer.Stop() {
+			<-timer.C
+		}
+		frame = b.emit(pending, frame, reason)
+		for i := range pending {
+			pending[i].buf = nil // release message copies to the GC
+		}
+	}
+}
+
+// emit sends the pending messages as one frame and records the flush.
+// It returns the (possibly grown) reusable envelope buffer.
+func (b *BatchConn) emit(pending []batchMsg, frame []byte, reason int) []byte {
+	var err error
+	if len(pending) == 1 {
+		// Single message: ship it unwrapped — at low load batching must
+		// cost nothing, neither latency nor envelope bytes.
+		err = b.inner.Send(pending[0].buf)
+	} else {
+		frame = appendBatchStart(frame[:0], len(pending))
+		for _, m := range pending {
+			frame = appendBatch(frame, m.buf)
+		}
+		err = b.inner.Send(frame)
+	}
+	if m := b.cfg.Metrics; m != nil {
+		switch reason {
+		case flushSize:
+			m.BatchFlushSize.Add(1)
+		case flushIdle:
+			m.BatchFlushIdle.Add(1)
+		case flushDeadline:
+			m.BatchFlushDeadline.Add(1)
+		case flushClose:
+			m.BatchFlushClose.Add(1)
+		}
+		if len(pending) > 1 {
+			m.BatchFrames.Add(1)
+			m.BatchedCalls.Add(uint64(len(pending)))
+		}
+	}
+	if err != nil && b.sendErr.Load() == nil {
+		b.sendErr.Store(err)
+	}
+	return frame
+}

@@ -229,6 +229,30 @@ func (c *Client) Close() error {
 	return err
 }
 
+// Healthy reports whether the client can plausibly complete a call
+// right now: it is open, its breaker (if any) is not shedding, and its
+// session is either unpoisoned or redialable. ClientPool uses it to
+// steer calls toward healthy sessions; a false answer is advisory (a
+// half-open breaker may still admit a probe, a racing failure may still
+// poison a healthy session).
+func (c *Client) Healthy() bool {
+	if c.closed.Load() {
+		return false
+	}
+	if b := c.Breaker; b != nil && !b.Ready() {
+		return false
+	}
+	if c.Redial == nil {
+		c.sessMu.Lock()
+		s := c.sess
+		c.sessMu.Unlock()
+		if s.failedErr() != nil {
+			return false
+		}
+	}
+	return true
+}
+
 // session returns the current healthy session, transparently dialing a
 // replacement when the current one is poisoned and a Redial function is
 // configured. Only one goroutine dials; concurrent callers wait on
@@ -387,6 +411,20 @@ func (c *Client) invoke(proc uint32, opName string, oneway, idempotent bool, mar
 			}
 			return nil, err
 		}
+		if errors.Is(err, ErrOverloaded) {
+			// The server answered by shedding the call before dispatch:
+			// the transport works (breaker-healthy) and the operation
+			// did not execute, so the retry loop re-attempts it under
+			// backoff even when non-idempotent.
+			if c.Breaker != nil {
+				c.Breaker.success()
+			}
+			lastErr = err
+			if !deadline.IsZero() && !time.Now().Before(deadline) {
+				break
+			}
+			continue
+		}
 		if c.closed.Load() {
 			return nil, err
 		}
@@ -477,7 +515,18 @@ func (c *Client) callOnce(proc uint32, opName string, oneway bool, marshal func(
 		}
 	}
 
-	err = s.conn.Send(enc.Bytes())
+	if oneway {
+		// Oneway-aware batching: nothing waits on this message, so a
+		// coalescing conn may hold it for company instead of cutting a
+		// linger short (see BatchConn.SendLazy).
+		if ls, ok := s.conn.(lazySender); ok {
+			err = ls.SendLazy(enc.Bytes())
+		} else {
+			err = s.conn.Send(enc.Bytes())
+		}
+	} else {
+		err = s.conn.Send(enc.Bytes())
+	}
 	if ev != nil {
 		ev.Sent = time.Now()
 		if c.Hooks.WantWire() {
@@ -597,14 +646,21 @@ func (c *Client) readReplies(s *session) {
 			// for desynchronization.
 			s.retired.add(rh.XID)
 			s.mu.Unlock()
-			if rh.Status != ReplyOK {
-				putDecoder(d)
-				ca.err = ErrSystem
-			} else {
+			switch rh.Status {
+			case ReplyOK:
 				// Ownership handoff, not retention: the reader passes
 				// the decoder to the pending call slot; the stub that
 				// receives it releases it.
 				ca.dec = d //lint:allow poolescape
+			case ReplyOverloaded:
+				// Admission control shed the call before dispatch: the
+				// server provably did not execute it, so it is safe to
+				// retry even when non-idempotent.
+				putDecoder(d)
+				ca.err = ErrOverloaded
+			default:
+				putDecoder(d)
+				ca.err = ErrSystem
 			}
 			ca.done <- struct{}{}
 			continue

@@ -204,6 +204,28 @@ type Metrics struct {
 	IdleReaped      atomic.Uint64
 	Oversized       atomic.Uint64
 
+	// Scale-out fabric counters. BatchedCalls counts messages that
+	// travelled inside multi-message batch frames (incremented on the
+	// packing side by BatchConn's writer and on the unpacking side by
+	// BatchConn.Recv or the server's frame reader — with the usual
+	// split client/server registries each side sees its own traffic).
+	// BatchFrames counts the multi-message frames themselves, so
+	// BatchedCalls/BatchFrames is the achieved batching factor. The
+	// BatchFlush* counters record why the coalescing writer cut each
+	// frame: the size/count caps, the queue running dry, the linger
+	// deadline, or close. AdmissionRejects counts requests shed by
+	// server-side admission control (ReplyOverloaded) before dispatch.
+	// SessionFailovers counts calls a ClientPool moved off an unhealthy
+	// or failing session onto another.
+	BatchedCalls       atomic.Uint64
+	BatchFrames        atomic.Uint64
+	BatchFlushSize     atomic.Uint64
+	BatchFlushIdle     atomic.Uint64
+	BatchFlushDeadline atomic.Uint64
+	BatchFlushClose    atomic.Uint64
+	AdmissionRejects   atomic.Uint64
+	SessionFailovers   atomic.Uint64
+
 	// InFlight is a gauge of client calls issued and not yet completed
 	// (awaiting their reply, drain, or deadline).
 	InFlight atomic.Int64
@@ -299,6 +321,15 @@ type Snapshot struct {
 	IdleReaped      uint64 `json:"idle_reaped"`
 	Oversized       uint64 `json:"oversized"`
 
+	BatchedCalls       uint64 `json:"batched_calls"`
+	BatchFrames        uint64 `json:"batch_frames"`
+	BatchFlushSize     uint64 `json:"batch_flush_size"`
+	BatchFlushIdle     uint64 `json:"batch_flush_idle"`
+	BatchFlushDeadline uint64 `json:"batch_flush_deadline"`
+	BatchFlushClose    uint64 `json:"batch_flush_close"`
+	AdmissionRejects   uint64 `json:"admission_rejects"`
+	SessionFailovers   uint64 `json:"session_failovers"`
+
 	EncGrowChecks   uint64 `json:"enc_grow_checks"`
 	EncGrowAllocs   uint64 `json:"enc_grow_allocs"`
 	DecEnsureChecks uint64 `json:"dec_ensure_checks"`
@@ -327,6 +358,16 @@ func (m *Metrics) Snapshot() Snapshot {
 		DroppedDupes:    m.DroppedDupes.Load(),
 		IdleReaped:      m.IdleReaped.Load(),
 		Oversized:       m.Oversized.Load(),
+
+		BatchedCalls:       m.BatchedCalls.Load(),
+		BatchFrames:        m.BatchFrames.Load(),
+		BatchFlushSize:     m.BatchFlushSize.Load(),
+		BatchFlushIdle:     m.BatchFlushIdle.Load(),
+		BatchFlushDeadline: m.BatchFlushDeadline.Load(),
+		BatchFlushClose:    m.BatchFlushClose.Load(),
+		AdmissionRejects:   m.AdmissionRejects.Load(),
+		SessionFailovers:   m.SessionFailovers.Load(),
+
 		EncGrowChecks:   m.EncGrowChecks.Load(),
 		EncGrowAllocs:   m.EncGrowAllocs.Load(),
 		DecEnsureChecks: m.DecEnsureChecks.Load(),
@@ -388,6 +429,14 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 		{"flick_dropped_dupes", s.DroppedDupes},
 		{"flick_idle_reaped", s.IdleReaped},
 		{"flick_oversized", s.Oversized},
+		{"flick_batched_calls", s.BatchedCalls},
+		{"flick_batch_frames", s.BatchFrames},
+		{"flick_batch_flush_size", s.BatchFlushSize},
+		{"flick_batch_flush_idle", s.BatchFlushIdle},
+		{"flick_batch_flush_deadline", s.BatchFlushDeadline},
+		{"flick_batch_flush_close", s.BatchFlushClose},
+		{"flick_admission_rejects", s.AdmissionRejects},
+		{"flick_session_failovers", s.SessionFailovers},
 		{"flick_enc_grow_checks", s.EncGrowChecks},
 		{"flick_enc_grow_allocs", s.EncGrowAllocs},
 		{"flick_dec_ensure_checks", s.DecEnsureChecks},

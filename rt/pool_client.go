@@ -1,0 +1,261 @@
+// Sharded connection pool: the client half of the scale-out fabric.
+//
+// One multiplexed session hides latency well, but at serving scale it
+// becomes the bottleneck — a single reply-reader goroutine, a single
+// wire, and a single failure domain. ClientPool shards traffic over N
+// independent sessions to the same target, each with its own breaker,
+// redial loop, and (optionally) coalescing writer, and dispatches calls
+// round-robin or by consistent-hash over the operation name. A session
+// whose breaker has opened or whose connection is poisoned beyond
+// redial is skipped at dispatch time; a call that fails on one session
+// with a provably-safe-to-resend error fails over to the next.
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// DispatchPolicy selects how a ClientPool spreads calls over sessions.
+type DispatchPolicy int
+
+const (
+	// RoundRobin rotates calls across sessions — the default, and the
+	// right choice when every session reaches the same server.
+	RoundRobin DispatchPolicy = iota
+	// HashByOp pins each operation name to one session (FNV-1a mod
+	// pool size), keeping one operation's calls in order on the wire
+	// and giving per-op server-side caches locality. Other sessions
+	// still serve as failover targets.
+	HashByOp
+)
+
+// PoolConfig describes a ClientPool. Dial and Proto are required;
+// every other field has a usable zero value.
+type PoolConfig struct {
+	// Size is the number of sessions (default 4).
+	Size int
+	// Dial opens the i-th session's connection; it is also used for
+	// redials of that session when Redial is set.
+	Dial func(i int) (Conn, error)
+	// Policy selects the dispatch strategy (default RoundRobin).
+	Policy DispatchPolicy
+
+	// Proto is the wire protocol; Prog/Vers/ObjectKey identify the
+	// target exactly as on Client (ObjectKey defaults to "flick").
+	Proto     Protocol
+	Prog      uint32
+	Vers      uint32
+	ObjectKey []byte
+
+	// Timeout bounds each attempt's reply wait, per session.
+	Timeout time.Duration
+	// Retry is shared by all sessions (RetryPolicy is concurrency-safe;
+	// sharing one keeps the jitter stream common).
+	Retry *RetryPolicy
+	// BreakerThreshold, when positive, attaches a per-session Breaker
+	// with this consecutive-failure threshold and BreakerCooldown.
+	// Per-session breakers are what make failover useful: one dead
+	// session opens its own breaker and drops out of dispatch while the
+	// rest keep serving.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Redial, when true, lets each session redial itself (via Dial with
+	// its own index) after its connection is poisoned.
+	Redial bool
+
+	// Batch, when non-nil, wraps every session's connection in a
+	// BatchConn with this configuration — the adaptive-batching half of
+	// the fabric. The config's Metrics defaults to the pool's.
+	Batch *BatchConfig
+
+	// Metrics and Hooks are shared by all sessions.
+	Metrics *Metrics
+	Hooks   TraceHook
+}
+
+func (c *PoolConfig) size() int {
+	if c.Size <= 0 {
+		return 4
+	}
+	return c.Size
+}
+
+// ClientPool fans calls out over N multiplexed sessions. It exposes
+// the same CallIdem/Call surface as Client, so generated stubs work
+// against either.
+type ClientPool struct {
+	sessions []*Client
+	policy   DispatchPolicy
+	metrics  *Metrics
+	next     atomic.Uint32
+	closed   atomic.Bool
+}
+
+// NewClientPool dials cfg.Size sessions and assembles the pool.
+// Sessions dialed before an error are closed again; the error reports
+// which session failed.
+func NewClientPool(cfg PoolConfig) (*ClientPool, error) {
+	if cfg.Dial == nil {
+		return nil, errors.New("rt: PoolConfig.Dial is required")
+	}
+	if cfg.Proto == nil {
+		return nil, errors.New("rt: PoolConfig.Proto is required")
+	}
+	n := cfg.size()
+	p := &ClientPool{
+		sessions: make([]*Client, 0, n),
+		policy:   cfg.Policy,
+		metrics:  cfg.Metrics,
+	}
+	dial := func(i int) (Conn, error) {
+		conn, err := cfg.Dial(i)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Batch != nil {
+			bc := *cfg.Batch
+			if bc.Metrics == nil {
+				bc.Metrics = cfg.Metrics
+			}
+			conn = NewBatchConn(conn, bc)
+		}
+		return conn, nil
+	}
+	for i := 0; i < n; i++ {
+		conn, err := dial(i)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("rt: pool session %d: %w", i, err)
+		}
+		c := NewClient(conn, cfg.Proto)
+		c.Prog, c.Vers = cfg.Prog, cfg.Vers
+		if cfg.ObjectKey != nil {
+			c.ObjectKey = cfg.ObjectKey
+		}
+		c.Timeout = cfg.Timeout
+		c.Retry = cfg.Retry
+		c.Metrics = cfg.Metrics
+		c.Hooks = cfg.Hooks
+		if cfg.BreakerThreshold > 0 {
+			c.Breaker = &Breaker{Threshold: cfg.BreakerThreshold, Cooldown: cfg.BreakerCooldown}
+		}
+		if cfg.Redial {
+			i := i
+			c.Redial = func() (Conn, error) { return dial(i) }
+		}
+		p.sessions = append(p.sessions, c)
+	}
+	return p, nil
+}
+
+// Len returns the number of sessions.
+func (p *ClientPool) Len() int { return len(p.sessions) }
+
+// Client returns the i-th session for inspection (tests, metrics).
+func (p *ClientPool) Client(i int) *Client { return p.sessions[i] }
+
+// Healthy counts sessions currently reporting Healthy.
+func (p *ClientPool) Healthy() int {
+	n := 0
+	for _, c := range p.sessions {
+		if c.Healthy() {
+			n++
+		}
+	}
+	return n
+}
+
+// Close closes every session. Idempotent; returns the first error.
+func (p *ClientPool) Close() error {
+	p.closed.Store(true)
+	var first error
+	for _, c := range p.sessions {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// fnv1a hashes an operation name for HashByOp dispatch.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// pick returns the preferred session index for one call.
+func (p *ClientPool) pick(opName string) int {
+	if p.policy == HashByOp {
+		return int(fnv1a(opName) % uint32(len(p.sessions)))
+	}
+	return int(p.next.Add(1)-1) % len(p.sessions)
+}
+
+// failoverSafe reports whether err is provably safe to re-send on
+// another session: the breaker shed it unsent, the server rejected it
+// before dispatch, or the retry machinery classified it retryable
+// (which already encodes the idempotency rules). A bare transport
+// error from a policy-free session is NOT safe — the request may have
+// executed.
+func failoverSafe(err error) bool {
+	return errors.Is(err, ErrBreakerOpen) ||
+		errors.Is(err, ErrOverloaded) ||
+		errors.Is(err, ErrRetryable)
+}
+
+// CallIdem dispatches one invocation: pick a session by policy, skip
+// unhealthy sessions (unless every session is unhealthy, in which case
+// the preferred one gets the call anyway — its breaker probe or redial
+// is the recovery path), and fail over to the next session when an
+// attempt fails in a way that is provably safe to re-send. The call
+// surface matches Client.CallIdem, so generated stubs take a
+// *ClientPool wherever they took a *Client.
+func (p *ClientPool) CallIdem(proc uint32, opName string, oneway, idempotent bool, marshal func(*Encoder)) (*Decoder, error) {
+	if p.closed.Load() {
+		return nil, ErrClosed
+	}
+	n := len(p.sessions)
+	start := p.pick(opName)
+
+	// Load shed: steer away from sessions that report unhealthy.
+	for off := 0; off < n; off++ {
+		if p.sessions[(start+off)%n].Healthy() {
+			start = (start + off) % n
+			break
+		}
+	}
+
+	var lastErr error
+	for off := 0; off < n; off++ {
+		c := p.sessions[(start+off)%n]
+		if off > 0 {
+			if !c.Healthy() {
+				continue
+			}
+			if p.metrics != nil {
+				p.metrics.SessionFailovers.Add(1)
+			}
+		}
+		d, err := c.CallIdem(proc, opName, oneway, idempotent, marshal)
+		if err == nil {
+			return d, nil
+		}
+		lastErr = err
+		if !failoverSafe(err) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// Call is CallIdem with idempotent=false, matching Client.Call.
+func (p *ClientPool) Call(proc uint32, opName string, oneway bool, marshal func(*Encoder)) (*Decoder, error) {
+	return p.CallIdem(proc, opName, oneway, false, marshal)
+}

@@ -190,6 +190,16 @@ func (b *Breaker) State() BreakerState {
 	return b.state
 }
 
+// Ready reports whether the breaker would let a call proceed: true
+// when closed, half-open, or open with the cooldown elapsed (a probe
+// would be admitted). Unlike allow it has no side effects, so pool
+// dispatch can consult it without consuming the half-open probe slot.
+func (b *Breaker) Ready() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != BreakerOpen || time.Since(b.openedAt) >= b.cooldown()
+}
+
 // allow reports whether a call may proceed, transitioning open →
 // half-open when the cooldown has elapsed (the caller becomes the
 // probe).

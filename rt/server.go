@@ -70,6 +70,14 @@ type Server struct {
 	// before serving.
 	DupWindow int
 
+	// Admission, when non-nil, bounds the server's weighted outstanding
+	// work: requests that would exceed Admission.MaxLoad are answered
+	// with ReplyOverloaded straight from the decode loop — no queue
+	// slot, no worker — so overload degrades to shedding instead of
+	// collapse. Rejections count in Metrics.AdmissionRejects. One
+	// Admission may be shared across servers. Set before serving.
+	Admission *Admission
+
 	// Metrics, when non-nil, collects per-operation dispatch counters,
 	// latency histograms, byte totals, transport-level counters
 	// (connections, dropped malformed headers, connection failures),
@@ -187,6 +195,9 @@ type srvJob struct {
 	dec      *Decoder
 	reqBytes int
 	begin    time.Time
+	// admWeight is the admission cost acquired for this request; the
+	// worker releases it when the request finishes.
+	admWeight int64
 }
 
 // connFail records the first reply-write failure on a connection and
@@ -220,7 +231,6 @@ func (f *connFail) get() error {
 // requests drain before ServeConn returns.
 func (s *Server) ServeConn(conn Conn) error {
 	metrics, hooks := s.Metrics, s.Hooks
-	observed := metrics != nil || hooks != nil
 	if metrics != nil {
 		metrics.Conns.Add(1)
 	}
@@ -289,59 +299,18 @@ func (s *Server) ServeConn(conn Conn) error {
 			}
 			continue
 		}
-		var begin time.Time
-		if observed {
-			begin = time.Now()
-		}
-		d := getDecoder()
-		if metrics != nil {
-			d.EnableStats(true)
-		}
-		d.Reset(msg)
-		h, err := s.proto.ReadRequest(d)
-		if err != nil {
-			// Malformed header: nothing identifies the caller, so no
-			// reply is possible — count the drop instead of losing it
-			// invisibly.
+		if parts, ok := SplitBatch(msg); ok {
+			// A batch frame from a coalescing client: unpack and admit
+			// each packed request independently, in order.
 			if metrics != nil {
-				metrics.BadHeaders.Add(1)
-				metrics.addDec(d.TakeStats())
+				metrics.BatchedCalls.Add(uint64(len(parts)))
 			}
-			if hooks != nil {
-				hooks.Trace(&TraceEvent{
-					Kind: TraceBadHeader, Begin: begin, End: time.Now(),
-					ReqBytes: len(msg), Err: err,
-				})
+			for _, part := range parts {
+				s.acceptFrame(conn, part, jobs, metrics, hooks, fail, dups)
 			}
-			putDecoder(d)
 			continue
 		}
-		if dups != nil {
-			if dup, cached := dups.begin(h.XID); dup {
-				// A retransmitted request: re-send the cached reply if
-				// the original already answered (the client's first
-				// reply may have been lost); drop it if the original is
-				// still in progress or was oneway. Never re-dispatch.
-				if metrics != nil {
-					metrics.DroppedDupes.Add(1)
-					metrics.addDec(d.TakeStats())
-				}
-				putDecoder(d)
-				if cached != nil {
-					if err := conn.Send(cached); err != nil {
-						fail.record(conn, err)
-					}
-				}
-				continue
-			}
-		}
-		if metrics != nil {
-			metrics.QueueDepth.Add(1)
-		}
-		// Ownership handoff, not retention: the acceptor passes the
-		// decoder to exactly one worker, which releases it after
-		// dispatch.
-		jobs <- srvJob{h: h, dec: d, reqBytes: len(msg), begin: begin} //lint:allow poolescape
+		s.acceptFrame(conn, msg, jobs, metrics, hooks, fail, dups)
 	}
 
 	// Graceful drain: stop feeding, let the workers finish what is
@@ -354,6 +323,92 @@ func (s *Server) ServeConn(conn Conn) error {
 		}
 	}
 	return loopErr
+}
+
+// acceptFrame processes one received request message — whether it
+// arrived as its own transport frame or packed inside a batch frame:
+// parse the header, suppress duplicates, pass admission control, and
+// hand the request to the worker pool.
+func (s *Server) acceptFrame(conn Conn, msg []byte, jobs chan<- srvJob,
+	metrics *Metrics, hooks TraceHook, fail *connFail, dups *dupCache) {
+	var begin time.Time
+	if metrics != nil || hooks != nil {
+		begin = time.Now()
+	}
+	d := getDecoder()
+	if metrics != nil {
+		d.EnableStats(true)
+	}
+	d.Reset(msg)
+	h, err := s.proto.ReadRequest(d)
+	if err != nil {
+		// Malformed header: nothing identifies the caller, so no
+		// reply is possible — count the drop instead of losing it
+		// invisibly.
+		if metrics != nil {
+			metrics.BadHeaders.Add(1)
+			metrics.addDec(d.TakeStats())
+		}
+		if hooks != nil {
+			hooks.Trace(&TraceEvent{
+				Kind: TraceBadHeader, Begin: begin, End: time.Now(),
+				ReqBytes: len(msg), Err: err,
+			})
+		}
+		putDecoder(d)
+		return
+	}
+	if dups != nil {
+		if dup, cached := dups.begin(h.XID); dup {
+			// A retransmitted request: re-send the cached reply if
+			// the original already answered (the client's first
+			// reply may have been lost); drop it if the original is
+			// still in progress or was oneway. Never re-dispatch.
+			if metrics != nil {
+				metrics.DroppedDupes.Add(1)
+				metrics.addDec(d.TakeStats())
+			}
+			putDecoder(d)
+			if cached != nil {
+				if err := conn.Send(cached); err != nil {
+					fail.record(conn, err)
+				}
+			}
+			return
+		}
+	}
+	var admWeight int64
+	if adm := s.Admission; adm != nil {
+		admWeight = adm.weight(&h)
+		if !adm.tryAcquire(admWeight) {
+			// The fast-reject path: no queue slot, no worker. The
+			// overload reply is tiny and written straight from the
+			// decode loop, so shedding stays cheap precisely when the
+			// server is busiest. Oneway requests are simply dropped
+			// (nothing waits for them).
+			if metrics != nil {
+				metrics.AdmissionRejects.Add(1)
+				metrics.addDec(d.TakeStats())
+			}
+			putDecoder(d)
+			if !h.OneWay {
+				enc := getEncoder()
+				s.proto.WriteReply(enc, &RepHeader{XID: h.XID, Status: ReplyOverloaded})
+				if err := conn.Send(enc.Bytes()); err != nil {
+					fail.record(conn, err)
+				}
+				putEncoder(enc)
+			}
+			return
+		}
+	}
+	if metrics != nil {
+		metrics.QueueDepth.Add(1)
+	}
+	// Ownership handoff, not retention: the acceptor passes the
+	// decoder to exactly one worker, which releases it after
+	// dispatch.
+	jobs <- srvJob{h: h, dec: d, reqBytes: len(msg), begin: begin, admWeight: admWeight} //lint:allow poolescape
 }
 
 // worker dispatches queued requests until the queue closes. Each worker
@@ -436,6 +491,12 @@ func (s *Server) worker(conn Conn, jobs <-chan srvJob, metrics *Metrics, hooks T
 			s.finishRequest(metrics, hooks, &h, job.begin, job.reqBytes, &enc, dec, workErr, replied)
 		}
 		putDecoder(dec)
+		if job.admWeight > 0 {
+			// The request's weighted admission capacity frees only now,
+			// reply sent (or dropped): admission bounds work in the
+			// whole pipeline, not just the queue.
+			s.Admission.release(job.admWeight)
+		}
 	}
 }
 
