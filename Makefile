@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-race bench bench-rt chaos chaos-short fleet fleet-short bench-json generate generate-check stats ci
+.PHONY: all build vet lint test test-race bench bench-rt chaos chaos-short fleet fleet-short trace trace-short bench-json generate generate-check stats ci
 
 all: build
 
@@ -59,6 +59,19 @@ fleet:
 fleet-short:
 	$(GO) test -race -short -count=1 -run 'TestFleet|TestPool|TestBatch|TestAdmission|TestChaosPooled' ./rt ./internal/experiment
 	$(GO) run ./cmd/flick-bench -exp fleet -short
+
+# The tracing gate: the traced chaos soak (5% faults, 100% sampling —
+# every call must yield one well-formed span tree, zero orphans, valid
+# Chrome export) plus the sampling-overhead report and the alloc guard
+# pinning the tracing-disabled call path. CI runs trace-short.
+trace:
+	$(GO) test -race -count=1 -run 'TestTraceSoak|TestTracePropagates|TestTracingDisabledAllocs' ./rt ./internal/experiment
+	$(GO) run ./cmd/flick-bench -exp trace
+
+# The CI-sized tracing gate: reduced soak under -race plus the
+# propagation and alloc-guard tests.
+trace-short:
+	$(GO) test -race -short -count=1 -run 'TestTraceSoak|TestTracePropagates|TestTracingDisabledAllocs|TestDupCachedResend|TestPoolFailoverKeepsTrace' ./rt ./internal/experiment
 
 # Regenerate the committed machine-readable benchmark curves.
 bench-json:

@@ -17,26 +17,44 @@
 //	flick-bench -exp pipeline  # throughput vs in-flight depth, multiplexed client
 //	flick-bench -exp chaos     # chaos soak: faults vs retries/redials; wrong answers must be 0
 //	flick-bench -exp fleet     # scale-out fabric: 1k-100k simulated clients, pool+batch+admission
+//	flick-bench -exp trace     # tracing overhead at 0%/1%/100% sampling + tree completeness
 //	flick-bench -exp all
 //
 // -json emits each report as a machine-readable JSON document instead
 // of the aligned table (committed as BENCH_<exp>.json). -short runs the
-// reduced fleet sweep sized for CI.
+// reduced fleet sweep sized for CI. -debug-addr serves the runtime
+// debug surface (rt.Debug) over HTTP while experiments run: hit / for
+// the text dump, /metrics or /delta for counters, /trace for a Chrome
+// trace_event export of recent sampled spans.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
 	"flick/internal/experiment"
+	"flick/rt"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, fig7, table2, table3, ablation, rpcstats, checks, pipeline, chaos, fleet, all")
+	exp := flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, fig7, table2, table3, ablation, rpcstats, checks, pipeline, chaos, fleet, trace, all")
 	asJSON := flag.Bool("json", false, "emit reports as JSON documents instead of aligned tables")
 	short := flag.Bool("short", false, "run reduced sweeps (CI-sized); currently affects fleet")
+	debugAddr := flag.String("debug-addr", "", "serve the runtime debug surface over HTTP on this address (e.g. localhost:6060) while experiments run")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		dbg := rt.NewDebug(rt.DebugConfig{})
+		experiment.Debug = dbg
+		go func() {
+			fmt.Fprintf(os.Stderr, "flick-bench: debug surface on http://%s/\n", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
+				fmt.Fprintf(os.Stderr, "flick-bench: debug surface: %v\n", err)
+			}
+		}()
+	}
 
 	emit := func(r *experiment.Report) {
 		if *asJSON {
@@ -105,6 +123,10 @@ func main() {
 		} else {
 			emit(experiment.Fleet())
 		}
+		ran = true
+	}
+	if run("trace") {
+		emit(experiment.Trace())
 		ran = true
 	}
 	if !ran {

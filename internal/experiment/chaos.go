@@ -49,6 +49,11 @@ type ChaosConfig struct {
 	// under fire: a corrupted batch frame must degrade into the loss of
 	// its calls, never into a wrong answer.
 	Batch bool
+	// Tracer, when non-nil, is attached to every client session AND
+	// every server the soak dials up, so client and server spans land
+	// in one ring and reassemble into complete trees. Size the ring for
+	// the run (a traced chaos call records 3+ spans) before passing it.
+	Tracer *rt.Tracer
 }
 
 // ChaosResult aggregates one soak run's outcome.
@@ -128,6 +133,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		srv.DupWindow = 4096
 		srv.MaxMessage = 1 << 20
 		srv.Metrics = serverMetrics
+		srv.Tracer = cfg.Tracer
 		ts.RegisterBenchXDR(srv, pipelineImpl{})
 		serveWG.Add(1)
 		go func() { defer serveWG.Done(); srv.ServeConn(serverSide) }()
@@ -154,6 +160,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	var sumCall func(v []int32) (int32, error)
 	var pingCall func(nonce int32)
 	var closeClient func()
+	var debugPool *rt.ClientPool
 	if cfg.PoolSize > 0 {
 		var batch *rt.BatchConfig
 		if cfg.Batch {
@@ -170,6 +177,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 			Redial:           true,
 			Batch:            batch,
 			Metrics:          clientMetrics,
+			Tracer:           cfg.Tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -191,6 +199,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 			})
 		}
 		closeClient = func() { pool.Close() }
+		debugPool = pool
 	} else {
 		first, err := dial()
 		if err != nil {
@@ -198,6 +207,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		}
 		client := ts.NewBenchXDRClient(first)
 		client.C.Metrics = clientMetrics
+		client.C.Tracer = cfg.Tracer
 		client.C.Timeout = 150 * time.Millisecond
 		client.C.Retry = retry
 		client.C.Redial = dial
@@ -205,6 +215,10 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		sumCall = client.Sum
 		pingCall = func(nonce int32) { client.Ping(nonce) }
 		closeClient = func() { client.C.Close() }
+	}
+
+	if Debug != nil {
+		Debug.Publish(rt.DebugConfig{Metrics: clientMetrics, Tracer: cfg.Tracer, Pool: debugPool})
 	}
 
 	res := &ChaosResult{}

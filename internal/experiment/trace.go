@@ -1,0 +1,182 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"flick/rt"
+)
+
+// Tracing experiments: what does distributed tracing cost, and do the
+// spans it records actually reassemble into complete call trees?
+//
+// The overhead sweep drives the chaos harness's loopback stub workload
+// over a clean link at increasing sampling rates — no tracer at all
+// (the nil-test fast path), a tracer that samples nothing (the
+// declined-sample fast path), head-based 1% sampling (the production
+// setting), and 100% (every call pays full span recording on both
+// ends). The soak turns the faults on WITH 100% sampling and verifies
+// tree completeness; TestTraceSoak pins it in CI (make trace-short).
+
+// Debug, when set (flick-bench -debug-addr), is the live debug surface
+// experiments publish their runtime pieces into: RunChaos republishes
+// its client metrics, pool, and tracer on every run, so an operator can
+// watch a long soak's /delta rates and recent spans while it runs.
+var Debug *rt.Debug
+
+// TreeStats summarizes a span-tree verification pass over one ring.
+type TreeStats struct {
+	// Spans and Traces count what the ring held.
+	Spans, Traces int
+	// CallTrees counts traces rooted in a client call or pool call —
+	// one per traced invocation.
+	CallTrees int
+	// ServedTrees counts call trees that contain at least one
+	// server-side dispatch span (under faults, a dropped request
+	// legitimately leaves a tree with attempts but no dispatch).
+	ServedTrees int
+	// MultiRoot and Orphans are the malformations: traces with more
+	// than one parentless span, and spans whose parent is missing from
+	// their trace. Both must be zero when the ring held every span.
+	MultiRoot, Orphans int
+}
+
+// VerifySpanTrees checks that every trace in spans forms one
+// well-formed tree: exactly one root, every other span's parent
+// present. The ring must not have wrapped (Dropped() == 0) for the
+// zero-orphan invariant to be meaningful.
+func VerifySpanTrees(spans []*rt.Span) TreeStats {
+	st := TreeStats{Spans: len(spans)}
+	for _, group := range rt.SpansByTrace(spans) {
+		st.Traces++
+		byID := make(map[uint64]*rt.Span, len(group))
+		roots := 0
+		for _, sp := range group {
+			byID[sp.ID] = sp
+		}
+		served := false
+		for _, sp := range group {
+			if sp.Parent == 0 {
+				roots++
+				continue
+			}
+			if _, ok := byID[sp.Parent]; !ok {
+				st.Orphans++
+			}
+			if sp.Kind == rt.SpanServerDispatch {
+				served = true
+			}
+		}
+		if roots > 1 {
+			st.MultiRoot++
+		}
+		if roots == 1 {
+			switch group[0].Kind {
+			case rt.SpanClientCall, rt.SpanPoolCall:
+				st.CallTrees++
+				if served {
+					st.ServedTrees++
+				}
+			}
+		}
+	}
+	return st
+}
+
+// RunTraceSoak is the traced chaos soak: pooled sessions over faulty
+// links at the given combined fault rate, 100% sampling, a ring sized
+// to hold every span of the run. It returns the chaos result, the tree
+// verification, and the tracer (for export checks).
+func RunTraceSoak(calls int, faultRate float64, seed int64) (*ChaosResult, TreeStats, *rt.Tracer, error) {
+	tracer := &rt.Tracer{SampleRate: 1, RingSize: 1 << 17, Seed: uint64(seed)}
+	res, err := RunChaos(ChaosConfig{
+		Calls: calls, Callers: 8, Seed: seed,
+		Plan:     DefaultChaosPlan(faultRate),
+		PoolSize: 4, Tracer: tracer,
+	})
+	if err != nil {
+		return nil, TreeStats{}, nil, err
+	}
+	return res, VerifySpanTrees(tracer.Spans()), tracer, nil
+}
+
+// Trace is the -exp trace report: per-call cost of the tracing layer at
+// increasing sampling rates over a clean loopback link, then one faulty
+// soak row proving the spans recorded under chaos still assemble into
+// complete trees.
+func Trace() *Report {
+	return traceReport(8000)
+}
+
+func traceReport(calls int) *Report {
+	rep := &Report{
+		Title: "Tracing overhead and tree completeness",
+		Cols: []string{"config", "calls", "ok", "wall ms", "us/call",
+			"spans", "call trees", "served", "orphans"},
+		Notes: []string{
+			"loopback Sum() through the chaos harness, clean link; tracing layered on in stages",
+			"'off' has no Tracer attached (nil-test fast path); '0%' attaches one that samples nothing",
+			"the 5%-faults row runs at 100% sampling: orphans must be 0 — every span's parent is in its trace",
+		},
+	}
+	type stage struct {
+		name   string
+		rate   float64
+		attach bool
+		faults float64
+	}
+	stages := []stage{
+		{"off", 0, false, 0},
+		{"0%", 0, true, 0},
+		{"1%", 0.01, true, 0},
+		{"100%", 1, true, 0},
+		{"100% + 5% faults", 1, true, 0.05},
+	}
+	for _, sg := range stages {
+		var tracer *rt.Tracer
+		if sg.attach {
+			tracer = &rt.Tracer{SampleRate: sg.rate, RingSize: 1 << 17, Seed: 1}
+		}
+		res, err := RunChaos(ChaosConfig{
+			Calls: calls, Callers: 8, Seed: 1,
+			Plan:     DefaultChaosPlan(sg.faults),
+			PoolSize: 4, Tracer: tracer,
+		})
+		if err != nil {
+			rep.AddRow(sg.name, "error: "+err.Error())
+			continue
+		}
+		var st TreeStats
+		if tracer != nil {
+			st = VerifySpanTrees(tracer.Spans())
+		}
+		perCall := float64(res.Wall.Microseconds()) / float64(res.Calls)
+		rep.AddRow(
+			sg.name,
+			fmt.Sprintf("%d", res.Calls),
+			fmt.Sprintf("%d", res.Succeeded),
+			fmt.Sprintf("%.1f", float64(res.Wall.Milliseconds())),
+			fmt.Sprintf("%.2f", perCall),
+			fmt.Sprintf("%d", st.Spans),
+			fmt.Sprintf("%d", st.CallTrees),
+			fmt.Sprintf("%d", st.ServedTrees),
+			fmt.Sprintf("%d", st.Orphans),
+		)
+	}
+	return rep
+}
+
+// validChromeExport renders the ring as Chrome trace_event JSON and
+// checks it parses; the soak test uses it so a malformed export fails
+// in CI rather than in the browser.
+func validChromeExport(tr *rt.Tracer) error {
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		return err
+	}
+	if !json.Valid(buf.Bytes()) {
+		return fmt.Errorf("chrome trace export is not valid JSON (%d bytes)", buf.Len())
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package experiment
+
+import (
+	"testing"
+)
+
+// TestTraceSoak is the acceptance gate for the tracing layer: the
+// pooled chaos soak at a combined ~5% fault rate with 100% sampling
+// must yield, for every traced invocation, exactly one well-formed span
+// tree — a single client-side root, every other span's parent present
+// in its trace — with zero orphans, and the whole ring must export as
+// valid Chrome trace_event JSON. Run it with -race (make trace-short).
+func TestTraceSoak(t *testing.T) {
+	calls := 6000
+	if testing.Short() {
+		calls = 1200
+	}
+	res, st, tracer, err := RunTraceSoak(calls, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("trace soak: %d calls, %d ok, %d spans in %d traces (%d call trees, %d served), "+
+		"%d dropped, %d retries, %d failovers, %v wall",
+		res.Calls, res.Succeeded, st.Spans, st.Traces, st.CallTrees, st.ServedTrees,
+		tracer.Dropped(), res.Retries, res.SessionFailovers, res.Wall)
+
+	// The chaos invariants still hold with tracing layered on.
+	if res.Mismatches != 0 {
+		t.Errorf("%d wrong answers under tracing", res.Mismatches)
+	}
+	if res.FailedOther != 0 {
+		t.Errorf("%d unclassified failures under tracing", res.FailedOther)
+	}
+
+	// The verification is only meaningful if the ring held everything.
+	if d := tracer.Dropped(); d != 0 {
+		t.Fatalf("ring dropped %d spans — size the ring to the run", d)
+	}
+	// Every invocation recorded exactly one tree: a root per call (the
+	// soak samples at 100%), no trace with two roots, no span whose
+	// parent is missing from its trace.
+	if uint64(st.CallTrees) != res.Calls {
+		t.Errorf("%d call trees for %d calls — a call recorded no root, or two", st.CallTrees, res.Calls)
+	}
+	if st.MultiRoot != 0 {
+		t.Errorf("%d traces have more than one root", st.MultiRoot)
+	}
+	if st.Orphans != 0 {
+		t.Errorf("%d orphan spans (parent missing from their trace)", st.Orphans)
+	}
+	// The soak must prove propagation, not just local recording: most
+	// calls complete under 5% faults, and every completed call's tree
+	// contains the server-side dispatch span linked via the wire
+	// annotation.
+	if uint64(st.ServedTrees) < res.Succeeded {
+		t.Errorf("%d served trees < %d successes: a completed call's dispatch span is missing or unlinked",
+			st.ServedTrees, res.Succeeded)
+	}
+	if err := validChromeExport(tracer); err != nil {
+		t.Error(err)
+	}
+}

@@ -47,10 +47,18 @@ type Admission struct {
 	// what the QueueDepth gauge plus the executing set would report,
 	// kept here so admission works with a nil Metrics.
 	load atomic.Int64
+	// peak is the high-water mark load has reached (CAS-maintained on
+	// the admit path), so the debug surface can report how close to
+	// MaxLoad the server has actually been.
+	peak atomic.Int64
 }
 
 // Load reports the current weighted admitted work.
 func (a *Admission) Load() int64 { return a.load.Load() }
+
+// Watermark reports the highest weighted load ever admitted — the
+// high-water mark against MaxLoad, for the debug surface.
+func (a *Admission) Watermark() int64 { return a.peak.Load() }
 
 // weight returns the admission cost of one request.
 func (a *Admission) weight(h *ReqHeader) int64 {
@@ -69,11 +77,17 @@ func (a *Admission) weight(h *ReqHeader) int64 {
 // tryAcquire admits w units of work if capacity remains. Lock-free:
 // optimistically add, undo on overshoot.
 func (a *Admission) tryAcquire(w int64) bool {
-	if a.load.Add(w) > int64(a.MaxLoad) {
+	n := a.load.Add(w)
+	if n > int64(a.MaxLoad) {
 		a.load.Add(-w)
 		return false
 	}
-	return true
+	for {
+		p := a.peak.Load()
+		if n <= p || a.peak.CompareAndSwap(p, n) {
+			return true
+		}
+	}
 }
 
 // release returns w units of capacity when a request finishes (reply

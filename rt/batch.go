@@ -21,6 +21,7 @@
 package rt
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,6 +49,12 @@ type BatchConfig struct {
 	// Metrics, when non-nil, receives BatchedCalls, BatchFrames, and
 	// the BatchFlush* reason counters.
 	Metrics *Metrics
+	// Tracer, when non-nil, records a SpanBatchFlush span for every
+	// multi-message frame the writer cuts, with the flush reason as a
+	// cause-labeled event. Single-message (unwrapped) sends are not
+	// recorded — at low load batching must stay invisible in the ring
+	// too. ClientPool defaults this to the pool's Tracer.
+	Tracer *Tracer
 }
 
 func (c BatchConfig) maxMessages() int {
@@ -270,6 +277,19 @@ func (b *BatchConn) writer() {
 	}
 }
 
+// flushCause names a flush reason for span events.
+func flushCause(reason int) string {
+	switch reason {
+	case flushSize:
+		return "flush-size"
+	case flushIdle:
+		return "flush-idle"
+	case flushDeadline:
+		return "flush-deadline"
+	}
+	return "flush-close"
+}
+
 // emit sends the pending messages as one frame and records the flush.
 // It returns the (possibly grown) reusable envelope buffer.
 func (b *BatchConn) emit(pending []batchMsg, frame []byte, reason int) []byte {
@@ -279,11 +299,33 @@ func (b *BatchConn) emit(pending []batchMsg, frame []byte, reason int) []byte {
 		// cost nothing, neither latency nor envelope bytes.
 		err = b.inner.Send(pending[0].buf)
 	} else {
+		var begin time.Time
+		tracer := b.cfg.Tracer
+		if tracer != nil {
+			begin = time.Now()
+		}
 		frame = appendBatchStart(frame[:0], len(pending))
 		for _, m := range pending {
 			frame = appendBatch(frame, m.buf)
 		}
 		err = b.inner.Send(frame)
+		if tracer != nil {
+			// Flush spans are local roots: one frame carries messages
+			// from many traces, so none of their contexts fits.
+			tc := tracer.localTrace()
+			sp := &Span{
+				Trace: tc.TraceID, ID: tc.SpanID, Kind: SpanBatchFlush,
+				Op: "batch", Start: begin, Dur: time.Since(begin),
+				Events: []SpanEvent{{
+					Cause:  flushCause(reason),
+					Detail: fmt.Sprintf("%d messages, %d bytes", len(pending), len(frame)),
+				}},
+			}
+			if err != nil {
+				sp.Err = err.Error()
+			}
+			tracer.record(sp)
+		}
 	}
 	if m := b.cfg.Metrics; m != nil {
 		switch reason {

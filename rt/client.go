@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -172,6 +173,20 @@ type Client struct {
 	Metrics *Metrics
 	Hooks   TraceHook
 
+	// Tracer, when non-nil, head-samples calls at its SampleRate and
+	// records call/attempt spans (span.go); sampled calls carry the
+	// trace annotation on the wire so the server's dispatch span joins
+	// the same trace. With SampleRate 0 only failed calls are recorded
+	// (always-sample-on-error) and nothing is propagated. Must be set
+	// before the first Call; nil (the default) costs one pointer test
+	// per call and the unsampled path does not allocate.
+	Tracer *Tracer
+
+	// Shard labels this client's spans and connection-error trace
+	// events with its pool session index (set by ClientPool; 0 for
+	// direct clients). Set before the first Call.
+	Shard int
+
 	// Timeout, when positive, bounds each call attempt's wait for its
 	// reply. An attempt that times out returns ErrTimeout (retried
 	// under the Retry policy for idempotent operations); its late
@@ -253,11 +268,33 @@ func (c *Client) Healthy() bool {
 	return true
 }
 
+// PendingCalls returns the number of calls currently awaiting replies
+// on the client's session (the in-flight table size), for the debug
+// surface.
+func (c *Client) PendingCalls() int {
+	c.sessMu.Lock()
+	s := c.sess
+	c.sessMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// SessionErr returns the current session's poison error, or nil while
+// the session is healthy. With Redial configured the error clears on
+// the next call (which swaps in a fresh session).
+func (c *Client) SessionErr() error {
+	c.sessMu.Lock()
+	s := c.sess
+	c.sessMu.Unlock()
+	return s.failedErr()
+}
+
 // session returns the current healthy session, transparently dialing a
 // replacement when the current one is poisoned and a Redial function is
 // configured. Only one goroutine dials; concurrent callers wait on
 // sessMu and share the fresh session.
-func (c *Client) session(metrics *Metrics) (*session, error) {
+func (c *Client) session(metrics *Metrics, ct *callTrace) (*session, error) {
 	c.sessMu.Lock()
 	defer c.sessMu.Unlock()
 	if c.closed.Load() {
@@ -286,6 +323,9 @@ func (c *Client) session(metrics *Metrics) (*session, error) {
 	if metrics != nil {
 		metrics.Reconnects.Add(1)
 	}
+	if ct != nil {
+		ct.event("redial", fmt.Sprintf("reconnected after: %v", ferr))
+	}
 	return ns, nil
 }
 
@@ -298,7 +338,16 @@ func (c *Client) session(metrics *Metrics) (*session, error) {
 // order. Call treats the operation as non-idempotent; generated stubs
 // use CallIdem and pass the IDL's //flick:idempotent annotation.
 func (c *Client) Call(proc uint32, opName string, oneway bool, marshal func(*Encoder)) (*Decoder, error) {
-	return c.CallIdem(proc, opName, oneway, false, marshal)
+	return c.CallIdemCtx(nil, proc, opName, oneway, false, marshal)
+}
+
+// CallCtx is Call with a caller context. Its only current use is trace
+// continuation: when ctx carries a sampled TraceContext (a server
+// handler forwarding via (*ReqHeader).Context, or ContextWithTrace),
+// the call joins that trace as a child span instead of making a fresh
+// sampling decision.
+func (c *Client) CallCtx(ctx context.Context, proc uint32, opName string, oneway bool, marshal func(*Encoder)) (*Decoder, error) {
+	return c.CallIdemCtx(ctx, proc, opName, oneway, false, marshal)
 }
 
 // CallIdem is Call with an explicit idempotency flag, which gates
@@ -308,20 +357,32 @@ func (c *Client) Call(proc uint32, opName string, oneway bool, marshal func(*Enc
 // matching ErrNotRetryable, because retrying might execute the
 // operation twice.
 func (c *Client) CallIdem(proc uint32, opName string, oneway, idempotent bool, marshal func(*Encoder)) (*Decoder, error) {
-	metrics, hooks := c.Metrics, c.Hooks
-	if metrics == nil && hooks == nil {
-		// Fast path: observability disabled costs exactly the two nil
+	return c.CallIdemCtx(nil, proc, opName, oneway, idempotent, marshal)
+}
+
+// CallIdemCtx is CallIdem with a caller context for trace continuation
+// (see CallCtx). A nil ctx is allowed and means "no propagated trace".
+func (c *Client) CallIdemCtx(ctx context.Context, proc uint32, opName string, oneway, idempotent bool, marshal func(*Encoder)) (*Decoder, error) {
+	metrics, hooks, tracer := c.Metrics, c.Hooks, c.Tracer
+	if metrics == nil && hooks == nil && tracer == nil {
+		// Fast path: observability disabled costs exactly the three nil
 		// tests above (no timestamps, no per-call allocation beyond the
 		// transport's own).
-		return c.invoke(proc, opName, oneway, idempotent, marshal, nil, nil)
+		return c.invoke(proc, opName, oneway, idempotent, marshal, nil, nil, nil)
 	}
 
 	var ev *TraceEvent
 	if hooks != nil {
 		ev = &TraceEvent{Kind: TraceClientCall, Op: opName, Proc: proc, OneWay: oneway}
 	}
+	var ct *callTrace
+	if tracer != nil {
+		// nil when the head declines to sample: the call proceeds with
+		// no tracing state and no wire annotation, allocation-free.
+		ct = startCallTrace(tracer, ctx, SpanClientCall, opName, c.Shard)
+	}
 	begin := time.Now()
-	d, err := c.invoke(proc, opName, oneway, idempotent, marshal, ev, metrics)
+	d, err := c.invoke(proc, opName, oneway, idempotent, marshal, ev, metrics, ct)
 
 	if metrics != nil {
 		op := metrics.Op(opName)
@@ -349,6 +410,15 @@ func (c *Client) CallIdem(proc uint32, opName string, oneway, idempotent bool, m
 		ev.Err = err
 		hooks.Trace(ev)
 	}
+	if tracer != nil {
+		if ct != nil {
+			ct.finish(err)
+		} else if err != nil {
+			// Always-sample-on-error: an unsampled failure is still
+			// recorded, as a lone root with a never-propagated trace ID.
+			recordErrorSpan(tracer, SpanClientCall, opName, c.Shard, begin, err)
+		}
+	}
 	return d, err
 }
 
@@ -357,9 +427,9 @@ func (c *Client) CallIdem(proc uint32, opName string, oneway, idempotent bool, m
 // unwrapped, zero added cost). With them it classifies each failure,
 // paces re-attempts with the policy's jittered backoff inside the
 // optional per-call budget, and keeps the breaker posted.
-func (c *Client) invoke(proc uint32, opName string, oneway, idempotent bool, marshal func(*Encoder), ev *TraceEvent, metrics *Metrics) (*Decoder, error) {
+func (c *Client) invoke(proc uint32, opName string, oneway, idempotent bool, marshal func(*Encoder), ev *TraceEvent, metrics *Metrics, ct *callTrace) (*Decoder, error) {
 	if c.Retry == nil && c.Redial == nil && c.Breaker == nil {
-		d, err, _ := c.callOnce(proc, opName, oneway, marshal, ev, metrics)
+		d, err, _ := c.callOnce(proc, opName, oneway, marshal, ev, metrics, ct)
 		return d, err
 	}
 
@@ -367,6 +437,7 @@ func (c *Client) invoke(proc uint32, opName string, oneway, idempotent bool, mar
 		if metrics != nil {
 			metrics.BreakerRejects.Add(1)
 		}
+		ct.event("breaker-reject", "call shed, breaker open")
 		return nil, ErrBreakerOpen
 	}
 
@@ -384,6 +455,9 @@ func (c *Client) invoke(proc uint32, opName string, oneway, idempotent bool, mar
 			if metrics != nil {
 				metrics.Retries.Add(1)
 			}
+			if ct != nil {
+				ct.event("retry", fmt.Sprintf("attempt %d after: %v", k+1, lastErr))
+			}
 			sleep := c.Retry.backoff(k - 1)
 			if !deadline.IsZero() {
 				rem := time.Until(deadline)
@@ -396,7 +470,7 @@ func (c *Client) invoke(proc uint32, opName string, oneway, idempotent bool, mar
 			}
 			time.Sleep(sleep)
 		}
-		d, err, sent := c.callOnce(proc, opName, oneway, marshal, ev, metrics)
+		d, err, sent := c.callOnce(proc, opName, oneway, marshal, ev, metrics, ct)
 		if err == nil {
 			if c.Breaker != nil {
 				c.Breaker.success()
@@ -419,6 +493,7 @@ func (c *Client) invoke(proc uint32, opName string, oneway, idempotent bool, mar
 			if c.Breaker != nil {
 				c.Breaker.success()
 			}
+			ct.event("admission-reject", "server shed the call before dispatch")
 			lastErr = err
 			if !deadline.IsZero() && !time.Now().Before(deadline) {
 				break
@@ -429,8 +504,11 @@ func (c *Client) invoke(proc uint32, opName string, oneway, idempotent bool, mar
 			return nil, err
 		}
 		if b := c.Breaker; b != nil {
-			if b.failure() && metrics != nil {
-				metrics.BreakerOpen.Add(1)
+			if b.failure() {
+				if metrics != nil {
+					metrics.BreakerOpen.Add(1)
+				}
+				ct.event("breaker-open", "consecutive failures tripped the breaker")
 			}
 		}
 		if !idempotent && sent {
@@ -446,20 +524,45 @@ func (c *Client) invoke(proc uint32, opName string, oneway, idempotent bool, mar
 	return nil, retryable(lastErr)
 }
 
-// callOnce is one attempt: session acquisition (redialing if needed),
-// marshal, register-before-send, transmit, and the bounded wait for the
-// matched reply. sent reports whether the request may have reached the
-// peer (false only when it provably did not: registration failed, or
-// the transport refused the whole message deterministically). ev, when
-// non-nil, receives the request byte count, the XID, the post-transmit
-// timestamp, and (behind WantWire) the raw request. metrics, when
-// non-nil, receives the request byte total and the drained
-// encoder/decoder counters.
-func (c *Client) callOnce(proc uint32, opName string, oneway bool, marshal func(*Encoder), ev *TraceEvent, metrics *Metrics) (dec *Decoder, err error, sent bool) {
+// callOnce is one attempt (see callAttempt). When the call is sampled
+// (ct non-nil) it wraps the attempt in a SpanAttempt child span whose
+// ID is the one propagated in the wire annotation, so the server-side
+// dispatch span parents to exactly the attempt that carried it.
+func (c *Client) callOnce(proc uint32, opName string, oneway bool, marshal func(*Encoder), ev *TraceEvent, metrics *Metrics, ct *callTrace) (dec *Decoder, err error, sent bool) {
+	if ct == nil {
+		return c.callAttempt(proc, opName, oneway, marshal, ev, metrics, nil, 0)
+	}
+	attemptID := ct.tr.nextID()
+	begin := time.Now()
+	dec, err, sent = c.callAttempt(proc, opName, oneway, marshal, ev, metrics, ct, attemptID)
+	sp := &Span{
+		Trace: ct.tc.TraceID, ID: attemptID, Parent: ct.tc.SpanID,
+		Kind: SpanAttempt, Op: opName, XID: ct.lastXID, Sess: ct.shard,
+		Start: begin, Dur: time.Since(begin), Sampled: true,
+	}
+	if err != nil {
+		sp.Err = err.Error()
+	}
+	ct.tr.record(sp)
+	return dec, err, sent
+}
+
+// callAttempt is one attempt: session acquisition (redialing if
+// needed), marshal, register-before-send, transmit, and the bounded
+// wait for the matched reply. sent reports whether the request may have
+// reached the peer (false only when it provably did not: registration
+// failed, or the transport refused the whole message
+// deterministically). ev, when non-nil, receives the request byte
+// count, the XID, the post-transmit timestamp, and (behind WantWire)
+// the raw request. metrics, when non-nil, receives the request byte
+// total and the drained encoder/decoder counters. ct, when non-nil,
+// marks the attempt sampled: the request is prefixed with the trace
+// annotation carrying attemptID.
+func (c *Client) callAttempt(proc uint32, opName string, oneway bool, marshal func(*Encoder), ev *TraceEvent, metrics *Metrics, ct *callTrace, attemptID uint64) (dec *Decoder, err error, sent bool) {
 	if c.closed.Load() {
 		return nil, ErrClosed, false
 	}
-	s, err := c.session(metrics)
+	s, err := c.session(metrics, ct)
 	if err != nil {
 		return nil, err, false
 	}
@@ -473,9 +576,18 @@ func (c *Client) callOnce(proc uint32, opName string, oneway bool, marshal func(
 		ObjectKey: c.ObjectKey,
 		OneWay:    oneway,
 	}
+	if ct != nil {
+		ct.lastXID = xid
+	}
 	enc := getEncoder()
 	if metrics != nil {
 		enc.EnableStats(true)
+	}
+	if ct != nil {
+		// The annotation precedes the protocol header; its 32 bytes are
+		// a multiple of every protocol's MaxAlign, so payload alignment
+		// is unchanged.
+		writeTraceContext(enc, TraceContext{TraceID: ct.tc.TraceID, SpanID: attemptID, Sampled: true})
 	}
 	c.proto.WriteRequest(enc, &h)
 	marshal(enc)
@@ -618,7 +730,9 @@ func (c *Client) readReplies(s *session) {
 			if c.closed.Load() {
 				s.fail(ErrClosed)
 			} else {
-				s.fail(fmt.Errorf("rt: recv: %w", err))
+				ferr := fmt.Errorf("rt: recv: %w", err)
+				s.fail(ferr)
+				c.connTornDown(ferr)
 			}
 			return
 		}
@@ -633,7 +747,9 @@ func (c *Client) readReplies(s *session) {
 			// The reply header did not parse: nothing identifies the
 			// caller and the stream position is suspect. Poison.
 			putDecoder(d)
-			s.fail(fmt.Errorf("rt: reply header: %w", err))
+			ferr := fmt.Errorf("rt: reply header: %w", err)
+			s.fail(ferr)
+			c.connTornDown(ferr)
 			return
 		}
 
@@ -682,7 +798,27 @@ func (c *Client) readReplies(s *session) {
 		if metrics != nil {
 			metrics.BadXIDs.Add(1)
 		}
-		s.fail(fmt.Errorf("%w: reply xid %d", ErrBadXID, rh.XID))
+		ferr := fmt.Errorf("%w: reply xid %d", ErrBadXID, rh.XID)
+		s.fail(ferr)
+		c.connTornDown(ferr)
 		return
 	}
+}
+
+// connTornDown reports a connection teardown that poisoned a session —
+// a receive failure, an unparseable reply header, or a desynchronized
+// stream, whether noticed during normal operation, poison-drain, or a
+// pool failover — through the trace hook as a TraceConnError with the
+// pool session index attached. Deliberate Close teardowns are not
+// reported (they carry no diagnostic signal).
+func (c *Client) connTornDown(err error) {
+	if metrics := c.Metrics; metrics != nil {
+		metrics.ConnErrors.Add(1)
+	}
+	hooks := c.Hooks
+	if hooks == nil {
+		return
+	}
+	now := time.Now()
+	hooks.Trace(&TraceEvent{Kind: TraceConnError, Sess: c.Shard, Begin: now, End: now, Err: err})
 }

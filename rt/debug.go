@@ -1,0 +1,227 @@
+// Runtime debug surface: live introspection over HTTP and as text.
+//
+// Metrics, the span ring, pool health, and admission load each have
+// programmatic accessors; Debug ties them into one consistent snapshot
+// an operator can actually look at — an http.Handler for a running
+// process (flick-bench -debug-addr) and a text Dump for tests and
+// terminals. Everything is read-only and safe to hit while the runtime
+// is under full load: each request takes one snapshot and renders it,
+// so the costs are the usual monitoring costs, paid by the scraper.
+package rt
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DebugConfig names the runtime pieces a Debug surface exposes. Every
+// field is optional; absent pieces render as absent.
+type DebugConfig struct {
+	// Metrics is the counter registry to snapshot.
+	Metrics *Metrics
+	// Tracer supplies recent sampled spans and the Chrome trace export.
+	Tracer *Tracer
+	// Pool supplies per-session health (breaker state, in-flight,
+	// poison errors).
+	Pool *ClientPool
+	// Admission supplies the live load and high-water mark.
+	Admission *Admission
+}
+
+// Debug serves the runtime debug surface. Routes (relative to the mount
+// point):
+//
+//	/            human-readable text dump (Dump)
+//	/metrics     text exposition (Snapshot.WriteTo)
+//	/metrics.json  full Snapshot as JSON
+//	/delta       text exposition of the delta since the previous /delta
+//	             request (Snapshot.Sub) — per-interval rates for scrapers
+//	/trace       span ring as Chrome trace_event JSON (load in
+//	             about://tracing or Perfetto)
+//
+// A Debug is safe for concurrent use; Publish may swap the exposed
+// runtime pieces at any time (flick-bench republishes per experiment).
+type Debug struct {
+	mu   sync.Mutex
+	cfg  DebugConfig
+	last *Snapshot // previous /delta snapshot
+}
+
+// NewDebug builds a debug surface over the given runtime pieces.
+func NewDebug(cfg DebugConfig) *Debug { return &Debug{cfg: cfg} }
+
+// Publish swaps the runtime pieces the surface exposes.
+func (dbg *Debug) Publish(cfg DebugConfig) {
+	dbg.mu.Lock()
+	dbg.cfg = cfg
+	dbg.last = nil
+	dbg.mu.Unlock()
+}
+
+func (dbg *Debug) config() DebugConfig {
+	dbg.mu.Lock()
+	defer dbg.mu.Unlock()
+	return dbg.cfg
+}
+
+// ServeHTTP implements http.Handler.
+func (dbg *Debug) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	cfg := dbg.config()
+	switch path := strings.TrimSuffix(r.URL.Path, "/"); {
+	case strings.HasSuffix(path, "/metrics.json"):
+		if cfg.Metrics == nil {
+			http.Error(w, "no metrics attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		out, err := cfg.Metrics.Snapshot().JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(out)
+	case strings.HasSuffix(path, "/metrics"):
+		if cfg.Metrics == nil {
+			http.Error(w, "no metrics attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		cfg.Metrics.Snapshot().WriteTo(w)
+	case strings.HasSuffix(path, "/delta"):
+		if cfg.Metrics == nil {
+			http.Error(w, "no metrics attached", http.StatusNotFound)
+			return
+		}
+		snap := cfg.Metrics.Snapshot()
+		dbg.mu.Lock()
+		prev := dbg.last
+		dbg.last = &snap
+		dbg.mu.Unlock()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if prev == nil {
+			// First scrape: the interval is process-lifetime.
+			snap.WriteTo(w)
+			return
+		}
+		snap.Sub(*prev).WriteTo(w)
+	case strings.HasSuffix(path, "/trace"):
+		if cfg.Tracer == nil {
+			http.Error(w, "no tracer attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		cfg.Tracer.WriteChromeTrace(w)
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, dbg.Dump())
+	}
+}
+
+// dumpSpans is how many recent spans the text dump shows.
+const dumpSpans = 16
+
+// Dump renders the whole surface as one consistent human-readable text
+// snapshot: key counters with per-op percentiles, per-session pool
+// health, admission watermark, the batch flush-reason breakdown, and
+// the most recent sampled spans.
+func (dbg *Debug) Dump() string {
+	cfg := dbg.config()
+	var b strings.Builder
+
+	if m := cfg.Metrics; m != nil {
+		s := m.Snapshot()
+		fmt.Fprintf(&b, "== metrics ==\n")
+		fmt.Fprintf(&b, "conns=%d conn_errors=%d bad_headers=%d bad_xids=%d stale_replies=%d\n",
+			s.Conns, s.ConnErrors, s.BadHeaders, s.BadXIDs, s.StaleReplies)
+		fmt.Fprintf(&b, "retries=%d reconnects=%d breaker_open=%d breaker_rejects=%d failovers=%d\n",
+			s.Retries, s.Reconnects, s.BreakerOpen, s.BreakerRejects, s.SessionFailovers)
+		fmt.Fprintf(&b, "in_flight=%d queue_depth=%d admission_rejects=%d dropped_dupes=%d\n",
+			s.InFlight, s.QueueDepth, s.AdmissionRejects, s.DroppedDupes)
+		for _, op := range s.Ops {
+			fmt.Fprintf(&b, "op %-16s calls=%-8d errors=%-6d p50=%-10s p90=%-10s p99=%-10s max=%s\n",
+				op.Op, op.Calls, op.Errors,
+				time.Duration(op.P50Ns), time.Duration(op.P90Ns),
+				time.Duration(op.P99Ns), time.Duration(op.MaxNs))
+		}
+		fmt.Fprintf(&b, "== batch flushes ==\n")
+		fmt.Fprintf(&b, "frames=%d batched_calls=%d size=%d idle=%d deadline=%d close=%d\n",
+			s.BatchFrames, s.BatchedCalls,
+			s.BatchFlushSize, s.BatchFlushIdle, s.BatchFlushDeadline, s.BatchFlushClose)
+	}
+
+	if p := cfg.Pool; p != nil {
+		fmt.Fprintf(&b, "== pool sessions ==\n")
+		for _, sh := range p.Health() {
+			state := "healthy"
+			if !sh.Healthy {
+				state = "unhealthy"
+			}
+			fmt.Fprintf(&b, "session %-3d %-9s breaker=%-9s in_flight=%d", sh.Index, state, sh.Breaker, sh.InFlight)
+			if sh.Err != "" {
+				fmt.Fprintf(&b, " err=%q", sh.Err)
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+
+	if a := cfg.Admission; a != nil {
+		fmt.Fprintf(&b, "== admission ==\n")
+		fmt.Fprintf(&b, "load=%d watermark=%d max=%d\n", a.Load(), a.Watermark(), a.MaxLoad)
+	}
+
+	if t := cfg.Tracer; t != nil {
+		spans := t.Spans()
+		fmt.Fprintf(&b, "== spans (recorded=%d dropped=%d, newest %d shown) ==\n",
+			t.Recorded(), t.Dropped(), min(dumpSpans, len(spans)))
+		// Newest last, so the tail of the dump is the most recent past.
+		if len(spans) > dumpSpans {
+			spans = spans[len(spans)-dumpSpans:]
+		}
+		for _, sp := range spans {
+			fmt.Fprintf(&b, "%s %s trace=%s span=%016x", sp.Kind, spanOpLabel(sp), sp.Trace, sp.ID)
+			if sp.Parent != 0 {
+				fmt.Fprintf(&b, " parent=%016x", sp.Parent)
+			}
+			fmt.Fprintf(&b, " dur=%s", sp.Dur.Round(time.Microsecond))
+			if sp.Err != "" {
+				fmt.Fprintf(&b, " err=%q", sp.Err)
+			}
+			for _, ev := range sp.Events {
+				fmt.Fprintf(&b, " [%s]", ev.Cause)
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	return b.String()
+}
+
+func spanOpLabel(sp *Span) string {
+	if sp.Op != "" {
+		return sp.Op
+	}
+	return "-"
+}
+
+// SpansByTrace groups a span list into trees keyed by trace ID, each
+// sorted parents-before-children (roots first), for assertions and
+// reports that reconstruct call trees.
+func SpansByTrace(spans []*Span) map[TraceID][]*Span {
+	byTrace := make(map[TraceID][]*Span)
+	for _, sp := range spans {
+		byTrace[sp.Trace] = append(byTrace[sp.Trace], sp)
+	}
+	for _, group := range byTrace {
+		sort.SliceStable(group, func(i, j int) bool {
+			ri, rj := group[i].Parent == 0, group[j].Parent == 0
+			if ri != rj {
+				return ri
+			}
+			return group[i].Start.Before(group[j].Start)
+		})
+	}
+	return byTrace
+}

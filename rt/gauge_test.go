@@ -13,25 +13,35 @@ import (
 // both gauges return to zero once the system quiesces. A stuck gauge
 // means an error path skipped its decrement (or a reject path
 // incremented without handing off).
+//
+// The tests assert through Snapshot.Sub: a base snapshot before the
+// workload, the delta after quiescence. That checks the per-interval
+// contract the debug surface relies on (a gauge delta of zero over a
+// quiesced interval) instead of absolute counter values, and so also
+// regression-tests the diffing helper itself.
 
-func waitGaugeZero(t *testing.T, name string, load func() int64) {
+func waitGaugeZero(t *testing.T, name string, m *Metrics, base Snapshot, gauge func(Snapshot) int64) {
 	t.Helper()
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		if v := load(); v == 0 {
+		if v := gauge(m.Snapshot().Sub(base)); v == 0 {
 			return
 		} else if time.Now().After(deadline) {
-			t.Fatalf("%s gauge stuck at %d, want 0", name, v)
+			t.Fatalf("%s gauge delta stuck at %d over a quiesced interval, want 0", name, v)
 		}
 		time.Sleep(time.Millisecond)
 	}
 }
+
+func inFlight(s Snapshot) int64   { return s.InFlight }
+func queueDepth(s Snapshot) int64 { return s.QueueDepth }
 
 func TestInFlightZeroAfterSuccessAndDispatchError(t *testing.T) {
 	conn, _, _ := startObservedServer(t)
 	c := newEchoClient(conn)
 	m := NewMetrics()
 	c.Metrics = m
+	base := m.Snapshot()
 
 	doubleCall(t, c, 5)
 	// Dispatch error (proc 2 always fails): server replies ErrSystem.
@@ -42,7 +52,7 @@ func TestInFlightZeroAfterSuccessAndDispatchError(t *testing.T) {
 	if _, err := c.Call(3, "note", true, func(e *Encoder) {}); err != nil {
 		t.Fatal(err)
 	}
-	waitGaugeZero(t, "InFlight", m.InFlight.Load)
+	waitGaugeZero(t, "InFlight", m, base, inFlight)
 }
 
 func TestInFlightZeroAfterTimeout(t *testing.T) {
@@ -50,6 +60,7 @@ func TestInFlightZeroAfterTimeout(t *testing.T) {
 	c := newEchoClient(clientEnd)
 	m := NewMetrics()
 	c.Metrics = m
+	base := m.Snapshot()
 	c.Timeout = 10 * time.Millisecond
 	defer clientEnd.Close()
 
@@ -58,7 +69,7 @@ func TestInFlightZeroAfterTimeout(t *testing.T) {
 	if _, err := c.Call(1, "double", false, func(e *Encoder) { e.PutU32BEC(1) }); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("swallowed call = %v, want ErrTimeout", err)
 	}
-	waitGaugeZero(t, "InFlight", m.InFlight.Load)
+	waitGaugeZero(t, "InFlight", m, base, inFlight)
 }
 
 func TestInFlightZeroAfterSendFailure(t *testing.T) {
@@ -66,13 +77,14 @@ func TestInFlightZeroAfterSendFailure(t *testing.T) {
 	c := newEchoClient(clientEnd)
 	m := NewMetrics()
 	c.Metrics = m
+	base := m.Snapshot()
 
 	serverEnd.Close()
 	clientEnd.Close()
 	if _, err := c.Call(1, "double", false, func(e *Encoder) { e.PutU32BEC(1) }); err == nil {
 		t.Fatal("send on a closed conn succeeded")
 	}
-	waitGaugeZero(t, "InFlight", m.InFlight.Load)
+	waitGaugeZero(t, "InFlight", m, base, inFlight)
 }
 
 func TestInFlightZeroAfterPoisonDrain(t *testing.T) {
@@ -80,6 +92,7 @@ func TestInFlightZeroAfterPoisonDrain(t *testing.T) {
 	c := newEchoClient(clientEnd)
 	m := NewMetrics()
 	c.Metrics = m
+	base := m.Snapshot()
 
 	// Park several calls, then kill the peer: the reply reader drains
 	// every pending call with the terminal error.
@@ -106,7 +119,7 @@ func TestInFlightZeroAfterPoisonDrain(t *testing.T) {
 	}
 	serverEnd.Close()
 	wg.Wait()
-	waitGaugeZero(t, "InFlight", m.InFlight.Load)
+	waitGaugeZero(t, "InFlight", m, base, inFlight)
 	clientEnd.Close()
 }
 
@@ -117,6 +130,7 @@ func TestInFlightZeroAfterBreakerReject(t *testing.T) {
 	c := newEchoClient(clientEnd)
 	m := NewMetrics()
 	c.Metrics = m
+	base := m.Snapshot()
 	c.Breaker = &Breaker{Threshold: 1, Cooldown: time.Minute}
 	c.Retry = &RetryPolicy{MaxAttempts: 1}
 
@@ -127,7 +141,7 @@ func TestInFlightZeroAfterBreakerReject(t *testing.T) {
 	if m.BreakerRejects.Load() == 0 {
 		t.Error("BreakerRejects not counted")
 	}
-	waitGaugeZero(t, "InFlight", m.InFlight.Load)
+	waitGaugeZero(t, "InFlight", m, base, inFlight)
 }
 
 func TestQueueDepthZeroAfterPanicsAndErrors(t *testing.T) {
@@ -135,6 +149,7 @@ func TestQueueDepthZeroAfterPanicsAndErrors(t *testing.T) {
 	s := NewServer(ONC{})
 	s.Workers = 2
 	s.Metrics = NewMetrics()
+	base := s.Metrics.Snapshot()
 	s.Register(7, 1, func(h *ReqHeader, d *Decoder, e *Encoder) error {
 		switch h.Proc {
 		case 1:
@@ -159,13 +174,14 @@ func TestQueueDepthZeroAfterPanicsAndErrors(t *testing.T) {
 	if s.Metrics.PanicsRecovered.Load() == 0 {
 		t.Error("panic not recovered")
 	}
-	waitGaugeZero(t, "QueueDepth", s.Metrics.QueueDepth.Load)
+	waitGaugeZero(t, "QueueDepth", s.Metrics, base, queueDepth)
 }
 
 func TestQueueDepthZeroAfterAdmissionReject(t *testing.T) {
 	adm := &Admission{MaxLoad: 1}
 	block := make(chan struct{})
 	conn, sm := startAdmissionServer(t, adm, block)
+	base := sm.Snapshot()
 	c := newEchoClient(conn)
 
 	var wg sync.WaitGroup
@@ -190,7 +206,7 @@ func TestQueueDepthZeroAfterAdmissionReject(t *testing.T) {
 	}
 	close(block)
 	wg.Wait()
-	waitGaugeZero(t, "QueueDepth", sm.QueueDepth.Load)
+	waitGaugeZero(t, "QueueDepth", sm, base, queueDepth)
 	if adm.Load() != 0 {
 		t.Errorf("admission load = %d after quiescence, want 0", adm.Load())
 	}
@@ -204,6 +220,7 @@ func TestQueueDepthZeroAfterConnTeardownMidQueue(t *testing.T) {
 	s := NewServer(ONC{})
 	s.Workers = 1
 	s.Metrics = NewMetrics()
+	base := s.Metrics.Snapshot()
 	release := make(chan struct{})
 	var once sync.Once
 	s.Register(7, 1, func(h *ReqHeader, d *Decoder, e *Encoder) error {
@@ -233,5 +250,5 @@ func TestQueueDepthZeroAfterConnTeardownMidQueue(t *testing.T) {
 	clientEnd.Close()
 	wg.Wait()
 	<-done
-	waitGaugeZero(t, "QueueDepth", s.Metrics.QueueDepth.Load)
+	waitGaugeZero(t, "QueueDepth", s.Metrics, base, queueDepth)
 }

@@ -134,6 +134,24 @@ func (s HistogramSnapshot) Quantile(q float64) time.Duration {
 	return time.Duration(s.MaxNs)
 }
 
+// Sub returns the histogram delta s - earlier: per-bucket counts,
+// total count, and sum are subtracted, so quantiles computed on the
+// result describe only the interval between the two snapshots. MaxNs
+// keeps the later snapshot's value (the maximum is not recoverable per
+// interval from a log2 histogram); treat it as "max since start".
+// earlier must be a prior snapshot of the same histogram.
+func (s HistogramSnapshot) Sub(earlier HistogramSnapshot) HistogramSnapshot {
+	d := HistogramSnapshot{
+		Count: s.Count - earlier.Count,
+		SumNs: s.SumNs - earlier.SumNs,
+		MaxNs: s.MaxNs,
+	}
+	for i := range s.Buckets {
+		d.Buckets[i] = s.Buckets[i] - earlier.Buckets[i]
+	}
+	return d
+}
+
 // OpStats aggregates one operation's counters. All fields are atomic;
 // update and read from any goroutine.
 type OpStats struct {
@@ -398,6 +416,70 @@ func (m *Metrics) Snapshot() Snapshot {
 // JSON renders the snapshot as indented JSON.
 func (s Snapshot) JSON() ([]byte, error) {
 	return json.MarshalIndent(s, "", "  ")
+}
+
+// Sub returns the per-interval delta s - earlier: every monotonic
+// counter is subtracted, gauges (InFlight, QueueDepth) report the
+// level *change* over the interval, and per-op latency statistics
+// (mean, quantiles) are recomputed from the diffed histograms so they
+// describe only the interval — the debug surface and tests use this to
+// report rates instead of process-lifetime totals. Operations present
+// only in s appear with their full counts (they started inside the
+// interval); MaxNs is max-since-start (see HistogramSnapshot.Sub).
+// earlier must be a prior snapshot of the same registry.
+func (s Snapshot) Sub(earlier Snapshot) Snapshot {
+	d := s
+	d.Conns -= earlier.Conns
+	d.ConnErrors -= earlier.ConnErrors
+	d.BadHeaders -= earlier.BadHeaders
+	d.BadXIDs -= earlier.BadXIDs
+	d.StaleReplies -= earlier.StaleReplies
+	d.DispatchErrors -= earlier.DispatchErrors
+	d.Oneways -= earlier.Oneways
+	d.InFlight -= earlier.InFlight
+	d.QueueDepth -= earlier.QueueDepth
+	d.Retries -= earlier.Retries
+	d.Reconnects -= earlier.Reconnects
+	d.BreakerOpen -= earlier.BreakerOpen
+	d.BreakerRejects -= earlier.BreakerRejects
+	d.PanicsRecovered -= earlier.PanicsRecovered
+	d.DroppedDupes -= earlier.DroppedDupes
+	d.IdleReaped -= earlier.IdleReaped
+	d.Oversized -= earlier.Oversized
+	d.BatchedCalls -= earlier.BatchedCalls
+	d.BatchFrames -= earlier.BatchFrames
+	d.BatchFlushSize -= earlier.BatchFlushSize
+	d.BatchFlushIdle -= earlier.BatchFlushIdle
+	d.BatchFlushDeadline -= earlier.BatchFlushDeadline
+	d.BatchFlushClose -= earlier.BatchFlushClose
+	d.AdmissionRejects -= earlier.AdmissionRejects
+	d.SessionFailovers -= earlier.SessionFailovers
+	d.EncGrowChecks -= earlier.EncGrowChecks
+	d.EncGrowAllocs -= earlier.EncGrowAllocs
+	d.DecEnsureChecks -= earlier.DecEnsureChecks
+	d.DecFailures -= earlier.DecFailures
+
+	prior := make(map[string]OpSnapshot, len(earlier.Ops))
+	for _, op := range earlier.Ops {
+		prior[op.Op] = op
+	}
+	d.Ops = make([]OpSnapshot, 0, len(s.Ops))
+	for _, op := range s.Ops {
+		if p, ok := prior[op.Op]; ok {
+			op.Calls -= p.Calls
+			op.Errors -= p.Errors
+			op.ReqBytes -= p.ReqBytes
+			op.RepBytes -= p.RepBytes
+			op.Latency = op.Latency.Sub(p.Latency)
+			op.MeanNs = uint64(op.Latency.Mean())
+			op.P50Ns = uint64(op.Latency.Quantile(0.50))
+			op.P90Ns = uint64(op.Latency.Quantile(0.90))
+			op.P99Ns = uint64(op.Latency.Quantile(0.99))
+			op.MaxNs = op.Latency.MaxNs
+		}
+		d.Ops = append(d.Ops, op)
+	}
+	return d
 }
 
 // WriteTo writes an expvar/Prometheus-style text exposition: one

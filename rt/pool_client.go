@@ -12,6 +12,7 @@
 package rt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -74,6 +75,14 @@ type PoolConfig struct {
 	// Metrics and Hooks are shared by all sessions.
 	Metrics *Metrics
 	Hooks   TraceHook
+
+	// Tracer, when non-nil, is shared by all sessions and by the pool
+	// itself: the pool owns each sampled call's root span (SpanPoolCall)
+	// and passes its context down, so attempts that fail over to
+	// another session stay in one trace — same trace ID, a fresh
+	// call/attempt span per session tried — with failovers recorded as
+	// cause-labeled events on the root.
+	Tracer *Tracer
 }
 
 func (c *PoolConfig) size() int {
@@ -90,6 +99,7 @@ type ClientPool struct {
 	sessions []*Client
 	policy   DispatchPolicy
 	metrics  *Metrics
+	tracer   *Tracer
 	next     atomic.Uint32
 	closed   atomic.Bool
 }
@@ -109,6 +119,7 @@ func NewClientPool(cfg PoolConfig) (*ClientPool, error) {
 		sessions: make([]*Client, 0, n),
 		policy:   cfg.Policy,
 		metrics:  cfg.Metrics,
+		tracer:   cfg.Tracer,
 	}
 	dial := func(i int) (Conn, error) {
 		conn, err := cfg.Dial(i)
@@ -119,6 +130,9 @@ func NewClientPool(cfg PoolConfig) (*ClientPool, error) {
 			bc := *cfg.Batch
 			if bc.Metrics == nil {
 				bc.Metrics = cfg.Metrics
+			}
+			if bc.Tracer == nil {
+				bc.Tracer = cfg.Tracer
 			}
 			conn = NewBatchConn(conn, bc)
 		}
@@ -139,6 +153,8 @@ func NewClientPool(cfg PoolConfig) (*ClientPool, error) {
 		c.Retry = cfg.Retry
 		c.Metrics = cfg.Metrics
 		c.Hooks = cfg.Hooks
+		c.Tracer = cfg.Tracer
+		c.Shard = i
 		if cfg.BreakerThreshold > 0 {
 			c.Breaker = &Breaker{Threshold: cfg.BreakerThreshold, Cooldown: cfg.BreakerCooldown}
 		}
@@ -218,9 +234,33 @@ func failoverSafe(err error) bool {
 // surface matches Client.CallIdem, so generated stubs take a
 // *ClientPool wherever they took a *Client.
 func (p *ClientPool) CallIdem(proc uint32, opName string, oneway, idempotent bool, marshal func(*Encoder)) (*Decoder, error) {
+	return p.CallIdemCtx(nil, proc, opName, oneway, idempotent, marshal)
+}
+
+// CallIdemCtx is CallIdem with a caller context for trace continuation
+// (see Client.CallCtx). When the pool's Tracer samples the call, the
+// pool records the root span and threads its context into every
+// session tried, so a failover continues the same trace.
+func (p *ClientPool) CallIdemCtx(ctx context.Context, proc uint32, opName string, oneway, idempotent bool, marshal func(*Encoder)) (*Decoder, error) {
 	if p.closed.Load() {
 		return nil, ErrClosed
 	}
+	var ct *callTrace
+	if tracer := p.tracer; tracer != nil {
+		if ct = startCallTrace(tracer, ctx, SpanPoolCall, opName, 0); ct != nil {
+			ctx = ContextWithTrace(ctx, ct.tc)
+		}
+		// Unsampled pool failures are recorded by the session client's
+		// own always-sample-on-error path; recording them here too
+		// would double-count every failure.
+	}
+	d, err := p.dispatch(ctx, proc, opName, oneway, idempotent, marshal, ct)
+	ct.finish(err)
+	return d, err
+}
+
+// dispatch runs the session-selection and failover loop for one call.
+func (p *ClientPool) dispatch(ctx context.Context, proc uint32, opName string, oneway, idempotent bool, marshal func(*Encoder), ct *callTrace) (*Decoder, error) {
 	n := len(p.sessions)
 	start := p.pick(opName)
 
@@ -242,8 +282,11 @@ func (p *ClientPool) CallIdem(proc uint32, opName string, oneway, idempotent boo
 			if p.metrics != nil {
 				p.metrics.SessionFailovers.Add(1)
 			}
+			if ct != nil {
+				ct.event("failover", fmt.Sprintf("to session %d after: %v", c.Shard, lastErr))
+			}
 		}
-		d, err := c.CallIdem(proc, opName, oneway, idempotent, marshal)
+		d, err := c.CallIdemCtx(ctx, proc, opName, oneway, idempotent, marshal)
 		if err == nil {
 			return d, nil
 		}
@@ -257,5 +300,43 @@ func (p *ClientPool) CallIdem(proc uint32, opName string, oneway, idempotent boo
 
 // Call is CallIdem with idempotent=false, matching Client.Call.
 func (p *ClientPool) Call(proc uint32, opName string, oneway bool, marshal func(*Encoder)) (*Decoder, error) {
-	return p.CallIdem(proc, opName, oneway, false, marshal)
+	return p.CallIdemCtx(nil, proc, opName, oneway, false, marshal)
+}
+
+// SessionHealth is one session's health snapshot for the debug surface.
+type SessionHealth struct {
+	Index int `json:"index"`
+	// Healthy mirrors Client.Healthy at snapshot time.
+	Healthy bool `json:"healthy"`
+	// Breaker is the session breaker's state name ("closed", "open",
+	// "half-open"; "none" when the session has no breaker).
+	Breaker string `json:"breaker"`
+	// InFlight is the number of calls currently awaiting replies on the
+	// session.
+	InFlight int `json:"in_flight"`
+	// Err is the session's poison error ("" while unpoisoned); a
+	// redialing session clears it on the next call.
+	Err string `json:"err,omitempty"`
+}
+
+// Health reports every session's current health, for the debug surface
+// and operators; indices match Client(i).
+func (p *ClientPool) Health() []SessionHealth {
+	out := make([]SessionHealth, len(p.sessions))
+	for i, c := range p.sessions {
+		sh := SessionHealth{
+			Index:   i,
+			Healthy: c.Healthy(),
+			Breaker: "none",
+		}
+		if b := c.Breaker; b != nil {
+			sh.Breaker = b.State().String()
+		}
+		sh.InFlight = c.PendingCalls()
+		if err := c.SessionErr(); err != nil {
+			sh.Err = err.Error()
+		}
+		out[i] = sh
+	}
+	return out
 }

@@ -20,6 +20,11 @@ type ReqHeader struct {
 	ObjectKey []byte
 	// OneWay suppresses the reply.
 	OneWay bool
+	// Trace is the propagated trace annotation (valid when Traced; see
+	// SplitTrace). Handlers continue the trace via (*ReqHeader).Context.
+	Trace TraceContext
+	// Traced reports whether the request carried a trace annotation.
+	Traced bool
 }
 
 // Reply status values (protocol-independent).
@@ -568,6 +573,78 @@ func SplitBatch(msg []byte) ([][]byte, bool) {
 		return nil, false
 	}
 	return parts, true
+}
+
+// --- Trace annotation ---------------------------------------------------------
+//
+// A trace annotation is an optional, backwards-compatible prefix on a
+// request message carrying the distributed tracing context (span.go).
+// Like the batch envelope above it is protocol-independent — the
+// annotated message still carries its own ONC/GIOP/Mach/Fluke header —
+// and fully self-describing:
+//
+//	u32 magic (traceMagic, big-endian)
+//	u32 flags (bit 0 = sampled; all other bits must be zero)
+//	16 bytes  trace ID
+//	u64 span ID (big-endian; the client attempt span)
+//
+// Detection is structural: the magic must match, the reserved flag
+// bits must be zero, and a protocol message must follow, so an
+// ordinary message whose leading word happens to collide still parses
+// as an ordinary message. Untraced calls carry no annotation at all —
+// an old client against a new server, or a new client with tracing
+// off, produces byte-identical frames to the seed. The 32-byte prefix
+// is a multiple of every protocol's MaxAlign, so payload alignment
+// inside the annotated message is preserved. Requests only: the client
+// already holds the span context when the reply arrives, so replies
+// stay unannotated. Inside a batch envelope each packed message keeps
+// its own annotation, which is how trace context survives
+// batching/unbatching for free.
+
+// traceMagic marks a trace annotation. Like batchMagic it sits far
+// outside the XID range a fresh client reaches and collides with no
+// protocol's leading bytes.
+const traceMagic uint32 = 0xFB1C_7AC3
+
+// traceWireSize is the size of the annotation prefix.
+const traceWireSize = 32
+
+const traceFlagSampled uint32 = 1
+
+// writeTraceContext prefixes the encoder's message with a trace
+// annotation. Must be called before the protocol header is written.
+func writeTraceContext(e *Encoder, tc TraceContext) {
+	e.Grow(traceWireSize)
+	e.PutU32BE(traceMagic)
+	var flags uint32
+	if tc.Sampled {
+		flags |= traceFlagSampled
+	}
+	e.PutU32BE(flags)
+	e.PutBytes(tc.TraceID[:])
+	e.PutU64BE(tc.SpanID)
+}
+
+// SplitTrace validates and strips a trace annotation. It returns
+// (context, message, true) when msg begins with a well-formed
+// annotation — the returned message aliases msg — and
+// (TraceContext{}, msg, false) otherwise, including for ordinary
+// messages (which the caller simply parses as before).
+func SplitTrace(msg []byte) (TraceContext, []byte, bool) {
+	// A real annotated request has a protocol message after the prefix;
+	// a bare or truncated prefix is not an annotation.
+	if len(msg) <= traceWireSize || binary.BigEndian.Uint32(msg) != traceMagic {
+		return TraceContext{}, msg, false
+	}
+	flags := binary.BigEndian.Uint32(msg[4:])
+	if flags&^traceFlagSampled != 0 {
+		return TraceContext{}, msg, false
+	}
+	var tc TraceContext
+	copy(tc.TraceID[:], msg[8:24])
+	tc.SpanID = binary.BigEndian.Uint64(msg[24:32])
+	tc.Sampled = flags&traceFlagSampled != 0
+	return tc, msg[traceWireSize:], true
 }
 
 // ProtocolByName returns a protocol by its wire-format name.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package rt
+
+const raceEnabled = false

@@ -88,6 +88,17 @@ type Server struct {
 	Metrics *Metrics
 	Hooks   TraceHook
 
+	// Tracer, when non-nil, records a SpanServerDispatch span for every
+	// request that arrived carrying a sampled trace annotation, parented
+	// to the client attempt span that sent it (span.go). Requests the
+	// server refuses — admission rejects, duplicate suppressions — are
+	// recorded as zero-work spans with cause-labeled events so the
+	// client-side gap is explainable. Untraced and unsampled requests
+	// cost one pointer test. Share one Tracer between client and server
+	// in-process to land whole call trees in one ring. Set before
+	// serving.
+	Tracer *Tracer
+
 	mu       sync.RWMutex
 	byProg   map[uint64]Dispatch
 	fallback Dispatch
@@ -331,8 +342,14 @@ func (s *Server) ServeConn(conn Conn) error {
 // hand the request to the worker pool.
 func (s *Server) acceptFrame(conn Conn, msg []byte, jobs chan<- srvJob,
 	metrics *Metrics, hooks TraceHook, fail *connFail, dups *dupCache) {
+	reqBytes := len(msg)
+	// Strip a trace annotation unconditionally — a traced client must
+	// interoperate with a server that has no Tracer attached — and
+	// record spans only when this server samples.
+	tc, msg, traced := SplitTrace(msg)
+	sampled := s.Tracer != nil && traced && tc.Sampled
 	var begin time.Time
-	if metrics != nil || hooks != nil {
+	if metrics != nil || hooks != nil || sampled {
 		begin = time.Now()
 	}
 	d := getDecoder()
@@ -352,12 +369,13 @@ func (s *Server) acceptFrame(conn Conn, msg []byte, jobs chan<- srvJob,
 		if hooks != nil {
 			hooks.Trace(&TraceEvent{
 				Kind: TraceBadHeader, Begin: begin, End: time.Now(),
-				ReqBytes: len(msg), Err: err,
+				ReqBytes: reqBytes, Err: err,
 			})
 		}
 		putDecoder(d)
 		return
 	}
+	h.Trace, h.Traced = tc, traced
 	if dups != nil {
 		if dup, cached := dups.begin(h.XID); dup {
 			// A retransmitted request: re-send the cached reply if
@@ -373,6 +391,13 @@ func (s *Server) acceptFrame(conn Conn, msg []byte, jobs chan<- srvJob,
 				if err := conn.Send(cached); err != nil {
 					fail.record(conn, err)
 				}
+				if sampled {
+					s.recordRefusalSpan(&h, begin, "", "dup-cached-resend",
+						"retransmitted request answered from the reply cache")
+				}
+			} else if sampled {
+				s.recordRefusalSpan(&h, begin, "", "dup-inflight-drop",
+					"retransmitted request dropped; original still in progress or oneway")
 			}
 			return
 		}
@@ -399,6 +424,10 @@ func (s *Server) acceptFrame(conn Conn, msg []byte, jobs chan<- srvJob,
 				}
 				putEncoder(enc)
 			}
+			if sampled {
+				s.recordRefusalSpan(&h, begin, "overloaded", "admission-reject",
+					"shed before dispatch by admission control")
+			}
 			return
 		}
 	}
@@ -408,7 +437,22 @@ func (s *Server) acceptFrame(conn Conn, msg []byte, jobs chan<- srvJob,
 	// Ownership handoff, not retention: the acceptor passes the
 	// decoder to exactly one worker, which releases it after
 	// dispatch.
-	jobs <- srvJob{h: h, dec: d, reqBytes: len(msg), begin: begin, admWeight: admWeight} //lint:allow poolescape
+	jobs <- srvJob{h: h, dec: d, reqBytes: reqBytes, begin: begin, admWeight: admWeight} //lint:allow poolescape
+}
+
+// recordRefusalSpan records a zero-work SpanServerDispatch for a
+// sampled request the server refused to dispatch (admission reject,
+// duplicate suppression): the span carries no useful duration, but its
+// cause-labeled event explains the client-side gap.
+func (s *Server) recordRefusalSpan(h *ReqHeader, begin time.Time, errStr, cause, detail string) {
+	tracer := s.Tracer
+	sp := &Span{
+		Trace: h.Trace.TraceID, ID: tracer.nextID(), Parent: h.Trace.SpanID,
+		Kind: SpanServerDispatch, Op: opLabel(h), XID: h.XID,
+		Start: begin, Dur: time.Since(begin), Sampled: true, Err: errStr,
+		Events: []SpanEvent{{Offset: time.Since(begin), Cause: cause, Detail: detail}},
+	}
+	tracer.record(sp)
 }
 
 // worker dispatches queued requests until the queue closes. Each worker
@@ -489,6 +533,20 @@ func (s *Server) worker(conn Conn, jobs <-chan srvJob, metrics *Metrics, hooks T
 		}
 		if observed {
 			s.finishRequest(metrics, hooks, &h, job.begin, job.reqBytes, &enc, dec, workErr, replied)
+		}
+		if tracer := s.Tracer; tracer != nil && h.Traced && h.Trace.Sampled {
+			// The dispatch span: parented to the client attempt span
+			// whose annotation rode in on the request, so the two sides
+			// of the call link up with no shared clocks or channels.
+			sp := &Span{
+				Trace: h.Trace.TraceID, ID: tracer.nextID(), Parent: h.Trace.SpanID,
+				Kind: SpanServerDispatch, Op: opLabel(&h), XID: h.XID,
+				Start: job.begin, Dur: time.Since(job.begin), Sampled: true,
+			}
+			if workErr != nil {
+				sp.Err = workErr.Error()
+			}
+			tracer.record(sp)
 		}
 		putDecoder(dec)
 		if job.admWeight > 0 {

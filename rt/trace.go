@@ -25,8 +25,11 @@ const (
 	// did not parse; Err carries the parse failure.
 	TraceBadHeader
 	// TraceConnError is a connection that ended with a transport or
-	// protocol error (surfaced from Server.Serve, which previously
-	// swallowed these).
+	// protocol error: a server connection that died mid-serve, or a
+	// client session torn down by a receive failure, an unparseable
+	// reply header, or a desynchronized stream (including teardowns
+	// noticed during poison-drain and pool failover). Client-side
+	// events carry the pool session index in Sess.
 	TraceConnError
 )
 
@@ -56,6 +59,9 @@ type TraceEvent struct {
 	// XID is the transaction id of the call or request.
 	XID    uint32
 	OneWay bool
+	// Sess is the pool session/shard index the event's connection
+	// belongs to (0 for direct clients and server-side events).
+	Sess int
 	// Begin is when the unit started (client: entering Call; server:
 	// request received). Sent is the post-transmit timestamp (client:
 	// request handed to the transport; server: reply handed to the
@@ -131,6 +137,9 @@ func (l *LogHook) Trace(ev *TraceEvent) {
 		ev.Kind, op, ev.XID, ev.Duration().Round(time.Microsecond), ev.ReqBytes, ev.RepBytes)
 	if ev.OneWay {
 		fmt.Fprint(l.W, " oneway")
+	}
+	if ev.Sess != 0 {
+		fmt.Fprintf(l.W, " sess=%d", ev.Sess)
 	}
 	if ev.Err != nil {
 		fmt.Fprintf(l.W, " err=%q", ev.Err.Error())
