@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-race bench bench-rt chaos chaos-short fleet fleet-short trace trace-short bench-json generate generate-check stats ci
+.PHONY: all build vet lint test test-race bench bench-rt chaos chaos-short fleet fleet-short trace trace-short stream stream-short bench-json generate generate-check stats ci
 
 all: build
 
@@ -73,10 +73,25 @@ trace:
 trace-short:
 	$(GO) test -race -short -count=1 -run 'TestTraceSoak|TestTracePropagates|TestTracingDisabledAllocs|TestDupCachedResend|TestPoolFailoverKeepsTrace' ./rt ./internal/experiment
 
+# The streaming gate: surface round-trips over all three generated
+# presentation surfaces, the credit-window invariants, the mid-transfer
+# chaos soak (kill/corrupt a stream at 5% faults; complete delivery or
+# a classified error, zero leaks), and the chunk x window sweep. CI
+# runs stream-short.
+stream:
+	$(GO) test -race -count=1 -run 'TestStream|TestBlob|TestAsync|TestPromise' ./rt ./internal/streamstubs ./internal/teststubs ./internal/experiment
+	$(GO) run ./cmd/flick-bench -exp stream
+
+# The CI-sized streaming gate: same invariants and soak under -race,
+# without the sweep report.
+stream-short:
+	$(GO) test -race -short -count=1 -run 'TestStream|TestBlob|TestAsync|TestPromise' ./rt ./internal/streamstubs ./internal/teststubs ./internal/experiment
+
 # Regenerate the committed machine-readable benchmark curves.
 bench-json:
 	$(GO) run ./cmd/flick-bench -exp pipeline -json > BENCH_pipeline.json
 	$(GO) run ./cmd/flick-bench -exp fleet -json > BENCH_fleet.json
+	$(GO) run ./cmd/flick-bench -exp stream -json > BENCH_stream.json
 
 generate:
 	$(GO) generate ./...

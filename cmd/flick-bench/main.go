@@ -18,6 +18,7 @@
 //	flick-bench -exp chaos     # chaos soak: faults vs retries/redials; wrong answers must be 0
 //	flick-bench -exp fleet     # scale-out fabric: 1k-100k simulated clients, pool+batch+admission
 //	flick-bench -exp trace     # tracing overhead at 0%/1%/100% sampling + tree completeness
+//	flick-bench -exp stream    # server-push stream goodput: chunk size x credit window sweep
 //	flick-bench -exp all
 //
 // -json emits each report as a machine-readable JSON document instead
@@ -39,7 +40,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, fig7, table2, table3, ablation, rpcstats, checks, pipeline, chaos, fleet, trace, all")
+	exp := flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, fig7, table2, table3, ablation, rpcstats, checks, pipeline, chaos, fleet, trace, stream, all")
 	asJSON := flag.Bool("json", false, "emit reports as JSON documents instead of aligned tables")
 	short := flag.Bool("short", false, "run reduced sweeps (CI-sized); currently affects fleet")
 	debugAddr := flag.String("debug-addr", "", "serve the runtime debug surface over HTTP on this address (e.g. localhost:6060) while experiments run")
@@ -115,6 +116,7 @@ func main() {
 	}
 	if run("chaos") {
 		emit(experiment.Chaos())
+		emit(experiment.StreamChaos())
 		ran = true
 	}
 	if run("fleet") {
@@ -127,6 +129,10 @@ func main() {
 	}
 	if run("trace") {
 		emit(experiment.Trace())
+		ran = true
+	}
+	if run("stream") {
+		emit(experiment.Stream())
 		ran = true
 	}
 	if !ran {

@@ -31,6 +31,8 @@ func main() {
 	suffix := flag.String("suffix", "", "suffix appended to generated function names")
 	skipDecls := flag.Bool("skip-decls", false, "omit presented type declarations")
 	rpc := flag.Bool("rpc", true, "emit client stubs and server dispatch (Go only)")
+	surfaces := flag.String("surfaces", "", "comma-separated presentation surfaces: sync, async, stream (default sync)")
+	surfacesOnly := flag.Bool("surfaces-only", false, "emit only the surface shells (marshal core generated elsewhere in the package)")
 	side := flag.String("side", "client", "presentation side: client or server (C only)")
 	flag.StringVar(&out, "o", "", "output file (default stdout)")
 	noOpt := flag.String("disable", "", "comma-separated optimizations to disable: group,chunk,memcpy,inline")
@@ -57,6 +59,8 @@ func main() {
 	opt.FuncSuffix = *suffix
 	opt.SkipDecls = *skipDecls
 	opt.EmitRPC = *rpc
+	opt.Surfaces = *surfaces
+	opt.SurfacesOnly = *surfacesOnly
 	opt.Side = *side
 	for _, d := range strings.Split(*noOpt, ",") {
 		switch strings.TrimSpace(d) {

@@ -56,6 +56,14 @@ type Options struct {
 	SkipDecls bool
 	// EmitRPC adds client stubs and a server dispatcher (Go only).
 	EmitRPC bool
+	// Surfaces selects the presentation surfaces emitted over the
+	// shared marshal core ("sync", "async", "stream"), in order. Empty
+	// means sync only. Go with EmitRPC only.
+	Surfaces string
+	// SurfacesOnly emits only the surface shells, for adding surfaces
+	// to a package whose marshal core and dispatcher another
+	// configuration already generated.
+	SurfacesOnly bool
 	// Side selects the client or server presentation (C only; the Go
 	// back end emits both halves).
 	Side string
@@ -196,16 +204,26 @@ func Compile(filename, src string, opt Options) (string, error) {
 
 	switch opt.Lang {
 	case "go":
+		var surfaces []gostub.Surface
+		if opt.Surfaces != "" {
+			var err error
+			surfaces, err = gostub.ParseSurfaces(opt.Surfaces)
+			if err != nil {
+				return "", err
+			}
+		}
 		return gostub.Generate(pf, gostub.Config{
-			Package:    opt.Package,
-			Format:     format,
-			Style:      styleOf(opt.Style),
-			Opts:       opt.mirOptions(),
-			FuncSuffix: opt.FuncSuffix,
-			SkipDecls:  opt.SkipDecls,
-			EmitRPC:    opt.EmitRPC,
-			Stats:      opt.Stats,
-			Verify:     opt.Verify,
+			Package:      opt.Package,
+			Format:       format,
+			Style:        styleOf(opt.Style),
+			Opts:         opt.mirOptions(),
+			FuncSuffix:   opt.FuncSuffix,
+			SkipDecls:    opt.SkipDecls,
+			EmitRPC:      opt.EmitRPC,
+			Surfaces:     surfaces,
+			SurfacesOnly: opt.SurfacesOnly,
+			Stats:        opt.Stats,
+			Verify:       opt.Verify,
 		})
 	case "c":
 		copts := *opt.mirOptions()

@@ -161,6 +161,12 @@ type Operation struct {
 	// are idempotent implicitly). The RPC runtime re-sends only
 	// idempotent operations after ambiguous failures.
 	Idempotent bool
+	// Stream marks server-push streaming operations (the //flick:stream
+	// annotation): the request travels once, then the server pushes a
+	// sequence of Result-typed chunks under a credit window instead of a
+	// single reply. Stream operations take only in parameters, return a
+	// non-void result (the chunk type), and raise no exceptions.
+	Stream bool
 	Params     []Param
 	// Result is the return type; Void for none.
 	Result Type

@@ -139,6 +139,25 @@ func (v *validator) checkInterface(it *Interface) error {
 				return v.errf("%s.%s: oneway operation raises exceptions", it.Name, op.Name)
 			}
 		}
+		if op.Stream {
+			if op.Oneway {
+				return v.errf("%s.%s: stream operation cannot be oneway", it.Name, op.Name)
+			}
+			if IsVoid(op.Result) {
+				return v.errf("%s.%s: stream operation has void result (the result is the chunk type)",
+					it.Name, op.Name)
+			}
+			for _, p := range op.Params {
+				if p.Dir != In {
+					return v.errf("%s.%s: stream operation has %s parameter %q (chunks flow through the result)",
+						it.Name, op.Name, p.Dir, p.Name)
+				}
+			}
+			if len(op.Raises) > 0 {
+				return v.errf("%s.%s: stream operation raises exceptions (stream errors travel as error frames)",
+					it.Name, op.Name)
+			}
+		}
 		for _, ex := range op.Raises {
 			if !hasExcept(it, ex) {
 				return v.errf("%s.%s: raises undeclared exception %q", it.Name, op.Name, ex)

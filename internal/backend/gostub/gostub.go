@@ -66,6 +66,18 @@ type Config struct {
 	// EmitRPC adds client stubs and a server dispatcher on top of the
 	// marshal/unmarshal functions.
 	EmitRPC bool
+	// Surfaces selects the presentation surfaces emitted over the
+	// shared marshal core when EmitRPC is set, in order. Nil means
+	// sync only — the classic blocking presentation, byte-identical to
+	// the pre-surface emitter.
+	Surfaces []Surface
+	// SurfacesOnly emits only the surface shells (methods and their
+	// support types) for an interface whose marshal functions, client
+	// type, server interface, and dispatcher another configuration in
+	// the same package already emitted. Used to add e.g. the async
+	// surface to an existing generated package without duplicating the
+	// wire code.
+	SurfacesOnly bool
 	// Stats, when non-nil, collects the optimizer counters of every
 	// stub compiled in this run (the `flick -stats` report).
 	Stats *Stats
@@ -202,13 +214,17 @@ func (e *emitter) newTmp(prefix string) string {
 // file drives whole-file generation.
 func (e *emitter) file(f *presc.File) (string, error) {
 	var body strings.Builder
-	// Generate stub bodies first so import usage is known.
-	for _, stub := range f.Stubs {
-		src, err := e.stubFuncs(stub)
-		if err != nil {
-			return "", fmt.Errorf("gostub: stub %s: %w", stub.Name, err)
+	// Generate stub bodies first so import usage is known. In
+	// surfaces-only mode the marshal core already exists elsewhere in
+	// the package; only the surface shells are rendered.
+	if !e.cfg.SurfacesOnly {
+		for _, stub := range f.Stubs {
+			src, err := e.stubFuncs(stub)
+			if err != nil {
+				return "", fmt.Errorf("gostub: stub %s: %w", stub.Name, err)
+			}
+			body.WriteString(src)
 		}
-		body.WriteString(src)
 	}
 	if e.cfg.EmitRPC {
 		// Client stubs and server dispatch, one set per interface.
@@ -241,7 +257,7 @@ func (e *emitter) file(f *presc.File) (string, error) {
 		out.WriteString("\t\"math\"\n")
 	}
 	out.WriteString("\n\t\"flick/rt\"\n)\n\n")
-	if !e.cfg.SkipDecls {
+	if !e.cfg.SkipDecls && !e.cfg.SurfacesOnly {
 		out.WriteString("// ObjectKey is an opaque object reference.\ntype ObjectKey = []byte\n\n")
 		if decls, ok := f.Decls.(string); ok {
 			out.WriteString(decls)
@@ -296,6 +312,25 @@ func (e *emitter) stubFuncs(s *presc.Stub) (string, error) {
 		return "", err
 	}
 	out.WriteString(src)
+
+	if s.Stream {
+		// Stream operations have no single reply: the result type is
+		// the chunk, marshaled without a status word (chunks ride the
+		// stream envelope, and stream errors travel as error frames,
+		// not exception replies).
+		chunkRoots := []root{{"ret", s.Result.Reply}}
+		src, err = e.marshalFunc("Marshal"+prefix+"Chunk", chunkRoots)
+		if err != nil {
+			return "", err
+		}
+		out.WriteString(src)
+		src, err = e.unmarshalFunc("Unmarshal"+prefix+"Chunk", chunkRoots)
+		if err != nil {
+			return "", err
+		}
+		out.WriteString(src)
+		return out.String(), nil
+	}
 
 	if !s.Oneway {
 		// Reply marshal: status 0 + results.

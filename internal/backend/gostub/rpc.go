@@ -34,9 +34,11 @@ func (e *emitter) demuxByName() bool {
 	return n == "cdr-be" || n == "cdr-le"
 }
 
-// rpcFuncs renders the client type with one method per operation, the
-// server implementation interface, and the Register function installing
-// the dispatch loop.
+// rpcFuncs renders the client type with the configured presentation
+// surfaces' methods, the server implementation interface, and the
+// Register function installing the dispatch loop. Marshal code is
+// never rendered here — every surface calls the functions the shared
+// MIR walk emitted.
 func (e *emitter) rpcFuncs(iface string, stubs []*presc.Stub) (string, error) {
 	e.b.Reset()
 	base := pgen.GoName(iface) + e.cfg.FuncSuffix
@@ -44,30 +46,36 @@ func (e *emitter) rpcFuncs(iface string, stubs []*presc.Stub) (string, error) {
 	serverIface := base + "Server"
 
 	// --- Client ---
-	e.pf("// %s invokes %s operations over a connection.", clientType, iface)
-	e.pf("type %s struct {", clientType)
-	e.indent++
-	e.pf("C *rt.Client")
-	e.indent--
-	e.pf("}")
-	e.pf("")
-	e.pf("// New%s wraps conn with the %s message protocol.", clientType, e.cfg.Format.Name())
-	e.pf("func New%s(conn rt.Conn) *%s {", clientType, clientType)
-	e.indent++
-	e.pf("c := rt.NewClient(conn, %s)", e.protoExpr())
-	if len(stubs) > 0 {
-		e.pf("c.Prog = %d", stubs[0].Prog)
-		e.pf("c.Vers = %d", stubs[0].Vers)
+	if !e.cfg.SurfacesOnly {
+		e.pf("// %s invokes %s operations over a connection.", clientType, iface)
+		e.pf("type %s struct {", clientType)
+		e.indent++
+		e.pf("C *rt.Client")
+		e.indent--
+		e.pf("}")
+		e.pf("")
+		e.pf("// New%s wraps conn with the %s message protocol.", clientType, e.cfg.Format.Name())
+		e.pf("func New%s(conn rt.Conn) *%s {", clientType, clientType)
+		e.indent++
+		e.pf("c := rt.NewClient(conn, %s)", e.protoExpr())
+		if len(stubs) > 0 {
+			e.pf("c.Prog = %d", stubs[0].Prog)
+			e.pf("c.Vers = %d", stubs[0].Vers)
+		}
+		e.pf("return &%s{C: c}", clientType)
+		e.indent--
+		e.pf("}")
+		e.pf("")
 	}
-	e.pf("return &%s{C: c}", clientType)
-	e.indent--
-	e.pf("}")
-	e.pf("")
 
-	for _, s := range stubs {
-		if err := e.clientMethod(clientType, s); err != nil {
+	for _, sf := range e.surfaces() {
+		if err := sf.clientFuncs(e, clientType, stubs); err != nil {
 			return "", err
 		}
+	}
+
+	if e.cfg.SurfacesOnly {
+		return e.b.String(), nil
 	}
 
 	// --- Server interface ---
@@ -75,11 +83,19 @@ func (e *emitter) rpcFuncs(iface string, stubs []*presc.Stub) (string, error) {
 	e.pf("type %s interface {", serverIface)
 	e.indent++
 	for _, s := range stubs {
-		e.pf("%s", s.CDecl.(string))
+		e.pf("%s", serverIfaceLine(s, e.cfg.FuncSuffix))
 	}
 	e.indent--
 	e.pf("}")
 	e.pf("")
+
+	// Sending halves for stream operations (referenced by both the
+	// interface above and the dispatch arms below).
+	for _, s := range stubs {
+		if s.Stream {
+			e.serverStreamType(s)
+		}
+	}
 
 	// --- Dispatch ---
 	if err := e.dispatchFunc(base, serverIface, stubs); err != nil {
@@ -311,6 +327,24 @@ func (e *emitter) dispatchArm(s *presc.Stub) error {
 	e.pf("return argErr")
 	e.indent--
 	e.pf("}")
+
+	if s.Stream {
+		// Stream operations push chunks over the oneway path: the
+		// single auto-reply is suppressed only after arguments decode,
+		// so a malformed request still gets a system-error reply.
+		var callIn []string
+		for _, p := range reqs {
+			callIn = append(callIn, "a_"+p.Name)
+		}
+		prefixT := stubPrefix(s) + e.cfg.FuncSuffix
+		e.pf("h.OneWay = true")
+		e.pf("sn := rt.NewStreamSender(h)")
+		e.pf("workErr := impl.%s(%s)", pgen.GoName(s.Op),
+			strings.Join(append(callIn, "&"+prefixT+"ServerStream{st: sn}"), ", "))
+		e.pf("sn.Finish(workErr)")
+		e.pf("return nil")
+		return nil
+	}
 
 	// Invoke the work function.
 	var results []string

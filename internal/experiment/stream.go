@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"flick/internal/netsim"
+	ss "flick/internal/streamstubs"
+	"flick/rt"
+)
+
+// This file regenerates the streaming experiment: server-push fetch
+// throughput as a function of chunk size and credit window over a
+// simulated link. The window is the streaming analogue of pipeline
+// depth — window 1 serializes every chunk behind a grant round trip,
+// while a deeper window overlaps propagation the same way pipelined
+// calls do — and chunk size trades per-chunk envelope overhead against
+// line occupancy, the classic throughput knob of any transfer protocol.
+
+// Stream sweeps chunk size x credit window for fetch streams over the
+// 100Mbps Ethernet model and reports delivered goodput per cell.
+func Stream() *Report {
+	return streamReport(netsim.Ethernet100, []int{1, 2, 4, 8, 16}, []int{256, 1 << 10, 4 << 10}, 128<<10)
+}
+
+func streamReport(link netsim.Link, windows, chunkSizes []int, totalBytes int) *Report {
+	rep := &Report{
+		Title: fmt.Sprintf("Server-push stream goodput vs chunk size and credit window (%s)", link),
+		Cols:  []string{"chunk", "window", "chunks/s", "goodput Mbps", "speedup"},
+		Notes: []string{
+			fmt.Sprintf("one generated Blob fetch stream delivering %s per cell; server Workers=4", sizeLabel(totalBytes)),
+			"window 1 = every chunk waits for a grant round trip; window W keeps W chunks in flight",
+			"the consumer auto-regrants at half window, so grants overlap delivery at W >= 2",
+			"chunks/s plateaus once the window hides the round trip: past that, per-chunk cost",
+			"(envelope + grant + scheduler wakeup) dominates, so goodput scales with chunk size",
+			"(absolute rates are bounded by the host's timer granularity; the shape is the result)",
+		},
+	}
+	for _, chunk := range chunkSizes {
+		var base float64
+		for _, w := range windows {
+			cps, mbps := streamCell(link, chunk, w, totalBytes)
+			if w == windows[0] {
+				base = cps
+			}
+			rep.AddRow(
+				sizeLabel(chunk),
+				fmt.Sprintf("%d", w),
+				fmt.Sprintf("%.0f", cps),
+				fmt.Sprintf("%.1f", mbps),
+				fmt.Sprintf("%.1fx", cps/base),
+			)
+		}
+	}
+	return rep
+}
+
+// streamCell measures one (chunk size, window) cell: a single fetch
+// stream of totalBytes, consumed as fast as the credit flow allows.
+func streamCell(link netsim.Link, chunkSize, window, totalBytes int) (cps, mbps float64) {
+	clientEnd, serverEnd := SimPipe(link)
+	srv := rt.NewServer(rt.ONC{})
+	srv.Workers = 4
+	ss.RegisterBlob(srv, chaosBlobImpl{chunkSize: chunkSize})
+	done := make(chan struct{})
+	go func() { defer close(done); srv.ServeConn(serverEnd) }()
+
+	c := ss.NewBlobClient(clientEnd)
+	start := time.Now()
+	st, err := c.FetchStream(strconv.Itoa(totalBytes), window)
+	if err != nil {
+		panic(err)
+	}
+	var chunks, bytes int
+	for {
+		ch, rerr := st.Recv()
+		if rerr != nil {
+			if !errors.Is(rerr, io.EOF) {
+				panic(rerr)
+			}
+			break
+		}
+		chunks++
+		bytes += len(ch.Data)
+	}
+	elapsed := time.Since(start)
+	if bytes != totalBytes {
+		panic(fmt.Sprintf("stream cell delivered %d of %d bytes", bytes, totalBytes))
+	}
+	clientEnd.Close()
+	<-done
+	serverEnd.Close()
+	return float64(chunks) / elapsed.Seconds(), float64(bytes) * 8 / 1e6 / elapsed.Seconds()
+}

@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"flick/internal/netsim"
+	ts "flick/internal/teststubs"
+	"flick/rt"
+)
+
+func TestStreamReportShape(t *testing.T) {
+	// A reduced sweep (fast link, small transfer) so the test stays
+	// quick; the full flick-bench run uses the Ethernet100 model.
+	// Window scaling itself is asserted by rt's stream tests — here we
+	// only require that every (chunk, window) cell is measured, sane,
+	// and delivered in full (streamCell panics on a short transfer).
+	link := netsim.Ethernet100.Scaled(8)
+	rep := streamReport(link, []int{1, 4}, []int{1 << 10}, 8<<10)
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if len(row) != len(rep.Cols) {
+			t.Fatalf("row %v has %d cells, want %d", row, len(row), len(rep.Cols))
+		}
+		cps, err := strconv.ParseFloat(row[2], 64)
+		if err != nil || cps <= 0 {
+			t.Errorf("row %v: bad chunks/s %q", row, row[2])
+		}
+	}
+}
+
+// TestAsyncPipelineDepth16 is the async surface's acceptance bar: a
+// single goroutine keeping 16 promises in flight over a simulated link
+// must match the 16-goroutine sync pipeline — that is, clearly beat
+// serialized depth-1 round trips — because both ride the same XID
+// multiplexer. The bar is a conservative 2x (the propagation-dominated
+// ideal is ~16x) so scheduler noise and -race overhead can't flake it.
+func TestAsyncPipelineDepth16(t *testing.T) {
+	link := netsim.Ethernet100.Scaled(4)
+	ints := IntArray(64)
+	const calls = 64
+
+	sync := asyncPipelineCell(t, link, ints, 1, calls)
+	async := asyncPipelineCell(t, link, ints, 16, calls)
+	t.Logf("sync depth-1: %.0f calls/s, async depth-16: %.0f calls/s (%.1fx)",
+		sync, async, async/sync)
+	if async < 2*sync {
+		t.Fatalf("async depth-16 = %.0f calls/s, sync depth-1 = %.0f calls/s; want >= 2x", async, sync)
+	}
+}
+
+// asyncPipelineCell issues `calls` Sum invocations from one goroutine,
+// keeping up to `depth` promises outstanding, and returns calls/s.
+func asyncPipelineCell(t *testing.T, link netsim.Link, ints []int32, depth, calls int) float64 {
+	t.Helper()
+	clientEnd, serverEnd := SimPipe(link)
+	srv := rt.NewServer(rt.ONC{})
+	srv.Workers = 16
+	ts.RegisterBenchXDR(srv, pipelineImpl{})
+	done := make(chan struct{})
+	go func() { defer close(done); srv.ServeConn(serverEnd) }()
+
+	c := ts.NewBenchXDRClient(clientEnd)
+	var want int32
+	for _, x := range ints {
+		want += x
+	}
+	window := make([]*ts.BenchSumXDRPromise, 0, depth)
+	settle := func(pr *ts.BenchSumXDRPromise) {
+		ret, err := pr.Wait()
+		if err != nil {
+			t.Errorf("SumAsync: %v", err)
+		} else if ret != want {
+			t.Errorf("SumAsync = %d, want %d", ret, want)
+		}
+	}
+	start := time.Now()
+	for i := 0; i < calls; i++ {
+		if len(window) == depth {
+			settle(window[0])
+			window = window[1:]
+		}
+		window = append(window, c.SumAsync(ints))
+	}
+	for _, pr := range window {
+		settle(pr)
+	}
+	elapsed := time.Since(start)
+	clientEnd.Close()
+	<-done
+	serverEnd.Close()
+	return float64(calls) / elapsed.Seconds()
+}

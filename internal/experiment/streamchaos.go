@@ -1,0 +1,470 @@
+package experiment
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"sync"
+	"time"
+
+	ss "flick/internal/streamstubs"
+	"flick/rt"
+)
+
+// This file is the streaming variant of the chaos soak: generated
+// stream stubs (the Blob fetch surface) driven over the same hostile
+// link as the call soak — FaultConn under CRC32-C framing — with sync
+// and promise traffic interleaved on the same sessions. The invariant
+// mirrors the call soak's, restated for transfers: a fetch either
+// delivers the complete blob byte-for-byte, or ends in a classified
+// error — never silently short, never corrupt — and the runtime leaks
+// neither pooled buffers nor goroutines, even when the link is cut or
+// scrambled mid-stream.
+
+// StreamChaosConfig parameterizes one streaming soak.
+type StreamChaosConfig struct {
+	// Transfers is the total number of fetch transfers (default 200),
+	// split across Consumers goroutines (default 8), each consumer on
+	// its own hostile link.
+	Transfers int
+	Consumers int
+	// Seed drives every fault plan, blob size, and window choice.
+	Seed int64
+	// Plan is the per-connection fault plan (Seed overridden per dial).
+	Plan rt.FaultPlan
+	// Workers is the per-connection server worker pool (default 4).
+	Workers int
+	// ChunkSize is the server's transfer chunk size in bytes (default 64);
+	// MaxChunks bounds the per-transfer blob length (default 16 chunks).
+	ChunkSize int
+	MaxChunks int
+	// CancelEvery, when positive, cancels every Nth transfer midway —
+	// the consumer-initiated kill (the link-initiated kills come from
+	// the fault plan's resets).
+	CancelEvery int
+}
+
+// StreamChaosResult aggregates one streaming soak's outcome.
+type StreamChaosResult struct {
+	Transfers uint64
+	// Completed transfers delivered every chunk dense, in order, and
+	// byte-identical to the blob.
+	Completed uint64
+	// Mismatches are transfers that ended in a clean EOF with dense
+	// sequence numbers but wrong bytes: must be zero, always.
+	Mismatches uint64
+	// Canceled counts deliberate mid-transfer cancels that terminated
+	// with ErrStreamCanceled as contracted.
+	Canceled uint64
+	// SeqDamage counts transfers the consumer abandoned on a sequence
+	// gap, duplicate, or reorder — link damage detected by the
+	// application-level sequence numbers (acceptable under chaos).
+	SeqDamage uint64
+	// Classified failure classes (acceptable under chaos).
+	FailedBroken, FailedTimeout, FailedSystem uint64
+	// FailedOther are terminals carrying no classification: must be
+	// zero, always.
+	FailedOther uint64
+
+	ChunksDelivered uint64
+	// Interleaved call traffic on the same sessions.
+	SyncCalls, SyncFailed, AsyncCalls, AsyncFailed uint64
+	// CallsUnclassified are sync/async failures without a retry
+	// classification: must be zero.
+	CallsUnclassified uint64
+
+	// Link-level damage and recovery.
+	FaultsInjected, ChecksumRejects, Reconnects uint64
+
+	PoolDelta rt.PoolStats
+	Wall      time.Duration
+}
+
+// chaosBlob builds the deterministic blob both sides derive from the
+// blob's name (the decimal byte length): the client can verify a
+// completed transfer without shipping the expectation out of band.
+func chaosBlob(size int) []byte {
+	out := make([]byte, size)
+	for i := range out {
+		out[i] = byte(i*131 + size*17 + i>>6)
+	}
+	return out
+}
+
+// chaosBlobImpl serves chaosBlob(name) as ChunkSize'd sequence-numbered
+// chunks through the generated sending half.
+type chaosBlobImpl struct {
+	chunkSize int
+}
+
+func (b chaosBlobImpl) Size(name string) (uint32, error) {
+	n, err := strconv.Atoi(name)
+	if err != nil {
+		return 0, err
+	}
+	return uint32(n), nil
+}
+
+func (b chaosBlobImpl) Put(name string, data []byte) error { return nil }
+
+func (b chaosBlobImpl) Fetch(name string, st *ss.BlobFetchServerStream) error {
+	n, err := strconv.Atoi(name)
+	if err != nil {
+		return err
+	}
+	data := chaosBlob(n)
+	for seq := uint32(0); len(data) > 0; seq++ {
+		c := b.chunkSize
+		if c > len(data) {
+			c = len(data)
+		}
+		if err := st.Send(&ss.BlobChunk{Seq: seq, Data: data[:c]}); err != nil {
+			return err
+		}
+		data = data[c:]
+	}
+	return nil
+}
+
+func (b chaosBlobImpl) Touch(nonce int32) error { return nil }
+
+// classifiedStream reports whether a stream terminal carries one of the
+// runtime's error classes.
+func classifiedStream(err error) bool {
+	for _, class := range []error{
+		rt.ErrStreamBroken, rt.ErrStreamCanceled, rt.ErrTimeout, rt.ErrSystem,
+		rt.ErrOverloaded, rt.ErrClosed, rt.ErrBreakerOpen,
+		rt.ErrRetryable, rt.ErrNotRetryable,
+	} {
+		if errors.Is(err, class) {
+			return true
+		}
+	}
+	return false
+}
+
+// classifiedCall reports whether a call failure carries a retry
+// classification (the sync soak's acceptance bar).
+func classifiedCall(err error) bool {
+	return errors.Is(err, rt.ErrRetryable) || errors.Is(err, rt.ErrNotRetryable) ||
+		errors.Is(err, rt.ErrBreakerOpen)
+}
+
+// RunStreamChaos executes one streaming soak and waits for quiescence.
+func RunStreamChaos(cfg StreamChaosConfig) (*StreamChaosResult, error) {
+	if cfg.Transfers <= 0 {
+		cfg.Transfers = 200
+	}
+	if cfg.Consumers <= 0 {
+		cfg.Consumers = 8
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = 64
+	}
+	if cfg.MaxChunks <= 0 {
+		cfg.MaxChunks = 16
+	}
+
+	clientMetrics := rt.NewMetrics()
+	var mu sync.Mutex
+	var faults []*rt.FaultConn
+	var checks []*rt.ChecksumConn
+	var serveWG sync.WaitGroup
+	connSeed := cfg.Seed
+
+	dial := func() (rt.Conn, error) {
+		mu.Lock()
+		connSeed++
+		seed := connSeed
+		mu.Unlock()
+		clientPipe, serverPipe := rt.Pipe()
+		plan := cfg.Plan
+		plan.Seed = seed
+		fc, err := rt.NewFaultConn(clientPipe, plan)
+		if err != nil {
+			return nil, err
+		}
+		clientSide := rt.WrapChecksum(fc)
+		serverSide := rt.WrapChecksum(serverPipe)
+
+		srv := rt.NewServer(rt.ONC{})
+		srv.Workers = cfg.Workers
+		srv.MaxMessage = 1 << 20
+		ss.RegisterBlob(srv, chaosBlobImpl{chunkSize: cfg.ChunkSize})
+		serveWG.Add(1)
+		go func() { defer serveWG.Done(); srv.ServeConn(serverSide) }()
+
+		mu.Lock()
+		faults = append(faults, fc)
+		checks = append(checks, clientSide, serverSide)
+		mu.Unlock()
+		return clientSide, nil
+	}
+
+	poolBefore := rt.ReadPoolStats()
+	res := &StreamChaosResult{}
+	per := cfg.Transfers / cfg.Consumers
+	if per < 1 {
+		per = 1
+	}
+	var wg sync.WaitGroup
+	var resMu sync.Mutex
+	start := time.Now()
+	clients := make([]*ss.BlobClient, cfg.Consumers)
+	for g := 0; g < cfg.Consumers; g++ {
+		first, err := dial()
+		if err != nil {
+			return nil, err
+		}
+		c := ss.NewBlobClient(first)
+		c.C.Metrics = clientMetrics
+		c.C.Timeout = 250 * time.Millisecond
+		c.C.Redial = dial
+		clients[g] = c
+	}
+	for g := 0; g < cfg.Consumers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(g)*999983))
+			c := clients[g]
+			var local StreamChaosResult
+			windows := []int{2, 4, 8}
+			for i := 0; i < per; i++ {
+				size := (1+rng.Intn(cfg.MaxChunks))*cfg.ChunkSize - rng.Intn(cfg.ChunkSize)
+				name := strconv.Itoa(size)
+				want := chaosBlob(size)
+				chunks := (size + cfg.ChunkSize - 1) / cfg.ChunkSize
+
+				// Interleaved call traffic: a sync Size and a promise
+				// resolved after the transfer, all on the same session
+				// the stream runs over.
+				local.SyncCalls++
+				if n, err := c.Size(name); err != nil {
+					local.SyncFailed++
+					if !classifiedCall(err) {
+						local.CallsUnclassified++
+					}
+				} else if int(n) != size {
+					local.Mismatches++
+				}
+				local.AsyncCalls++
+				promise := c.SizeAsync(name)
+
+				cancelAt := -1
+				if cfg.CancelEvery > 0 && i%cfg.CancelEvery == cfg.CancelEvery-1 {
+					cancelAt = chunks / 2
+				}
+
+				local.Transfers++
+				st, err := c.FetchStream(name, windows[rng.Intn(len(windows))])
+				if err != nil {
+					countStreamTerminal(&local, err, false)
+					settlePromise(&local, promise, size)
+					continue
+				}
+				var got bytes.Buffer
+				var next uint32
+				damaged := false
+				canceled := false
+				var terminal error
+				for {
+					if cancelAt >= 0 && int(next) == cancelAt && !canceled {
+						st.Cancel()
+						canceled = true
+					}
+					ch, rerr := st.Recv()
+					if rerr != nil {
+						terminal = rerr
+						break
+					}
+					local.ChunksDelivered++
+					if ch.Seq != next {
+						// Gap, duplicate, or reorder: the sequence
+						// numbers catch what the CRC layer cannot (a
+						// frame that vanished whole). Abandon.
+						damaged = true
+						st.Cancel()
+						terminal = errSeqDamage
+						break
+					}
+					next++
+					got.Write(ch.Data)
+				}
+				switch {
+				case damaged:
+					local.SeqDamage++
+					// Consume down to the sticky terminal (Cancel may
+					// have raced a server-sent terminal, leaving
+					// already-buffered chunks ahead of it).
+					for {
+						if _, rerr := st.Recv(); rerr != nil {
+							break
+						}
+					}
+				case canceled:
+					// Deliberate kill. Usually the terminal is
+					// ErrStreamCanceled; if the server finished first
+					// the race resolves to a clean EOF whose
+					// undelivered tail Cancel discarded — either way
+					// the teardown is contracted, not damage.
+					if errors.Is(terminal, rt.ErrStreamCanceled) || errors.Is(terminal, io.EOF) {
+						local.Canceled++
+					} else {
+						countStreamTerminal(&local, terminal, canceled)
+					}
+				case errors.Is(terminal, io.EOF):
+					if got.Len() == size && bytes.Equal(got.Bytes(), want) {
+						local.Completed++
+					} else {
+						local.Mismatches++
+					}
+				default:
+					countStreamTerminal(&local, terminal, canceled)
+				}
+				settlePromise(&local, promise, size)
+			}
+			resMu.Lock()
+			res.add(&local)
+			resMu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	res.Wall = time.Since(start)
+
+	for _, c := range clients {
+		c.C.Close()
+	}
+	serveWG.Wait()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		res.PoolDelta = rt.ReadPoolStats().Sub(poolBefore)
+		if res.PoolDelta.Balanced() || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	res.Reconnects = clientMetrics.Reconnects.Load()
+	mu.Lock()
+	for _, f := range faults {
+		res.FaultsInjected += f.Stats.Drops.Load() + f.Stats.Dups.Load() +
+			f.Stats.Reorders.Load() + f.Stats.Corrupts.Load() +
+			f.Stats.Truncates.Load() + f.Stats.Resets.Load() + f.Stats.Delays.Load()
+	}
+	for _, cs := range checks {
+		res.ChecksumRejects += cs.Rejected.Load()
+	}
+	mu.Unlock()
+	return res, nil
+}
+
+// errSeqDamage is the soak's internal marker for sequence-detected
+// damage; it never escapes RunStreamChaos.
+var errSeqDamage = errors.New("streamchaos: sequence damage")
+
+// countStreamTerminal buckets a non-EOF terminal.
+func countStreamTerminal(local *StreamChaosResult, err error, canceled bool) {
+	switch {
+	case errors.Is(err, rt.ErrTimeout):
+		local.FailedTimeout++
+	case errors.Is(err, rt.ErrStreamBroken) || errors.Is(err, rt.ErrClosed),
+		canceled && errors.Is(err, rt.ErrStreamCanceled):
+		local.FailedBroken++
+	case errors.Is(err, rt.ErrSystem):
+		local.FailedSystem++
+	case classifiedStream(err):
+		local.FailedBroken++
+	default:
+		local.FailedOther++
+	}
+}
+
+// settlePromise resolves the interleaved SizeAsync promise and checks
+// its classification and answer.
+func settlePromise(local *StreamChaosResult, p *ss.BlobSizePromise, size int) {
+	n, err := p.Wait()
+	if err != nil {
+		local.AsyncFailed++
+		if !classifiedCall(err) {
+			local.CallsUnclassified++
+		}
+		return
+	}
+	if int(n) != size {
+		local.Mismatches++
+	}
+}
+
+func (r *StreamChaosResult) add(l *StreamChaosResult) {
+	r.Transfers += l.Transfers
+	r.Completed += l.Completed
+	r.Mismatches += l.Mismatches
+	r.Canceled += l.Canceled
+	r.SeqDamage += l.SeqDamage
+	r.FailedBroken += l.FailedBroken
+	r.FailedTimeout += l.FailedTimeout
+	r.FailedSystem += l.FailedSystem
+	r.FailedOther += l.FailedOther
+	r.ChunksDelivered += l.ChunksDelivered
+	r.SyncCalls += l.SyncCalls
+	r.SyncFailed += l.SyncFailed
+	r.AsyncCalls += l.AsyncCalls
+	r.AsyncFailed += l.AsyncFailed
+	r.CallsUnclassified += l.CallsUnclassified
+}
+
+// StreamChaos sweeps the combined fault rate over streaming transfers
+// and reports what survived: complete deliveries, consumer cancels,
+// sequence-detected damage, and the classified failure classes — plus
+// the hard invariants (wrong bytes, unclassified terminals, pool leaks)
+// which must read zero at every rate.
+func StreamChaos() *Report {
+	rep := &Report{
+		Title: "Stream chaos soak: generated fetch streams over a faulty link",
+		Cols: []string{"fault rate", "transfers", "complete", "canceled", "seq dmg",
+			"broken", "timeout", "chunks", "faults", "crc drops", "wrong", "unclassified", "pool leak"},
+		Notes: []string{
+			"Blob fetch streams (credit-windowed server push) through FaultConn under CRC32-C framing",
+			"sync Size + SizeAsync promise interleaved on the same sessions; consumer cancels every 7th transfer",
+			"a transfer either delivers the full blob byte-identical or ends in a classified error",
+			"'wrong' (bytes/answers), 'unclassified' terminals, and pool leaks must be 0 at every rate",
+		},
+	}
+	for _, rate := range []float64{0, 0.02, 0.05, 0.10} {
+		res, err := RunStreamChaos(StreamChaosConfig{
+			Transfers: 160, Consumers: 8, Seed: 1,
+			Plan: DefaultChaosPlan(rate), CancelEvery: 7,
+		})
+		if err != nil {
+			rep.AddRow(fmt.Sprintf("%.0f%%", rate*100), "error: "+err.Error())
+			continue
+		}
+		leak := "none"
+		if !res.PoolDelta.Balanced() {
+			leak = fmt.Sprintf("%+v", res.PoolDelta)
+		}
+		rep.AddRow(
+			fmt.Sprintf("%.0f%%", rate*100),
+			fmt.Sprintf("%d", res.Transfers),
+			fmt.Sprintf("%d", res.Completed),
+			fmt.Sprintf("%d", res.Canceled),
+			fmt.Sprintf("%d", res.SeqDamage),
+			fmt.Sprintf("%d", res.FailedBroken),
+			fmt.Sprintf("%d", res.FailedTimeout),
+			fmt.Sprintf("%d", res.ChunksDelivered),
+			fmt.Sprintf("%d", res.FaultsInjected),
+			fmt.Sprintf("%d", res.ChecksumRejects),
+			fmt.Sprintf("%d", res.Mismatches),
+			fmt.Sprintf("%d", res.FailedOther+res.CallsUnclassified),
+			leak,
+		)
+	}
+	return rep
+}

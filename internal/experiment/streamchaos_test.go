@@ -1,0 +1,118 @@
+package experiment
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestStreamChaosSoak is the acceptance gate for the streaming surface
+// under fire: fetch transfers through a link injecting a combined ~5%
+// fault rate — including mid-stream kills (resets) and corruption —
+// must each either deliver the complete blob byte-identical or end in a
+// classified error, with zero pooled-buffer leaks and zero goroutine
+// growth. Run it with -race.
+func TestStreamChaosSoak(t *testing.T) {
+	transfers := 200
+	if testing.Short() {
+		transfers = 64
+	}
+	goroutinesBefore := runtime.NumGoroutine()
+
+	res, err := RunStreamChaos(StreamChaosConfig{
+		Transfers:   transfers,
+		Consumers:   8,
+		Seed:        1,
+		Plan:        DefaultChaosPlan(0.05),
+		CancelEvery: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("stream chaos: %d transfers, %d complete, %d canceled, %d seq-damaged, "+
+		"%d/%d/%d failed (broken/timeout/system), %d chunks, %d faults, %d crc drops, "+
+		"%d redials, sync %d/%d failed, async %d/%d failed, %v wall",
+		res.Transfers, res.Completed, res.Canceled, res.SeqDamage,
+		res.FailedBroken, res.FailedTimeout, res.FailedSystem, res.ChunksDelivered,
+		res.FaultsInjected, res.ChecksumRejects, res.Reconnects,
+		res.SyncFailed, res.SyncCalls, res.AsyncFailed, res.AsyncCalls, res.Wall)
+
+	// Hard invariants: never wrong bytes, never an unclassified terminal.
+	if res.Mismatches != 0 {
+		t.Errorf("corruption reached a consumer: %d wrong transfers/answers", res.Mismatches)
+	}
+	if res.FailedOther != 0 {
+		t.Errorf("%d stream terminals carried no classification", res.FailedOther)
+	}
+	if res.CallsUnclassified != 0 {
+		t.Errorf("%d interleaved call failures carried no retry classification", res.CallsUnclassified)
+	}
+	if res.Transfers != uint64((transfers/8)*8) {
+		t.Errorf("transfers = %d, want %d (a consumer hung or double-counted)",
+			res.Transfers, (transfers/8)*8)
+	}
+	// The soak must actually exercise the machinery: faults injected,
+	// damage rejected or sequence-detected, cancels confirmed, and some
+	// transfers surviving intact.
+	if res.FaultsInjected == 0 {
+		t.Error("no faults injected: the soak tested a clean wire")
+	}
+	if res.ChecksumRejects == 0 {
+		t.Error("no frames rejected: corruption/truncation never hit the integrity layer")
+	}
+	if res.Completed == 0 {
+		t.Error("no transfer completed: the stream path is dead under chaos")
+	}
+	if res.Canceled == 0 {
+		t.Error("no deliberate cancel confirmed ErrStreamCanceled")
+	}
+	if failed := res.SeqDamage + res.FailedBroken + res.FailedTimeout + res.FailedSystem; failed == 0 {
+		t.Error("no transfer failed at a 5% fault rate: the chaos never touched a stream")
+	}
+	// Leak invariants: pools balanced, goroutines bounded.
+	if !res.PoolDelta.Balanced() {
+		t.Errorf("pooled buffers leaked under stream chaos: %+v", res.PoolDelta)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > goroutinesBefore+2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > goroutinesBefore+2 {
+		t.Errorf("goroutines grew %d -> %d after quiescence", goroutinesBefore, now)
+	}
+}
+
+// TestStreamChaosCleanWire pins the degenerate case: at a 0% fault rate
+// every non-canceled transfer completes byte-identical, with no
+// failures, no redials, and balanced pools.
+func TestStreamChaosCleanWire(t *testing.T) {
+	goroutinesBefore := runtime.NumGoroutine()
+	res, err := RunStreamChaos(StreamChaosConfig{
+		Transfers: 64, Consumers: 4, Seed: 2, CancelEvery: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed+res.Canceled != res.Transfers {
+		t.Errorf("clean wire: %d complete + %d canceled of %d transfers",
+			res.Completed, res.Canceled, res.Transfers)
+	}
+	if res.Mismatches != 0 || res.FailedOther != 0 || res.SeqDamage != 0 ||
+		res.FailedBroken != 0 || res.FailedTimeout != 0 || res.FailedSystem != 0 {
+		t.Errorf("clean wire saw failures: %+v", res)
+	}
+	if res.SyncFailed != 0 || res.AsyncFailed != 0 {
+		t.Errorf("clean wire failed calls: sync %d, async %d", res.SyncFailed, res.AsyncFailed)
+	}
+	if !res.PoolDelta.Balanced() {
+		t.Errorf("clean wire leaked pooled buffers: %+v", res.PoolDelta)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > goroutinesBefore+2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > goroutinesBefore+2 {
+		t.Errorf("goroutines grew %d -> %d after quiescence", goroutinesBefore, now)
+	}
+}

@@ -37,16 +37,21 @@ func (l *Lexer) Pragmas() []Pragma { return l.pragmas }
 // retry policy.
 func ApplyFlickPragmas(l *Lexer, f *aoi.File) error {
 	for _, pg := range l.pragmas {
-		if pg.Text != "idempotent" {
+		if pg.Text != "idempotent" && pg.Text != "stream" {
 			return &Error{File: l.file, Line: pg.Line, Col: pg.Col,
-				Msg: fmt.Sprintf("unknown //flick: directive %q (supported: idempotent)", pg.Text)}
+				Msg: fmt.Sprintf("unknown //flick: directive %q (supported: idempotent, stream)", pg.Text)}
 		}
 		op := opAtLine(f, pg.Line)
 		if op == nil {
 			return &Error{File: l.file, Line: pg.Line, Col: pg.Col,
-				Msg: "//flick:idempotent does not precede or trail an operation declaration"}
+				Msg: fmt.Sprintf("//flick:%s does not precede or trail an operation declaration", pg.Text)}
 		}
-		op.Idempotent = true
+		switch pg.Text {
+		case "idempotent":
+			op.Idempotent = true
+		case "stream":
+			op.Stream = true
+		}
 	}
 	return nil
 }

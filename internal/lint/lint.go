@@ -5,9 +5,13 @@
 // rt itself:
 //
 //   - releasecheck — every pooled *rt.Decoder obtained from a
-//     Call-shaped method is Released exactly once and never used after
-//     release (the rt/pool.go contract: the decoder returns to the pool
-//     on Release, so a later use reads another call's reply).
+//     Call-shaped method (rt.Client.Call, rt.Promise.Wait,
+//     rt.ClientStream.Recv, and compatible wrappers) is Released
+//     exactly once, never used after release, and never captured by a
+//     function literal outliving the borrow (the rt/pool.go contract:
+//     the decoder returns to the pool on Release, so a later use —
+//     including one deferred into a promise or stream callback — reads
+//     another call's reply).
 //   - sendsafe — implementations of Conn.Send must not retain the
 //     message buffer (store it in a field, a global, or a channel): the
 //     caller reuses the buffer as soon as Send returns.

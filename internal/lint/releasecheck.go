@@ -12,9 +12,16 @@ import (
 //
 //   - released (d.Release()) somewhere in the acquiring function,
 //     unless ownership is transferred by returning the decoder;
-//   - released at most once on any straight-line path; and
+//   - released at most once on any straight-line path;
 //   - never used after an unconditional release (the object may already
-//     be carrying another call's reply).
+//     be carrying another call's reply); and
+//   - never captured by a function literal that does not itself contain
+//     the borrow. This is the promise/stream ownership contract: the
+//     async and streaming surfaces hand closures to the runtime and to
+//     user schedulers whose execution outlives the borrowing frame, so
+//     a captured decoder is a latent use-after-release even when the
+//     straight-line order looks safe. Decode values out of the chunk or
+//     reply first and let the closure capture the copies.
 //
 // The check is flow-approximate rather than path-exact: it reasons
 // about straight-line statement order inside each block and treats
@@ -129,6 +136,46 @@ func checkAcquisition(pass *Pass, fn *ast.FuncDecl, acq acquisition) {
 		checkBlockAfterRelease(pass, block.List, acq.obj)
 		return true
 	})
+	checkCallbackEscapes(pass, fn, acq)
+}
+
+// checkCallbackEscapes flags references to a pooled decoder inside
+// function literals that do not contain the borrow itself. The promise
+// and stream surfaces hand closures to the runtime (marshal callbacks,
+// resolution hooks) and user code hands chunk handlers to schedulers
+// and goroutines; any of these may run after the acquiring frame has
+// released the decoder back to the pool, at which point the capture
+// reads another call's reply. The borrow-containing closure is exempt —
+// a closure that performs its own call/decode/release cycle owns the
+// decoder for its whole lifetime.
+func checkCallbackEscapes(pass *Pass, fn *ast.FuncDecl, acq acquisition) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		fl, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		if containsNode(fl, acq.pos) {
+			// The borrow lives inside this literal; its direct uses are
+			// fine, but a deeper literal capturing the decoder is not.
+			return true
+		}
+		ast.Inspect(fl.Body, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && pass.Info.Uses[id] == acq.obj {
+				pass.Reportf(id.Pos(), "pooled decoder %s captured by a function literal (promise/stream contract: the callback may run after release — copy decoded values out instead)", acq.obj.Name())
+			}
+			return true
+		})
+		// Uses in nested literals were just reported; don't descend and
+		// report them again.
+		return false
+	}
+	ast.Inspect(fn.Body, walk)
+}
+
+// containsNode reports whether outer's source range encloses inner.
+func containsNode(outer, inner ast.Node) bool {
+	return outer.Pos() <= inner.Pos() && inner.End() <= outer.End()
 }
 
 // isReleaseOf reports whether call is obj.Release().

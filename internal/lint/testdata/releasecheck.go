@@ -60,3 +60,71 @@ func transfersOwnership(c *rt.Client) (*rt.Decoder, error) {
 	}
 	return d, nil
 }
+
+// --- promise/stream surfaces: long-lived callback escapes -------------------
+
+// ok: the promise reply is decoded and released in the waiting frame;
+// the callback captures the copied value, not the decoder.
+func promiseValueCopiedOut(p *rt.Promise, schedule func(func() uint32)) error {
+	d, err := p.Wait()
+	if err != nil {
+		return err
+	}
+	v := d.U32BE()
+	d.Release()
+	schedule(func() uint32 { return v })
+	return nil
+}
+
+// A promise reply decoder handed to a scheduled callback outlives the
+// borrow: by the time the callback runs, Release has reissued the
+// decoder to another call.
+func promiseDecoderEscapes(p *rt.Promise, schedule func(func() uint32)) error {
+	d, err := p.Wait()
+	if err != nil {
+		return err
+	}
+	schedule(func() uint32 { return d.U32BE() }) // want `pooled decoder d captured by a function literal`
+	d.Release()
+	return nil
+}
+
+// ok: the canonical stream consumer — each chunk decoded and released
+// before the next Recv.
+func streamConsumer(st *rt.ClientStream) (sum uint32, err error) {
+	for {
+		d, rerr := st.Recv()
+		if rerr != nil {
+			return sum, rerr
+		}
+		sum += d.U32BE()
+		d.Release()
+	}
+}
+
+// A chunk decoder captured by a goroutine races the consumer's Release.
+func streamChunkEscapesToGoroutine(st *rt.ClientStream, out chan uint32) error {
+	d, err := st.Recv()
+	if err != nil {
+		return err
+	}
+	go func() {
+		out <- d.U32BE() // want `pooled decoder d captured by a function literal`
+	}()
+	d.Release()
+	return nil
+}
+
+// ok: the borrow, decode, and release all live inside the same closure;
+// the closure owns the decoder for its whole lifetime.
+func closureOwnsItsBorrow(c *rt.Client) func() (uint32, error) {
+	return func() (uint32, error) {
+		d, err := c.Call(1, "op", false, func(e *rt.Encoder) {})
+		if err != nil {
+			return 0, err
+		}
+		v := d.U32BE()
+		d.Release()
+		return v, nil
+	}
+}

@@ -507,6 +507,7 @@ func (g *CPresentation) opStub(it *aoi.Interface, op *aoi.Operation, side presc.
 		Vers:       it.Version,
 		Oneway:     op.Oneway,
 		Idempotent: op.Idempotent,
+		Stream:     op.Stream,
 		Request:    g.mb.BuildRequest(it.Name, op),
 	}
 	if !op.Oneway {

@@ -370,6 +370,7 @@ func (g *GoPresentation) opStub(it *aoi.Interface, op *aoi.Operation, side presc
 		Vers:       it.Version,
 		Oneway:     op.Oneway,
 		Idempotent: op.Idempotent,
+		Stream:     op.Stream,
 		Request:    g.mb.BuildRequest(it.Name, op),
 	}
 	if !op.Oneway {

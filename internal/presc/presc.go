@@ -114,6 +114,12 @@ type Stub struct {
 	// which only retries idempotent operations after ambiguous
 	// failures.
 	Idempotent bool
+	// Stream carries the AOI operation's server-push streaming mark
+	// (//flick:stream): the Result presentation is the chunk type and
+	// the back end emits a credit-windowed stream instead of a single
+	// reply. Stream stubs are never oneway, carry no reply params, and
+	// raise no exceptions.
+	Stream bool
 	// CDecl is the stub's target-language declaration (a *cast.FuncDecl
 	// for C presentations; a signature string for Go).
 	CDecl any
@@ -198,6 +204,20 @@ func Validate(f *File) error {
 		}
 		if s.Oneway != (s.Reply == nil) {
 			return fmt.Errorf("presc: stub %s oneway=%v but reply=%v", s.Name, s.Oneway, s.Reply)
+		}
+		if s.Stream {
+			if s.Oneway {
+				return fmt.Errorf("presc: stream stub %s is oneway", s.Name)
+			}
+			if s.Result == nil || s.Result.Reply == nil {
+				return fmt.Errorf("presc: stream stub %s has no result presentation (the chunk type)", s.Name)
+			}
+			if len(s.ReplyParams()) > 0 {
+				return fmt.Errorf("presc: stream stub %s has reply parameters", s.Name)
+			}
+			if len(s.ExceptionNames) > 0 {
+				return fmt.Errorf("presc: stream stub %s declares exceptions", s.Name)
+			}
 		}
 		for i := range s.Params {
 			p := &s.Params[i]

@@ -1,0 +1,208 @@
+package streamstubs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flick/rt"
+)
+
+// blobImpl is an in-memory blob store. Fetch pushes the stored bytes as
+// fixed-size sequence-numbered chunks through the generated sending
+// half, pacing against the consumer's credit window.
+type blobImpl struct {
+	mu    sync.Mutex
+	blobs map[string][]byte
+
+	chunkSize int
+	sent      atomic.Uint64 // chunks successfully transmitted by Fetch
+}
+
+func newBlobImpl(chunkSize int) *blobImpl {
+	return &blobImpl{blobs: map[string][]byte{}, chunkSize: chunkSize}
+}
+
+func (b *blobImpl) get(name string) []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.blobs[name]
+}
+
+func (b *blobImpl) Size(name string) (uint32, error) {
+	return uint32(len(b.get(name))), nil
+}
+
+func (b *blobImpl) Put(name string, data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.blobs[name] = append([]byte(nil), data...)
+	return nil
+}
+
+func (b *blobImpl) Fetch(name string, st *BlobFetchServerStream) error {
+	data := b.get(name)
+	if data == nil {
+		return errors.New("no such blob")
+	}
+	for seq := uint32(0); len(data) > 0; seq++ {
+		n := b.chunkSize
+		if n > len(data) {
+			n = len(data)
+		}
+		if err := st.Send(&BlobChunk{Seq: seq, Data: data[:n]}); err != nil {
+			return err
+		}
+		b.sent.Add(1)
+		data = data[n:]
+	}
+	return nil
+}
+
+func (b *blobImpl) Touch(nonce int32) error { return nil }
+
+var _ BlobServer = (*blobImpl)(nil)
+
+func startBlobServer(t *testing.T, impl *blobImpl) *BlobClient {
+	t.Helper()
+	clientEnd, serverEnd := rt.Pipe()
+	s := rt.NewServer(rt.ONC{})
+	s.Workers = 4
+	RegisterBlob(s, impl)
+	done := make(chan struct{})
+	go func() { defer close(done); s.ServeConn(serverEnd) }()
+	t.Cleanup(func() { clientEnd.Close(); <-done })
+	return NewBlobClient(clientEnd)
+}
+
+// pattern builds a deterministic non-repeating byte payload.
+func pattern(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(i*7 + i>>8)
+	}
+	return out
+}
+
+// TestBlobSurfacesRoundTrip drives all three generated surfaces on one
+// session: sync Put/Size, async promises resolved out of order, and the
+// streamed Fetch reassembled byte for byte.
+func TestBlobSurfacesRoundTrip(t *testing.T) {
+	impl := newBlobImpl(64)
+	c := startBlobServer(t, impl)
+
+	data := pattern(1000) // 15 full chunks + a 40-byte tail
+	if err := c.Put("a", data); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sync surface.
+	if n, err := c.Size("a"); err != nil || n != 1000 {
+		t.Fatalf("Size = %d, %v", n, err)
+	}
+
+	// Async surface: pipeline several promises, resolve back to front.
+	ps := []*BlobSizePromise{c.SizeAsync("a"), c.SizeAsync("missing"), c.SizeAsync("a")}
+	wants := []uint32{1000, 0, 1000}
+	for i := len(ps) - 1; i >= 0; i-- {
+		if n, err := ps[i].Wait(); err != nil || n != wants[i] {
+			t.Fatalf("promise %d: Size = %d, %v (want %d)", i, n, err, wants[i])
+		}
+	}
+
+	// Stream surface: reassemble and verify the terminal is a clean EOF.
+	st, err := c.FetchStream("a", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	var wantSeq uint32
+	for {
+		ch, rerr := st.Recv()
+		if rerr != nil {
+			if !errors.Is(rerr, io.EOF) {
+				t.Fatalf("terminal = %v, want io.EOF", rerr)
+			}
+			break
+		}
+		if ch.Seq != wantSeq {
+			t.Fatalf("chunk seq = %d, want %d", ch.Seq, wantSeq)
+		}
+		wantSeq++
+		got.Write(ch.Data)
+	}
+	if !bytes.Equal(got.Bytes(), data) {
+		t.Fatalf("reassembled %d bytes, mismatch with %d sent", got.Len(), len(data))
+	}
+}
+
+// TestBlobStreamZeroWindow pins backpressure through the generated API:
+// with window 0 the server's Fetch loop must not transmit until the
+// consumer grants credit.
+func TestBlobStreamZeroWindow(t *testing.T) {
+	impl := newBlobImpl(8)
+	c := startBlobServer(t, impl)
+	if err := c.Put("b", pattern(24)); err != nil { // 3 chunks
+		t.Fatal(err)
+	}
+
+	st, err := c.FetchStream("b", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if n := impl.sent.Load(); n != 0 {
+		t.Fatalf("server sent %d chunks with zero credit", n)
+	}
+	for i := uint32(0); i < 3; i++ {
+		if err := st.Grant(1); err != nil {
+			t.Fatalf("Grant: %v", err)
+		}
+		ch, rerr := st.Recv()
+		if rerr != nil {
+			t.Fatalf("Recv %d: %v", i, rerr)
+		}
+		if ch.Seq != i {
+			t.Fatalf("seq = %d, want %d", ch.Seq, i)
+		}
+	}
+	if _, rerr := st.Recv(); !errors.Is(rerr, io.EOF) {
+		t.Fatalf("terminal = %v, want io.EOF", rerr)
+	}
+}
+
+// TestBlobStreamCancelAndError covers the two non-EOF terminals through
+// the generated API: a consumer cancel mid-transfer and a server-side
+// work error surfacing as a classified system error.
+func TestBlobStreamCancelAndError(t *testing.T) {
+	impl := newBlobImpl(4)
+	c := startBlobServer(t, impl)
+	if err := c.Put("c", pattern(4000)); err != nil { // 1000 chunks
+		t.Fatal(err)
+	}
+
+	st, err := c.FetchStream("c", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, rerr := st.Recv(); rerr != nil {
+		t.Fatal(rerr)
+	}
+	st.Cancel()
+	if _, rerr := st.Recv(); !errors.Is(rerr, rt.ErrStreamCanceled) {
+		t.Fatalf("Recv after Cancel = %v, want ErrStreamCanceled", rerr)
+	}
+
+	// Work error: fetching a missing blob fails before the first chunk.
+	st, err = c.FetchStream("missing", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, rerr := st.Recv(); !errors.Is(rerr, rt.ErrSystem) {
+		t.Fatalf("missing-blob terminal = %v, want ErrSystem", rerr)
+	}
+}

@@ -1,0 +1,9 @@
+// Package streamstubs holds flick-generated stubs for the streaming
+// demonstration interface (blob.idl), generated with all three
+// presentation surfaces — sync, async, and stream — over one shared
+// marshal core. The committed output is the working proof of the
+// surface seam: one MIR walk's marshal functions, three call shapes.
+// Regenerate with go generate.
+package streamstubs
+
+//go:generate go run flick/cmd/flick -idl corba -lang go -format xdr -style flick -package streamstubs -surfaces sync,async,stream -o stubs.go blob.idl

@@ -1,0 +1,34 @@
+package teststubs
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestAsyncSurfaceXDR drives the surfaces-only promise add-on
+// (stubs_xdr_async.go) against the same server as the sync stubs:
+// pipelined promises resolve out of order, and a typed exception
+// crosses the wire identically to the sync path.
+func TestAsyncSurfaceXDR(t *testing.T) {
+	impl := &benchImpl{}
+	c := NewBenchXDRClient(startPipeServerXDR(t, impl))
+
+	const depth = 16
+	ps := make([]*BenchSumXDRPromise, depth)
+	for i := range ps {
+		ps[i] = c.SumAsync([]int32{int32(i), int32(i)})
+	}
+	for i := depth - 1; i >= 0; i-- {
+		ret, err := ps[i].Wait()
+		if err != nil || ret != int32(2*i) {
+			t.Fatalf("promise %d: Sum = %d, %v", i, ret, err)
+		}
+	}
+
+	// The exception decodes through the shared reply unmarshaler.
+	_, err := c.SumAsync(nil).Wait()
+	var ex *BenchBadSize
+	if !errors.As(err, &ex) || ex.Wanted != 1 {
+		t.Fatalf("SumAsync(nil) err = %v, want BenchBadSize", err)
+	}
+}

@@ -81,6 +81,10 @@ type session struct {
 
 	mu      sync.Mutex
 	pending map[uint32]*call
+	// streams is the open server-push stream table (stream.go), keyed —
+	// like pending — by request XID, so one reader demultiplexes calls
+	// and streams together.
+	streams map[uint32]*ClientStream
 	retired retiredRing
 	// failed, once set, poisons the session: every pending call was
 	// drained with it and every subsequent register on this session
@@ -90,7 +94,7 @@ type session struct {
 }
 
 func newSession(conn Conn) *session {
-	return &session{conn: conn, pending: make(map[uint32]*call)}
+	return &session{conn: conn, pending: make(map[uint32]*call), streams: make(map[uint32]*ClientStream)}
 }
 
 // forget removes xid from the in-flight table, retiring it so a late or
@@ -123,11 +127,23 @@ func (s *session) fail(err error) {
 		delete(s.pending, xid)
 		drained = append(drained, ca)
 	}
+	var streams []*ClientStream
+	for xid, st := range s.streams {
+		delete(s.streams, xid)
+		streams = append(streams, st)
+	}
 	err = s.failed
 	s.mu.Unlock()
 	for _, ca := range drained {
 		ca.err = err
 		ca.done <- struct{}{}
+	}
+	for _, st := range streams {
+		// A mid-transfer teardown is terminal for the stream: the
+		// consumer cannot know how much arrived, so the classified
+		// error says "re-issue from the start" (retryable — the
+		// delivered prefix is discarded, nothing executed twice).
+		st.terminate(retryable(fmt.Errorf("%w: %v", ErrStreamBroken, err)))
 	}
 }
 
@@ -441,6 +457,21 @@ func (c *Client) invoke(proc uint32, opName string, oneway, idempotent bool, mar
 		return nil, ErrBreakerOpen
 	}
 
+	d, err, sent := c.callOnce(proc, opName, oneway, marshal, ev, metrics, ct)
+	return c.settleAttempts(d, err, sent, proc, opName, oneway, idempotent, marshal, ev, metrics, ct)
+}
+
+// settleAttempts classifies the outcome of an already-made first
+// attempt and, under the retry policy, paces and classifies any
+// remaining attempts. It is the shared second half of the resilience
+// loop: the sync path enters it from invoke immediately after its
+// first attempt, and the async path enters it from Promise.Wait when
+// the pipelined first attempt resolves — which is what makes promise
+// errors classify exactly like sync errors. The retry budget, when
+// set, bounds the re-attempt phase (it opens when settling begins, so
+// an async caller's think time between issue and Wait is not charged
+// against it).
+func (c *Client) settleAttempts(d *Decoder, err error, sent bool, proc uint32, opName string, oneway, idempotent bool, marshal func(*Encoder), ev *TraceEvent, metrics *Metrics, ct *callTrace) (*Decoder, error) {
 	attempts := 1
 	if c.Retry != nil {
 		attempts = c.Retry.attempts()
@@ -450,7 +481,7 @@ func (c *Client) invoke(proc uint32, opName string, oneway, idempotent bool, mar
 		deadline = time.Now().Add(c.Retry.Budget)
 	}
 	var lastErr error
-	for k := 0; k < attempts; k++ {
+	for k := 0; ; k++ {
 		if k > 0 {
 			if metrics != nil {
 				metrics.Retries.Add(1)
@@ -469,8 +500,8 @@ func (c *Client) invoke(proc uint32, opName string, oneway, idempotent bool, mar
 				}
 			}
 			time.Sleep(sleep)
+			d, err, sent = c.callOnce(proc, opName, oneway, marshal, ev, metrics, ct)
 		}
-		d, err, sent := c.callOnce(proc, opName, oneway, marshal, ev, metrics, ct)
 		if err == nil {
 			if c.Breaker != nil {
 				c.Breaker.success()
@@ -495,6 +526,9 @@ func (c *Client) invoke(proc uint32, opName string, oneway, idempotent bool, mar
 			}
 			ct.event("admission-reject", "server shed the call before dispatch")
 			lastErr = err
+			if k+1 >= attempts {
+				break
+			}
 			if !deadline.IsZero() && !time.Now().Before(deadline) {
 				break
 			}
@@ -517,6 +551,9 @@ func (c *Client) invoke(proc uint32, opName string, oneway, idempotent bool, mar
 			return nil, notRetryable(err)
 		}
 		lastErr = err
+		if k+1 >= attempts {
+			break
+		}
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
 			break
 		}
@@ -559,14 +596,31 @@ func (c *Client) callOnce(proc uint32, opName string, oneway bool, marshal func(
 // marks the attempt sampled: the request is prefixed with the trace
 // annotation carrying attemptID.
 func (c *Client) callAttempt(proc uint32, opName string, oneway bool, marshal func(*Encoder), ev *TraceEvent, metrics *Metrics, ct *callTrace, attemptID uint64) (dec *Decoder, err error, sent bool) {
+	s, ca, xid, err, sent := c.beginAttempt(proc, opName, oneway, marshal, ev, metrics, ct, attemptID)
+	if err != nil || ca == nil {
+		// Failed before a reply could be owed, or oneway success.
+		return nil, err, sent
+	}
+	dec, err = c.awaitAttempt(s, ca, xid, metrics)
+	return dec, err, true
+}
+
+// beginAttempt is the transmit half of one attempt: session acquisition
+// (redialing if needed), marshal, register-before-send, and transmit.
+// On success for a two-way call it returns the session and registered
+// call slot for awaitAttempt to claim; for a oneway call it returns a
+// nil slot (nothing is owed). It is split from awaitAttempt so the
+// async path can transmit many requests before collecting any reply —
+// the returned slot is exactly what a Promise holds.
+func (c *Client) beginAttempt(proc uint32, opName string, oneway bool, marshal func(*Encoder), ev *TraceEvent, metrics *Metrics, ct *callTrace, attemptID uint64) (s *session, ca *call, xid uint32, err error, sent bool) {
 	if c.closed.Load() {
-		return nil, ErrClosed, false
+		return nil, nil, 0, ErrClosed, false
 	}
-	s, err := c.session(metrics, ct)
+	s, err = c.session(metrics, ct)
 	if err != nil {
-		return nil, err, false
+		return nil, nil, 0, err, false
 	}
-	xid := c.xid.Add(1)
+	xid = c.xid.Add(1)
 	h := ReqHeader{
 		XID:       xid,
 		Prog:      c.Prog,
@@ -600,7 +654,6 @@ func (c *Client) callAttempt(proc uint32, opName string, oneway bool, marshal fu
 		metrics.addEnc(enc.TakeStats())
 	}
 
-	var ca *call
 	if !oneway {
 		// Register before sending so a reply cannot race past its slot,
 		// then make sure someone is reading replies on this session.
@@ -611,7 +664,7 @@ func (c *Client) callAttempt(proc uint32, opName string, oneway bool, marshal fu
 			s.mu.Unlock()
 			putCall(ca)
 			putEncoder(enc)
-			return nil, err, false
+			return nil, nil, 0, err, false
 		}
 		s.pending[xid] = ca
 		startReader := !s.readerOn
@@ -667,14 +720,21 @@ func (c *Client) callAttempt(proc uint32, opName string, oneway bool, marshal fu
 			}
 		}
 		if c.closed.Load() {
-			return nil, ErrClosed, sent
+			return nil, nil, xid, ErrClosed, sent
 		}
-		return nil, fmt.Errorf("rt: send: %w", err), sent
+		return nil, nil, xid, fmt.Errorf("rt: send: %w", err), sent
 	}
 	if oneway {
-		return nil, nil, true
+		return nil, nil, xid, nil, true
 	}
+	return s, ca, xid, nil, true
+}
 
+// awaitAttempt is the collect half of one attempt: the bounded wait
+// for the reply the reader delivers into the registered call slot. It
+// must be entered exactly once per successful two-way beginAttempt —
+// it consumes the slot.
+func (c *Client) awaitAttempt(s *session, ca *call, xid uint32, metrics *Metrics) (dec *Decoder, err error) {
 	// Wait for the reader to deliver the matched reply (or the drain
 	// error), bounded by the per-call deadline when one is set.
 	if c.Timeout > 0 {
@@ -691,7 +751,7 @@ func (c *Client) callAttempt(proc uint32, opName string, oneway bool, marshal fu
 				if metrics != nil {
 					metrics.InFlight.Add(-1)
 				}
-				return nil, ErrTimeout, true
+				return nil, ErrTimeout
 			}
 			// Delivery raced the deadline; take the reply.
 			<-ca.done
@@ -705,14 +765,14 @@ func (c *Client) callAttempt(proc uint32, opName string, oneway bool, marshal fu
 	d, derr := ca.dec, ca.err
 	putCall(ca)
 	if derr != nil {
-		return nil, derr, true
+		return nil, derr
 	}
 	if metrics != nil {
 		// Drain the header-read checks now; the unmarshal-side checks
 		// drain when the stub releases the decoder (d.sink).
 		metrics.addDec(d.TakeStats())
 	}
-	return d, nil, true
+	return d, nil
 }
 
 // readReplies is a session's dedicated reply reader: it owns the
@@ -735,6 +795,12 @@ func (c *Client) readReplies(s *session) {
 				c.connTornDown(ferr)
 			}
 			return
+		}
+		if kind, sxid, arg, payload, ok := SplitStream(msg); ok {
+			// A stream frame (chunk, end, err): structurally tagged, so
+			// it routes around the reply parser entirely (stream.go).
+			c.streamFrame(s, kind, sxid, arg, payload, metrics)
+			continue
 		}
 		d := getDecoder()
 		if metrics != nil {
@@ -779,6 +845,22 @@ func (c *Client) readReplies(s *session) {
 				ca.err = ErrSystem
 			}
 			ca.done <- struct{}{}
+			continue
+		}
+		if st, sok := s.streams[rh.XID]; sok {
+			// A normal reply addressed to a stream: the server refused
+			// the request before streaming began (admission shed,
+			// malformed arguments, unknown operation). Terminal.
+			delete(s.streams, rh.XID)
+			s.retired.add(rh.XID)
+			s.mu.Unlock()
+			putDecoder(d)
+			switch rh.Status {
+			case ReplyOverloaded:
+				st.terminate(ErrOverloaded)
+			default:
+				st.terminate(fmt.Errorf("rt: stream: %w", ErrSystem))
+			}
 			continue
 		}
 		if s.retired.has(rh.XID) {

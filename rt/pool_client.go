@@ -298,6 +298,29 @@ func (p *ClientPool) dispatch(ctx context.Context, proc uint32, opName string, o
 	return nil, lastErr
 }
 
+// CallAsync issues one asynchronous invocation through the pool: the
+// session is picked by policy with unhealthy sessions skipped, exactly
+// as for CallIdem, and the returned promise resolves on that session.
+// Failover happens at issue time only — a promise that fails resolves
+// with the classified error rather than re-dispatching, because
+// re-sending from Wait would reorder the request against promises
+// issued after it. Callers that want cross-session retries check
+// failoverSafe classes (ErrRetryable, ErrOverloaded, ErrBreakerOpen)
+// on the settled error and re-issue.
+func (p *ClientPool) CallAsync(proc uint32, opName string, idempotent bool, marshal func(*Encoder)) *Promise {
+	n := len(p.sessions)
+	start := p.pick(opName)
+	for off := 0; off < n; off++ {
+		if p.sessions[(start+off)%n].Healthy() {
+			start = (start + off) % n
+			break
+		}
+	}
+	// A closed pool's sessions are closed clients: the promise settles
+	// with ErrClosed.
+	return p.sessions[start].CallAsync(proc, opName, idempotent, marshal)
+}
+
 // Call is CallIdem with idempotent=false, matching Client.Call.
 func (p *ClientPool) Call(proc uint32, opName string, oneway bool, marshal func(*Encoder)) (*Decoder, error) {
 	return p.CallIdemCtx(nil, proc, opName, oneway, false, marshal)

@@ -1,0 +1,168 @@
+package rt
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrPromiseSettled reports a second Wait on an already-settled
+// promise. A promise is single-shot: the first Wait consumes the reply
+// (and with it the pooled decoder's ownership), so a repeat Wait has
+// nothing left to deliver.
+var ErrPromiseSettled = errors.New("rt: promise already settled")
+
+// Promise is one in-flight asynchronous invocation: CallAsync marshals
+// and transmits the request before returning, and the promise holds
+// the registered reply slot until Wait collects it from the session's
+// XID multiplexer. Because transmission happens at issue time, a
+// caller can hold any number of promises in flight on one session and
+// the server pipeline overlaps them exactly like concurrent sync
+// callers — without one goroutine per call.
+//
+// Resolution semantics match the sync path: Wait runs the same
+// classification and retry loop a sync CallIdem runs after its first
+// attempt, so promise errors satisfy errors.Is(ErrRetryable /
+// ErrNotRetryable / ErrSystem / ErrOverloaded) identically. When the
+// client traces, the issue-time attempt span parents the resolution:
+// the span is recorded when Wait collects the reply, covering the full
+// issue-to-resolve interval.
+//
+// A promise must be settled by exactly one Wait. Wait blocks; it is
+// safe to call from a different goroutine than the issuer, but not
+// from several at once.
+type Promise struct {
+	c          *Client
+	proc       uint32
+	opName     string
+	idempotent bool
+	marshal    func(*Encoder)
+
+	// Issue-time observability state, finalized at Wait.
+	ct           *callTrace
+	attemptID    uint64
+	attemptBegin time.Time
+	begin        time.Time
+
+	// First-attempt transmit state (the registered reply slot).
+	s    *session
+	ca   *call
+	xid  uint32
+	err  error
+	sent bool
+
+	// preempted marks a promise rejected before any attempt (breaker
+	// open): the error is terminal and bypasses classification, exactly
+	// as the sync path returns ErrBreakerOpen raw.
+	preempted bool
+
+	settled bool
+}
+
+// CallAsync begins one asynchronous invocation: the request is
+// marshaled and handed to the transport before CallAsync returns, and
+// the returned promise resolves it. CallAsync never blocks on the
+// reply and never returns nil; issue-time failures (breaker open,
+// poisoned session, send error) settle the promise so Wait reports
+// them with sync-identical classification.
+//
+// Oneway operations have nothing to resolve — use Call. The per-call
+// TraceEvent hook does not fire for async calls; metrics and trace
+// spans cover them.
+func (c *Client) CallAsync(proc uint32, opName string, idempotent bool, marshal func(*Encoder)) *Promise {
+	p := &Promise{c: c, proc: proc, opName: opName, idempotent: idempotent, marshal: marshal}
+	metrics, tracer := c.Metrics, c.Tracer
+	if metrics != nil || tracer != nil {
+		p.begin = time.Now()
+	}
+	if tracer != nil {
+		p.ct = startCallTrace(tracer, nil, SpanClientCall, opName, c.Shard)
+	}
+
+	if b := c.Breaker; b != nil && !b.allow() {
+		if metrics != nil {
+			metrics.BreakerRejects.Add(1)
+		}
+		p.ct.event("breaker-reject", "call shed, breaker open")
+		p.err = ErrBreakerOpen
+		p.preempted = true
+		return p
+	}
+
+	if p.ct != nil {
+		p.attemptID = p.ct.tr.nextID()
+		p.attemptBegin = time.Now()
+	}
+	p.s, p.ca, p.xid, p.err, p.sent = c.beginAttempt(proc, opName, false, marshal, nil, metrics, p.ct, p.attemptID)
+	return p
+}
+
+// Wait blocks until the reply arrives (bounded by the client's Timeout
+// per attempt), classifies failures, and — with a retry policy
+// configured and the operation eligible — re-attempts synchronously
+// inside Wait. On success the returned decoder is positioned at the
+// reply payload and owned by the caller, who must release it with
+// Decoder.Release after unmarshaling (generated promise wrappers do).
+// Wait settles the promise; a second Wait returns ErrPromiseSettled.
+func (p *Promise) Wait() (*Decoder, error) {
+	if p.settled {
+		return nil, ErrPromiseSettled
+	}
+	p.settled = true
+	c := p.c
+	metrics := c.Metrics
+
+	if p.preempted {
+		p.finish(nil, p.err, metrics)
+		return nil, p.err
+	}
+
+	var d *Decoder
+	err, sent := p.err, p.sent
+	if err == nil {
+		d, err = c.awaitAttempt(p.s, p.ca, p.xid, metrics)
+		sent = true
+	}
+	if p.ct != nil {
+		// The issue-time attempt span, recorded at resolution: its ID is
+		// the one the wire annotation carried, so the server's dispatch
+		// span parents to exactly this attempt.
+		sp := &Span{
+			Trace: p.ct.tc.TraceID, ID: p.attemptID, Parent: p.ct.tc.SpanID,
+			Kind: SpanAttempt, Op: p.opName, XID: p.ct.lastXID, Sess: p.ct.shard,
+			Start: p.attemptBegin, Dur: time.Since(p.attemptBegin), Sampled: true,
+		}
+		if err != nil {
+			sp.Err = err.Error()
+		}
+		p.ct.tr.record(sp)
+	}
+	if c.Retry != nil || c.Redial != nil || c.Breaker != nil {
+		d, err = c.settleAttempts(d, err, sent, p.proc, p.opName, false, p.idempotent, p.marshal, nil, metrics, p.ct)
+	}
+	p.finish(d, err, metrics)
+	return d, err
+}
+
+// finish finalizes the promise's observability: per-op metrics (calls,
+// errors, reply bytes, issue-to-resolve latency) and the client-call
+// span.
+func (p *Promise) finish(d *Decoder, err error, metrics *Metrics) {
+	if metrics != nil {
+		op := metrics.Op(p.opName)
+		op.Calls.Add(1)
+		if d != nil {
+			op.RepBytes.Add(uint64(d.Size()))
+		}
+		if err != nil {
+			op.Errors.Add(1)
+		}
+		op.Latency.Observe(time.Since(p.begin))
+	}
+	if tracer := p.c.Tracer; tracer != nil {
+		if p.ct != nil {
+			p.ct.finish(err)
+		} else if err != nil {
+			recordErrorSpan(tracer, SpanClientCall, p.opName, p.c.Shard, p.begin, err)
+		}
+	}
+}

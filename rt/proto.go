@@ -25,6 +25,11 @@ type ReqHeader struct {
 	Trace TraceContext
 	// Traced reports whether the request carried a trace annotation.
 	Traced bool
+
+	// streams is the serving connection's stream registry, set by the
+	// decode loop so NewStreamSender (stream.go) can bind a streaming
+	// handler to the consumer's credit ledger. Nil outside ServeConn.
+	streams *connStreams
 }
 
 // Reply status values (protocol-independent).

@@ -271,6 +271,7 @@ func (s *Server) ServeConn(conn Conn) error {
 	}
 	jobs := make(chan srvJob, qlen)
 	fail := &connFail{}
+	cs := newConnStreams(conn)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -317,16 +318,19 @@ func (s *Server) ServeConn(conn Conn) error {
 				metrics.BatchedCalls.Add(uint64(len(parts)))
 			}
 			for _, part := range parts {
-				s.acceptFrame(conn, part, jobs, metrics, hooks, fail, dups)
+				s.acceptFrame(conn, part, jobs, metrics, hooks, fail, dups, cs)
 			}
 			continue
 		}
-		s.acceptFrame(conn, msg, jobs, metrics, hooks, fail, dups)
+		s.acceptFrame(conn, msg, jobs, metrics, hooks, fail, dups, cs)
 	}
 
 	// Graceful drain: stop feeding, let the workers finish what is
-	// queued, then surface any reply-write failure.
+	// queued, then surface any reply-write failure. Failing the stream
+	// registry first unblocks any handler waiting on chunk credit —
+	// no more grants are coming — so the drain cannot deadlock.
 	close(jobs)
+	cs.fail(ErrClosed)
 	wg.Wait()
 	if loopErr == nil {
 		if serr := fail.get(); serr != nil && !errors.Is(serr, io.EOF) && !errors.Is(serr, ErrClosed) {
@@ -341,7 +345,16 @@ func (s *Server) ServeConn(conn Conn) error {
 // parse the header, suppress duplicates, pass admission control, and
 // hand the request to the worker pool.
 func (s *Server) acceptFrame(conn Conn, msg []byte, jobs chan<- srvJob,
-	metrics *Metrics, hooks TraceHook, fail *connFail, dups *dupCache) {
+	metrics *Metrics, hooks TraceHook, fail *connFail, dups *dupCache, cs *connStreams) {
+	if kind, sxid, arg, _, ok := SplitStream(msg); ok {
+		// Upstream stream control (credit grants, cancellation) from a
+		// streaming consumer: applied to the ledger, never dispatched.
+		// Downstream kinds arriving here are malformed noise — dropped.
+		if kind == streamGrant || kind == streamCancel {
+			cs.control(kind, sxid, arg)
+		}
+		return
+	}
 	reqBytes := len(msg)
 	// Strip a trace annotation unconditionally — a traced client must
 	// interoperate with a server that has no Tracer attached — and
@@ -376,6 +389,7 @@ func (s *Server) acceptFrame(conn Conn, msg []byte, jobs chan<- srvJob,
 		return
 	}
 	h.Trace, h.Traced = tc, traced
+	h.streams = cs
 	if dups != nil {
 		if dup, cached := dups.begin(h.XID); dup {
 			// A retransmitted request: re-send the cached reply if
