@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-race bench bench-rt chaos chaos-short fleet fleet-short trace trace-short stream stream-short bench-json generate generate-check stats ci
+.PHONY: all build vet lint test test-race bench bench-rt chaos chaos-short fleet fleet-short trace trace-short stream stream-short zerocopy zerocopy-short bench-json generate generate-check stats ci
 
 all: build
 
@@ -15,7 +15,7 @@ vet:
 	$(GO) vet ./...
 
 # The pooled-buffer ownership analyzers (releasecheck, sendsafe,
-# poolescape) over every package. Also runnable through the go vet
+# poolescape, arenalife) over every package. Also runnable through the go vet
 # driver: go vet -vettool=$$(go env GOPATH)/bin/flick-lint ./...
 lint:
 	$(GO) run ./cmd/flick-lint ./...
@@ -87,11 +87,25 @@ stream:
 stream-short:
 	$(GO) test -race -short -count=1 -run 'TestStream|TestBlob|TestAsync|TestPromise' ./rt ./internal/streamstubs ./internal/teststubs ./internal/experiment
 
+# The zero-copy gate: the alloc-guarded vectored round trips, the arena
+# soak, the arenalife/zerocopy strict corpus gates, and the prover's
+# negative tests, all under -race, then the payload sweep report. CI
+# runs zerocopy-short.
+zerocopy:
+	$(GO) test -race -count=1 -run 'TestZeroCopy|TestArenaLife|TestVerifyCorpusZeroCopy|TestLintCorpus' ./internal/zcstubs ./internal/lint ./internal/verify .
+	$(GO) run ./cmd/flick-bench -exp zerocopy
+
+# The CI-sized zero-copy gate: same invariants, shortened soak, no
+# sweep report.
+zerocopy-short:
+	$(GO) test -race -short -count=1 -run 'TestZeroCopy|TestArenaLife|TestVerifyCorpusZeroCopy|TestLintCorpus' ./internal/zcstubs ./internal/lint ./internal/verify .
+
 # Regenerate the committed machine-readable benchmark curves.
 bench-json:
 	$(GO) run ./cmd/flick-bench -exp pipeline -json > BENCH_pipeline.json
 	$(GO) run ./cmd/flick-bench -exp fleet -json > BENCH_fleet.json
 	$(GO) run ./cmd/flick-bench -exp stream -json > BENCH_stream.json
+	$(GO) run ./cmd/flick-bench -exp zerocopy -json > BENCH_zerocopy.json
 
 generate:
 	$(GO) generate ./...

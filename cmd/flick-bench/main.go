@@ -19,6 +19,7 @@
 //	flick-bench -exp fleet     # scale-out fabric: 1k-100k simulated clients, pool+batch+admission
 //	flick-bench -exp trace     # tracing overhead at 0%/1%/100% sampling + tree completeness
 //	flick-bench -exp stream    # server-push stream goodput: chunk size x credit window sweep
+//	flick-bench -exp zerocopy  # zero-copy bulk transfer: writev vs flatten across payload sizes
 //	flick-bench -exp all
 //
 // -json emits each report as a machine-readable JSON document instead
@@ -40,7 +41,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, fig7, table2, table3, ablation, rpcstats, checks, pipeline, chaos, fleet, trace, stream, all")
+	exp := flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, fig7, table2, table3, ablation, rpcstats, checks, pipeline, chaos, fleet, trace, stream, zerocopy, all")
 	asJSON := flag.Bool("json", false, "emit reports as JSON documents instead of aligned tables")
 	short := flag.Bool("short", false, "run reduced sweeps (CI-sized); currently affects fleet")
 	debugAddr := flag.String("debug-addr", "", "serve the runtime debug surface over HTTP on this address (e.g. localhost:6060) while experiments run")
@@ -133,6 +134,10 @@ func main() {
 	}
 	if run("stream") {
 		emit(experiment.Stream())
+		ran = true
+	}
+	if run("zerocopy") {
+		emit(experiment.ZeroCopy())
 		ran = true
 	}
 	if !ran {

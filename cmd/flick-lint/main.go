@@ -1,6 +1,7 @@
 // Command flick-lint checks Flick-Go's runtime buffer-ownership
 // contract on generated stubs and on package rt itself, using the
-// analyzers in internal/lint (releasecheck, sendsafe, poolescape).
+// analyzers in internal/lint (releasecheck, sendsafe, poolescape,
+// arenalife).
 //
 // Standalone, over package patterns:
 //

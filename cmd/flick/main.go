@@ -36,6 +36,7 @@ func main() {
 	side := flag.String("side", "client", "presentation side: client or server (C only)")
 	flag.StringVar(&out, "o", "", "output file (default stdout)")
 	noOpt := flag.String("disable", "", "comma-separated optimizations to disable: group,chunk,memcpy,inline")
+	zeroCopy := flag.Bool("zerocopy", false, "emit zero-copy call shapes for prover-approved byte regions (Go, flick style)")
 	stats := flag.Bool("stats", false, "print per-stub optimizer counters to stderr")
 	noVerify := flag.Bool("noverify", false, "skip stage-boundary IR verification")
 	verifyFlag := flag.String("verify", "on", "IR verification mode: on, off, or strict (adds O(n²) chunk overlap checks)")
@@ -62,6 +63,7 @@ func main() {
 	opt.Surfaces = *surfaces
 	opt.SurfacesOnly = *surfacesOnly
 	opt.Side = *side
+	opt.ZeroCopy = *zeroCopy
 	for _, d := range strings.Split(*noOpt, ",") {
 		switch strings.TrimSpace(d) {
 		case "":

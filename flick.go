@@ -76,6 +76,12 @@ type Options struct {
 	DisableChunk  bool
 	DisableMemcpy bool
 	DisableInline bool
+	// ZeroCopy emits the zero-copy call shapes for byte regions the MIR
+	// alias pass proved alias-safe: marshal-side sends by reference
+	// (vectored writes on capable transports), decode-side views borrow
+	// the receive arena. Go stubs in the flick style only; requires the
+	// memcpy optimization.
+	ZeroCopy bool
 	// Stats, when non-nil, accumulates the optimizer's per-stub counters
 	// for this compilation (`flick -stats`). The C back end has no
 	// per-stub boundary in its emitter, so its counters land in
@@ -202,6 +208,18 @@ func Compile(filename, src string, opt Options) (string, error) {
 		}
 	}
 
+	if opt.ZeroCopy {
+		if opt.Lang != "" && opt.Lang != "go" {
+			return "", fmt.Errorf("flick: -zerocopy targets the Go runtime's alias paths; use -lang go")
+		}
+		if s := opt.Style; s != "" && s != "flick" {
+			return "", fmt.Errorf("flick: -zerocopy requires the optimizing style (got %q)", s)
+		}
+		if opt.DisableMemcpy {
+			return "", fmt.Errorf("flick: -zerocopy requires the memcpy optimization (disabled by -disable memcpy)")
+		}
+	}
+
 	switch opt.Lang {
 	case "go":
 		var surfaces []gostub.Surface
@@ -224,6 +242,7 @@ func Compile(filename, src string, opt Options) (string, error) {
 			SurfacesOnly: opt.SurfacesOnly,
 			Stats:        opt.Stats,
 			Verify:       opt.Verify,
+			ZeroCopy:     opt.ZeroCopy,
 		})
 	case "c":
 		copts := *opt.mirOptions()

@@ -84,6 +84,13 @@ type Config struct {
 	// Verify selects how much stage-boundary verification runs on each
 	// post-optimize MIR program. The zero value is verify.On.
 	Verify verify.Mode
+	// ZeroCopy routes prover-approved byte regions through the
+	// runtime's alias paths: marshal-side PutBytesZC (vectored send)
+	// and decode-side AliasNext (arena-borrowed views). Only regions
+	// whose MIR alias proof survives the zerocopy verifier are emitted
+	// this way; requires the memcpy optimization (there is no bulk op
+	// to alias without it).
+	ZeroCopy bool
 }
 
 // Stats aggregates compiler-side optimization counters for one
@@ -146,12 +153,16 @@ func (c Config) options() mir.Options {
 
 // Generate renders the presentation as one Go source file.
 func Generate(f *presc.File, cfg Config) (string, error) {
+	if cfg.ZeroCopy && !cfg.options().Memcpy {
+		return "", fmt.Errorf("gostub: -zerocopy requires the memcpy optimization (no bulk regions to alias without it)")
+	}
 	e := &emitter{
 		cfg:     cfg,
 		opts:    cfg.options(),
 		big:     cfg.Format.Order() == wire.BigEndian,
 		checked: cfg.Style != StyleFlick,
 		vtbl:    cfg.Style == StylePowerRPC,
+		zc:      cfg.ZeroCopy,
 		subSeen: map[string]bool{},
 	}
 	e.b = &strings.Builder{}
@@ -165,6 +176,10 @@ type emitter struct {
 	checked bool
 	vtbl    bool
 
+	// zc emits the zero-copy call shapes (PutBytesZC / AliasNext) for
+	// regions carrying a verifier-approved alias-safe proof.
+	zc bool
+
 	b       *strings.Builder
 	indent  int
 	tmp     int
@@ -173,6 +188,10 @@ type emitter struct {
 	// lenVars maps a counted value's path to the local holding its
 	// just-decoded element count (unmarshal only).
 	lenVars map[string]string
+	// zcVals marks counted values whose decode-side bulk aliases the
+	// receive arena, so their length items skip the make (unmarshal
+	// only, -zerocopy only).
+	zcVals map[string]bool
 	// refMap rebinds ref roots (subprogram "v", loop elements).
 	refMap map[string]string
 	// retErr is the statement sequence aborting the current function on
@@ -430,6 +449,11 @@ func (e *emitter) lowerRoots(name string, dir mir.Dir, roots []root) (*mir.Progr
 	if fs := verify.MIR(prog, e.cfg.Format, name, e.cfg.Verify, vc); len(fs) > 0 {
 		return nil, fs.AsError()
 	}
+	// The zero-copy proofs get the same treatment: the emitter only
+	// trusts an alias-safe proof the verifier re-derived.
+	if fs := verify.ZeroCopy(prog, e.cfg.Format, name, e.cfg.Verify, vc); len(fs) > 0 {
+		return nil, fs.AsError()
+	}
 	return prog, nil
 }
 
@@ -641,6 +665,9 @@ func (e *emitter) replyUnmarshalFunc(name string, roots []root, s *presc.Stub) (
 
 func (e *emitter) beginBody(dir mir.Dir, refMap map[string]string) {
 	e.lenVars = map[string]string{}
+	if e.zc {
+		e.zcVals = map[string]bool{}
+	}
 	if refMap == nil {
 		refMap = map[string]string{}
 	}

@@ -147,14 +147,40 @@ func (e *emitter) putName(w int, checked bool) string {
 	return fmt.Sprintf("e.PutU%d%s", w*8, suffix)
 }
 
-// ops emits an op list.
+// ops emits an op list. In -zerocopy mode the decode-side alias bulks
+// of the list are noted first, so the length items that precede them
+// (as siblings in the same list) suppress their allocation: the
+// storage arrives as an arena view from AliasNext instead.
 func (e *emitter) ops(ops []mir.Op, dir mir.Dir) error {
+	if e.zc && dir == mir.Unmarshal {
+		for _, op := range ops {
+			if b, ok := op.(*mir.Bulk); ok && e.zcAliasDecode(b) {
+				e.zcVals[b.Val.String()] = true
+			}
+		}
+	}
 	for _, op := range ops {
 		if err := e.op(op, dir); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// zcBulk reports whether op's region takes the zero-copy path: the
+// emitter is in -zerocopy mode and the region carries a prover-signed
+// alias-safe proof (which the zerocopy verifier re-derived before
+// emission ran — the emitter never trusts an unverified proof).
+func (e *emitter) zcBulk(op *mir.Bulk) bool {
+	return e.zc && op.Alias != nil && op.Alias.Class == mir.AliasSafe
+}
+
+// zcAliasDecode reports whether op decodes as an arena-borrowed view
+// (the exact predicate bulk() uses to choose AliasNext, so the
+// make-suppression above can never disagree with the emission).
+func (e *emitter) zcAliasDecode(op *mir.Bulk) bool {
+	return e.zcBulk(op) && op.ElemWire == 1 && op.Atom.Kind != wire.BoolAtom &&
+		op.Count < 0 && ctypeOfBulk(op) != "string"
 }
 
 func (e *emitter) op(op mir.Op, dir mir.Dir) error {
@@ -304,7 +330,11 @@ func (e *emitter) lenItem(op *mir.LenItem, dir mir.Dir) error {
 	e.pf("}")
 	e.lenVars[op.Val.String()] = n
 	if strings.HasPrefix(ct, "[]") || ct == "ObjectKey" {
-		e.pf("%s = make(%s, %s)", x, ct, n)
+		// Skip the allocation when the bulk that follows aliases the
+		// receive arena: AliasNext supplies the storage.
+		if !(e.zc && e.zcVals[op.Val.String()]) {
+			e.pf("%s = make(%s, %s)", x, ct, n)
+		}
 	}
 	return nil
 }
@@ -325,6 +355,10 @@ func (e *emitter) bulk(op *mir.Bulk, dir mir.Dir) error {
 		switch {
 		case over == "string":
 			e.pf("e.PutString(%s)", x)
+		case byteWide && e.zcBulk(op):
+			// Prover-signed alias-safe region: sent by reference
+			// (vectored) when it clears the runtime threshold.
+			e.pf("e.PutBytesZC(%s)", sliceExprOrSelf(over, x))
 		case byteWide:
 			e.pf("e.PutBytes(%s)", sliceExprOrSelf(over, x))
 		case op.Atom.Kind == wire.BoolAtom:
@@ -344,6 +378,15 @@ func (e *emitter) bulk(op *mir.Bulk, dir mir.Dir) error {
 			return fmt.Errorf("gostub: bulk string read without preceding length for %s", x)
 		}
 		e.pf("%s = string(d.Next(%s))", x, n)
+	case byteWide && e.zcAliasDecode(op):
+		// Prover-signed alias-safe region: borrow a view of the receive
+		// arena instead of allocating and copying. The preceding length
+		// item skipped its make for exactly this value.
+		view := fmt.Sprintf("d.AliasNext(%s)", e.countExpr(op.Val, dir))
+		if over != "" && over != "[]byte" {
+			view = over + "(" + view + ")"
+		}
+		e.pf("%s = %s", x, view)
 	case byteWide:
 		if fixed {
 			e.pf("copy(%s[:], d.Next(%d))", x, op.Count)
@@ -635,7 +678,11 @@ func (e *emitter) chunkGet(b string, it mir.ChunkItem) error {
 		e.pf("}")
 		e.lenVars[it.Val.String()] = n
 		if strings.HasPrefix(ct, "[]") || ct == "ObjectKey" {
-			e.pf("%s = make(%s, %s)", x, ct, n)
+			// Same suppression as lenItem: an alias bulk supplies the
+			// storage for this value.
+			if !(e.zc && e.zcVals[it.Val.String()]) {
+				e.pf("%s = make(%s, %s)", x, ct, n)
+			}
 		}
 	default:
 		ct := ""

@@ -18,6 +18,11 @@
 //   - poolescape — pooled objects (*rt.Decoder, *rt.Encoder) must not
 //     be stored into struct fields or package-level variables; a pooled
 //     object's lifetime is the call that borrowed it.
+//   - arenalife — slices obtained from Decoder.AliasNext alias a pooled
+//     receive arena and must not escape their borrow (globals, channel
+//     sends, stores or returns past the decoder's Release); the one
+//     sanctioned escape is ownership transfer, the generated Unmarshal
+//     shape that hands the view on without releasing.
 //
 // A finding on a line carrying a `//lint:allow <analyzer>` comment is
 // suppressed — used by rt's sanctioned reply-handoff store.
@@ -156,7 +161,7 @@ func Analyze(p *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // All returns the default analyzer set.
 func All() []*Analyzer {
-	return []*Analyzer{ReleaseCheck, SendSafe, PoolEscape}
+	return []*Analyzer{ReleaseCheck, SendSafe, PoolEscape, ArenaLife}
 }
 
 // --- shared type helpers ----------------------------------------------------

@@ -96,6 +96,7 @@ func runFixture(t *testing.T, file string, a *lint.Analyzer) {
 func TestReleaseCheck(t *testing.T) { runFixture(t, "releasecheck.go", lint.ReleaseCheck) }
 func TestSendSafe(t *testing.T)     { runFixture(t, "sendsafe.go", lint.SendSafe) }
 func TestPoolEscape(t *testing.T)   { runFixture(t, "poolescape.go", lint.PoolEscape) }
+func TestArenaLife(t *testing.T)    { runFixture(t, "arenalife.go", lint.ArenaLife) }
 
 // TestFixturesCleanUnderOtherAnalyzers pins down that each fixture
 // violates only its own analyzer's contract: running the full set over a
@@ -109,6 +110,7 @@ func TestFixturesCleanUnderOtherAnalyzers(t *testing.T) {
 		"releasecheck.go": "releasecheck",
 		"sendsafe.go":     "sendsafe",
 		"poolescape.go":   "poolescape",
+		"arenalife.go":    "arenalife",
 	}
 	for file, own := range byFixture {
 		path := filepath.Join("testdata", file)

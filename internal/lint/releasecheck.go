@@ -137,6 +137,40 @@ func checkAcquisition(pass *Pass, fn *ast.FuncDecl, acq acquisition) {
 		return true
 	})
 	checkCallbackEscapes(pass, fn, acq)
+	checkMethodValueEscapes(pass, fn, acq)
+}
+
+// checkMethodValueEscapes flags method values formed on a pooled
+// decoder: `schedule(d.Bytes)` binds d into a func value exactly like a
+// closure capture, but with no *ast.FuncLit for checkCallbackEscapes to
+// see — the historical false negative. A selector on the decoder whose
+// selection kind is MethodVal and which is not itself the function
+// being called is such a binding; whoever holds the func can invoke it
+// after the borrow ends.
+func checkMethodValueEscapes(pass *Pass, fn *ast.FuncDecl, acq acquisition) {
+	// Selectors in call position (d.U32BE() etc.) are ordinary method
+	// calls, not bindings.
+	called := map[ast.Expr]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			called[call.Fun] = true
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || called[sel] {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || pass.Info.Uses[id] != acq.obj {
+			return true
+		}
+		if s := pass.Info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+			pass.Reportf(sel.Pos(), "method value %s.%s binds the pooled decoder beyond the borrow (it can be invoked after release — copy decoded values out instead)", acq.obj.Name(), sel.Sel.Name)
+		}
+		return true
+	})
 }
 
 // checkCallbackEscapes flags references to a pooled decoder inside

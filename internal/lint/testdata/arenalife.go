@@ -1,0 +1,100 @@
+package fixture
+
+import "flick/rt"
+
+type blob []byte
+
+type header struct {
+	body []byte
+}
+
+var stashedView []byte
+
+// ok: the view is copied out before the borrow ends; only the copy
+// survives the Release.
+func copiesOut(d *rt.Decoder) []byte {
+	v := d.AliasNext(16)
+	out := append([]byte(nil), v...)
+	d.Release()
+	return out
+}
+
+// ok: the generated-Unmarshal shape — the view is handed to the caller
+// WITHOUT releasing the decoder. Ownership of the borrow transfers with
+// the return value.
+func transfersView(d *rt.Decoder) (ret []byte) {
+	ret = d.AliasNext(16)
+	return
+}
+
+// ok: filling a caller-owned out value without ending the borrow is the
+// same ownership transfer, spelled as a store.
+func fillsCallerOut(d *rt.Decoder, out *header) {
+	out.body = d.AliasNext(16)
+}
+
+func storesGlobal(d *rt.Decoder) {
+	stashedView = d.AliasNext(8) // want `arena view stored into package-level stashedView`
+	d.Release()
+}
+
+func sendsOnChannel(d *rt.Decoder, ch chan []byte) {
+	v := d.AliasNext(8)
+	ch <- v // want `arena view v sent on a channel`
+	d.Release()
+}
+
+// The conversion the stub generator wraps named byte presentations in
+// does not launder the alias.
+func sendsConvertedView(d *rt.Decoder, ch chan blob) {
+	v := blob(d.AliasNext(8))
+	ch <- v // want `arena view v sent on a channel`
+	d.Release()
+}
+
+func storesFieldThenReleases(d *rt.Decoder, h *header) {
+	v := d.AliasNext(8)
+	h.body = v // want `arena view v stored into a field or global`
+	d.Release()
+}
+
+func directStoreThenReleases(d *rt.Decoder, h *header) {
+	h.body = d.AliasNext(8) // want `arena view stored into a field or global`
+	d.Release()
+}
+
+func returnsAfterBorrowEnds(d *rt.Decoder) []byte {
+	v := d.AliasNext(8)
+	defer d.Release()
+	return v // want `arena view v returned after its borrow ends`
+}
+
+func capturedByClosure(d *rt.Decoder, schedule func(func() byte)) {
+	v := d.AliasNext(8)
+	schedule(func() byte { return v[0] }) // want `arena view v captured by a function literal`
+	d.Release()
+}
+
+func compositeEscape(d *rt.Decoder, out chan header) {
+	v := d.AliasNext(8)
+	h := header{body: v} // want `arena view v stored into a composite value`
+	d.Release()
+	out <- h
+}
+
+func usedAfterRelease(d *rt.Decoder) byte {
+	v := d.AliasNext(8)
+	d.Release()
+	return v[0] // want `use of arena view v after the decoder's release`
+}
+
+// ok: the closure owns its whole borrow — acquire, use, and release all
+// inside the literal.
+func closureOwnsItsView(d *rt.Decoder) func() []byte {
+	return func() []byte {
+		v := d.AliasNext(8)
+		out := append([]byte(nil), v...)
+		d.Release()
+		return out
+	}
+}

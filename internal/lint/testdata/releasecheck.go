@@ -115,6 +115,31 @@ func streamChunkEscapesToGoroutine(st *rt.ClientStream, out chan uint32) error {
 	return nil
 }
 
+// A method value binds the decoder exactly like a closure capture, but
+// with no function literal for the capture check to see — the
+// historical false negative.
+func methodValueEscapes(p *rt.Promise, schedule func(func() uint32)) error {
+	d, err := p.Wait()
+	if err != nil {
+		return err
+	}
+	schedule(d.U32BE) // want `method value d.U32BE binds the pooled decoder beyond the borrow`
+	d.Release()
+	return nil
+}
+
+// ok: a selector in call position is an ordinary method call, not a
+// binding.
+func methodCallIsNotABinding(p *rt.Promise) (uint32, error) {
+	d, err := p.Wait()
+	if err != nil {
+		return 0, err
+	}
+	v := d.U32BE()
+	d.Release()
+	return v, nil
+}
+
 // ok: the borrow, decode, and release all live inside the same closure;
 // the closure owns the decoder for its whole lifetime.
 func closureOwnsItsBorrow(c *rt.Client) func() (uint32, error) {

@@ -39,7 +39,7 @@ func Lower(dir Dir, roots []Root, f wire.Format, opts Options) (*Program, error)
 		// static payloads (classify's estimate includes pad slack).
 		prog.FixedBytes = cur.off
 	}
-	optimize(prog, opts)
+	optimize(prog, f, opts)
 	return prog, nil
 }
 

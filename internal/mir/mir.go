@@ -90,6 +90,12 @@ type Stats struct {
 	// BulkArrays counts element loops converted to single bulk
 	// (memcpy-style) transfers.
 	BulkArrays int `json:"bulk_arrays"`
+	// AliasSafe / AliasCopy count the transfer regions the alias pass
+	// proved safe to send or decode in place versus the regions it
+	// required to go through the marshal buffer (the zero-copy
+	// licensing decision, surfaced under -stats).
+	AliasSafe int `json:"alias_safe"`
+	AliasCopy int `json:"alias_copy"`
 	// InlinedAggregates counts named aggregates expanded in place;
 	// OutOfLineSubs counts subprograms emitted instead (recursive
 	// types, or everything when inlining is off).
@@ -111,6 +117,8 @@ func (s *Stats) Add(o Stats) {
 	s.ChunkItems += o.ChunkItems
 	s.ChunkBytes += o.ChunkBytes
 	s.BulkArrays += o.BulkArrays
+	s.AliasSafe += o.AliasSafe
+	s.AliasCopy += o.AliasCopy
 	s.InlinedAggregates += o.InlinedAggregates
 	s.OutOfLineSubs += o.OutOfLineSubs
 }
@@ -259,6 +267,11 @@ type Bulk struct {
 	// Pres presents the element; OverPres presents the whole array.
 	Pres     *pres.Node
 	OverPres *pres.Node
+	// Alias is the alias pass's zero-copy classification for this
+	// region (nil until the pass runs). Only an AliasSafe proof
+	// licenses the emitter's zero-copy path, and the zerocopy verifier
+	// cross-checks every proof at the stage boundary.
+	Alias *AliasProof
 }
 
 // Loop runs Body once per element of Over, binding the element to Var.
@@ -309,6 +322,10 @@ type SwitchCase struct {
 type Chunk struct {
 	Size  int
 	Items []ChunkItem
+	// Alias records the alias pass's classification (always
+	// copy-required for chunks: their atoms are assembled in the
+	// marshal buffer); the zerocopy verifier rejects anything else.
+	Alias *AliasProof
 }
 
 // ChunkItem is one statically placed atom within a Chunk.

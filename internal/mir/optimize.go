@@ -6,7 +6,7 @@ import "flick/internal/wire"
 // loops), then ensure grouping (it absorbs the rewritten checks), then
 // chunking (it merges the statically placed survivors).
 
-func optimize(prog *Program, opts Options) {
+func optimize(prog *Program, f wire.Format, opts Options) {
 	// st is always non-nil inside the passes; a throwaway sink stands
 	// in when the caller did not ask for counters.
 	st := opts.Stats
@@ -30,6 +30,9 @@ func optimize(prog *Program, opts Options) {
 	for _, s := range prog.Subs {
 		s.Ops = run(s.Ops)
 	}
+	// The alias pass annotates the (final) op layout with zero-copy
+	// proofs; it rewrites nothing, so it runs for every option set.
+	aliasPass(prog, f, st)
 }
 
 // --- memcpy / bulk conversion -------------------------------------------

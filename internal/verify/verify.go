@@ -127,6 +127,12 @@ type Counters struct {
 	MirPrograms int `json:"mir_programs"`
 	// MirChunks is the number of chunk layouts checked.
 	MirChunks int `json:"mir_chunks"`
+	// ZcRegions is the number of transfer regions (bulks and chunks)
+	// whose zero-copy proofs the zerocopy verifier cross-checked;
+	// ZcAliased the subset whose alias-safe claim survived independent
+	// re-derivation.
+	ZcRegions int `json:"zc_regions"`
+	ZcAliased int `json:"zc_aliased"`
 	// Findings counts diagnostics across all passes (zero on a healthy
 	// compile: verification is on by default and findings abort it).
 	Findings int `json:"findings"`
@@ -138,11 +144,13 @@ func (c *Counters) Add(o Counters) {
 	c.PrescStubs += o.PrescStubs
 	c.MirPrograms += o.MirPrograms
 	c.MirChunks += o.MirChunks
+	c.ZcRegions += o.ZcRegions
+	c.ZcAliased += o.ZcAliased
 	c.Findings += o.Findings
 }
 
 // Report renders a one-line coverage summary.
 func (c Counters) Report() string {
-	return fmt.Sprintf("verify: %d mint nodes, %d presc stubs, %d mir programs (%d chunk layouts), %d findings",
-		c.MintNodes, c.PrescStubs, c.MirPrograms, c.MirChunks, c.Findings)
+	return fmt.Sprintf("verify: %d mint nodes, %d presc stubs, %d mir programs (%d chunk layouts), %d zero-copy regions (%d alias-safe), %d findings",
+		c.MintNodes, c.PrescStubs, c.MirPrograms, c.MirChunks, c.ZcRegions, c.ZcAliased, c.Findings)
 }

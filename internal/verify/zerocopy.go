@@ -1,0 +1,209 @@
+package verify
+
+import (
+	"fmt"
+
+	"flick/internal/mir"
+	"flick/internal/wire"
+)
+
+// ZeroCopy cross-checks the alias pass's zero-copy proofs at the stage
+// boundary. The alias pass classifies every Bulk and Chunk region as
+// alias-safe or copy-required and records why; this verifier
+// *independently re-derives* each classification from the op and the
+// target format and rejects any proof that disagrees. A corrupted
+// proof — an alias-safe claim on a chunk window, a recorded offset
+// that overlaps the preceding region, an alignment the replayed cursor
+// cannot satisfy, an admitted mutation window — becomes a positioned
+// compile error instead of a silently wrong fast path.
+//
+// Mode semantics: On checks the consistency of every proof present;
+// Strict additionally demands that every region carries a proof at all
+// (an unproven region in strict mode is a compile error — the emitter
+// must never have to guess).
+//
+// name labels the program in diagnostics (e.g. "Store_put.request").
+func ZeroCopy(prog *mir.Program, f wire.Format, name string, mode Mode, c *Counters) Findings {
+	if mode == Off {
+		return nil
+	}
+	v := &zcVerifier{f: f, dir: prog.Dir, strict: mode == Strict, c: c}
+	v.walk(prog.Ops, name, newCursor(f))
+	for i, sub := range prog.Subs {
+		subName := fmt.Sprintf("%s.sub[%d:%s]", name, i, sub.Name)
+		v.walk(sub.Ops, subName, unknownCursor())
+	}
+	if c != nil {
+		c.Findings += len(v.out)
+	}
+	return v.out
+}
+
+type zcVerifier struct {
+	f      wire.Format
+	dir    mir.Dir
+	strict bool
+	c      *Counters
+	out    Findings
+}
+
+func (v *zcVerifier) failf(path, format string, args ...any) {
+	v.out = append(v.out, Finding{Stage: "ZEROCOPY", Path: path, Msg: fmt.Sprintf(format, args...)})
+}
+
+// walk replays the placement cursor over the op layout (the same
+// replay the MIR verifier performs) and checks each region's proof
+// against it.
+func (v *zcVerifier) walk(ops []mir.Op, path string, cur cursor) {
+	for i, op := range ops {
+		p := fmt.Sprintf("%s.ops[%d]", path, i)
+		switch op := op.(type) {
+		case *mir.Align:
+			cur.align(op.N)
+		case *mir.Ensure, *mir.EnsureDyn:
+		case *mir.Item:
+			cur.advance(op.Wire)
+		case *mir.ConstItem:
+			cur.advance(op.Wire)
+		case *mir.LenItem:
+			cur.advance(op.Wire)
+		case *mir.Chunk:
+			v.checkChunkProof(op, p, &cur)
+			cur.advance(op.Size)
+		case *mir.Bulk:
+			v.checkBulkProof(op, p, &cur)
+			if op.Count >= 0 {
+				n := op.Count * op.ElemWire
+				if op.Nul {
+					n += op.ElemWire
+				}
+				cur.advance(n)
+			} else {
+				cur.loseTrack()
+			}
+		case *mir.Loop:
+			v.walk(op.Body, p+".body", unknownCursor())
+			cur.loseTrack()
+		case *mir.Opt:
+			cur.advance(op.Wire)
+			v.walk(op.Body, p+".body", unknownCursor())
+			cur.loseTrack()
+		case *mir.Switch:
+			cur.advance(op.Wire)
+			for ci := range op.Cases {
+				v.walk(op.Cases[ci].Body, fmt.Sprintf("%s.case[%d]", p, ci), unknownCursor())
+			}
+			v.walk(op.Default, p+".default", unknownCursor())
+			cur.loseTrack()
+		case *mir.CallSub:
+			cur.loseTrack()
+		}
+	}
+}
+
+// checkPlacement cross-checks a proof's recorded region start against
+// the replayed cursor. A recorded offset behind the replayed position
+// means the region would overlap what was already produced; ahead
+// means it would leave a gap — both are corrupted metadata.
+func (v *zcVerifier) checkPlacement(proof *mir.AliasProof, path string, cur *cursor) {
+	if cur.known {
+		if proof.Off < 0 {
+			// The prover recorded less than it could have; harmless.
+			return
+		}
+		if proof.Off < cur.off {
+			v.failf(path, "alias region recorded at offset %d overlaps the preceding region ending at %d", proof.Off, cur.off)
+			return
+		}
+		if proof.Off > cur.off {
+			v.failf(path, "alias proof records offset %d but cursor replay places the region at %d", proof.Off, cur.off)
+			return
+		}
+	} else if proof.Off >= 0 {
+		v.failf(path, "alias proof records static offset %d for a region behind dynamic data", proof.Off)
+		return
+	}
+	if proof.Align > 1 {
+		if cur.known && proof.Off >= 0 && proof.Off%proof.Align != 0 {
+			v.failf(path, "alias region at offset %d violates its recorded %d-byte alignment", proof.Off, proof.Align)
+		}
+	}
+}
+
+func (v *zcVerifier) checkChunkProof(op *mir.Chunk, path string, cur *cursor) {
+	if v.c != nil {
+		v.c.ZcRegions++
+	}
+	if op.Alias == nil {
+		if v.strict {
+			v.failf(path, "chunk carries no alias proof (unproven region in strict mode)")
+		}
+		return
+	}
+	if op.Alias.Class == mir.AliasSafe {
+		v.failf(path, "chunk marked alias-safe: chunk windows are encoder-owned and never alias presented storage")
+		return
+	}
+	v.checkPlacement(op.Alias, path, cur)
+}
+
+func (v *zcVerifier) checkBulkProof(op *mir.Bulk, path string, cur *cursor) {
+	if v.c != nil {
+		v.c.ZcRegions++
+	}
+	if op.Alias == nil {
+		if v.strict {
+			v.failf(path, "bulk transfer carries no alias proof (unproven region in strict mode)")
+		}
+		return
+	}
+	want := v.rederiveBulk(op)
+	if op.Alias.Class != want.class {
+		v.failf(path, "alias proof claims %v but re-derivation yields %v (%s)", op.Alias.Class, want.class, want.reason)
+		return
+	}
+	if op.Alias.Class != mir.AliasSafe {
+		v.checkPlacement(op.Alias, path, cur)
+		return
+	}
+	// An alias-safe proof must carry both obligations it rests on.
+	if !op.Alias.ByteIdentical {
+		v.failf(path, "alias-safe proof without the byte-identity obligation: wire bytes would differ from presented bytes")
+	}
+	if !op.Alias.NoMutation {
+		v.failf(path, "alias-safe proof admits in-place mutation between marshal and send")
+	}
+	v.checkPlacement(op.Alias, path, cur)
+	if v.c != nil {
+		v.c.ZcAliased++
+	}
+}
+
+// rederiveBulk is the verifier's own derivation of a bulk region's
+// classification — deliberately written against the op and format, not
+// against the prover's code path, so a prover bug and a verifier bug
+// must coincide to let a bad proof through.
+type zcDerivation struct {
+	class  mir.AliasClass
+	reason string
+}
+
+func (v *zcVerifier) rederiveBulk(op *mir.Bulk) zcDerivation {
+	switch {
+	case mir.BulkIsString(op):
+		return zcDerivation{mir.CopyRequired, "string presentation"}
+	case op.Atom.Kind == wire.BoolAtom:
+		return zcDerivation{mir.CopyRequired, "bool repacking"}
+	case op.ElemWire != 1:
+		return zcDerivation{mir.CopyRequired, fmt.Sprintf("%d-byte elements need conversion", op.ElemWire)}
+	case op.Nul:
+		return zcDerivation{mir.CopyRequired, "NUL terminator is not presented storage"}
+	case v.dir == mir.Unmarshal && op.Count >= 0:
+		return zcDerivation{mir.CopyRequired, "fixed-array decode storage is caller-owned"}
+	}
+	// Byte-wide, non-bool, non-string, unterminated: a flat alias is
+	// byte-identical, and no op after the alias writes presented
+	// storage (marshal programs only read it; decode views borrow the
+	// arena under the pin-on-alias Release contract).
+	return zcDerivation{mir.AliasSafe, "byte-identical region"}
+}

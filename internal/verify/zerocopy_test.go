@@ -1,0 +1,133 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"flick/internal/mir"
+	"flick/internal/wire"
+)
+
+// okBulkProof is the proof the alias pass would record for a dynamic
+// byte bulk at a known offset (the canonical zero-copy region).
+func okBulkProof(off int) *mir.AliasProof {
+	return &mir.AliasProof{
+		Class:         mir.AliasSafe,
+		Off:           off,
+		Align:         1,
+		ByteIdentical: true,
+		NoMutation:    true,
+		Reason:        "byte-identical region",
+	}
+}
+
+// zcProg builds the canonical proven marshal program: a 4-byte length
+// item, then a dynamic byte bulk whose alias region starts at offset 4.
+func zcProg() *mir.Program {
+	v := &mir.Param{Name: "v"}
+	return &mir.Program{Dir: mir.Marshal, Ops: []mir.Op{
+		&mir.Ensure{Bytes: 4},
+		&mir.LenItem{Wire: 4, Val: v},
+		&mir.EnsureDyn{PerElem: 1, Count: v},
+		&mir.Bulk{Val: v, Atom: wire.U8, ElemWire: 1, Count: -1, Alias: okBulkProof(4)},
+	}}
+}
+
+func TestZeroCopyAcceptsHealthyProofs(t *testing.T) {
+	var c Counters
+	if fs := ZeroCopy(zcProg(), xdr(), "t", Strict, &c); len(fs) != 0 {
+		t.Fatalf("healthy proofs rejected:\n%s", fs.Error())
+	}
+	if c.ZcRegions != 1 || c.ZcAliased != 1 {
+		t.Fatalf("counters = %d regions / %d aliased, want 1/1", c.ZcRegions, c.ZcAliased)
+	}
+}
+
+func TestZeroCopyModeOffSkips(t *testing.T) {
+	p := zcProg()
+	p.Ops[3].(*mir.Bulk).Alias.NoMutation = false
+	if fs := ZeroCopy(p, xdr(), "t", Off, nil); fs != nil {
+		t.Fatalf("Off mode produced findings:\n%s", fs.Error())
+	}
+}
+
+// wantFinding asserts exactly one finding whose message contains msg
+// and whose path carries the op position.
+func wantOneZc(t *testing.T, fs Findings, path, msg string) {
+	t.Helper()
+	if len(fs) != 1 {
+		t.Fatalf("findings = %d, want 1:\n%s", len(fs), fs.Error())
+	}
+	if !strings.Contains(fs[0].Path, path) {
+		t.Fatalf("finding path %q does not locate %q", fs[0].Path, path)
+	}
+	if !strings.Contains(fs[0].Msg, msg) {
+		t.Fatalf("finding %q does not mention %q", fs[0].Msg, msg)
+	}
+	if fs[0].Stage != "ZEROCOPY" {
+		t.Fatalf("finding stage = %q, want ZEROCOPY", fs[0].Stage)
+	}
+}
+
+func TestZeroCopyRejectsOverlappingRegion(t *testing.T) {
+	// Corrupt the recorded offset so the alias region would begin
+	// inside the 4-byte length prefix that precedes it.
+	p := zcProg()
+	p.Ops[3].(*mir.Bulk).Alias.Off = 2
+	fs := ZeroCopy(p, xdr(), "t", On, nil)
+	wantOneZc(t, fs, "t.ops[3]", "overlaps the preceding region")
+}
+
+func TestZeroCopyRejectsMisalignedOffset(t *testing.T) {
+	// Corrupt the proof to demand 8-byte alignment of a region the
+	// cursor replay places at offset 4.
+	p := zcProg()
+	p.Ops[3].(*mir.Bulk).Alias.Align = 8
+	fs := ZeroCopy(p, xdr(), "t", On, nil)
+	wantOneZc(t, fs, "t.ops[3]", "violates its recorded 8-byte alignment")
+}
+
+func TestZeroCopyRejectsMutationAfterMarshal(t *testing.T) {
+	// Corrupt the proof to admit an in-place mutation window while
+	// still claiming alias safety.
+	p := zcProg()
+	p.Ops[3].(*mir.Bulk).Alias.NoMutation = false
+	fs := ZeroCopy(p, xdr(), "t", On, nil)
+	wantOneZc(t, fs, "t.ops[3]", "mutation between marshal and send")
+}
+
+func TestZeroCopyRejectsAliasSafeChunk(t *testing.T) {
+	// Chunk windows live in the encoder buffer; an alias-safe chunk
+	// proof can only be corrupted metadata.
+	p := &mir.Program{Dir: mir.Marshal, Ops: []mir.Op{
+		&mir.Ensure{Bytes: 8},
+		&mir.Chunk{Size: 8, Items: []mir.ChunkItem{
+			{Off: 0, Atom: wire.U32, Wire: 4, Val: &mir.Param{Name: "a"}},
+			{Off: 4, Atom: wire.U32, Wire: 4, Val: &mir.Param{Name: "b"}},
+		}, Alias: &mir.AliasProof{Class: mir.AliasSafe, Off: 0, Align: 1}},
+	}}
+	fs := ZeroCopy(p, xdr(), "t", On, nil)
+	wantOneZc(t, fs, "t.ops[1]", "encoder-owned")
+}
+
+func TestZeroCopyRejectsClassDisagreement(t *testing.T) {
+	// An alias-safe claim on a bool bulk must lose to re-derivation.
+	v := &mir.Param{Name: "v"}
+	p := &mir.Program{Dir: mir.Marshal, Ops: []mir.Op{
+		&mir.EnsureDyn{PerElem: 1, Count: v},
+		&mir.Bulk{Val: v, Atom: wire.Bool, ElemWire: 1, Count: -1, Alias: okBulkProof(0)},
+	}}
+	fs := ZeroCopy(p, xdr(), "t", On, nil)
+	wantOneZc(t, fs, "t.ops[1]", "re-derivation yields copy-required")
+}
+
+func TestZeroCopyStrictRequiresProofs(t *testing.T) {
+	// Strip the proof: On tolerates the unproven region, Strict does not.
+	p := zcProg()
+	p.Ops[3].(*mir.Bulk).Alias = nil
+	if fs := ZeroCopy(p, xdr(), "t", On, nil); len(fs) != 0 {
+		t.Fatalf("On mode rejected a proof-less region:\n%s", fs.Error())
+	}
+	fs := ZeroCopy(p, xdr(), "t", Strict, nil)
+	wantOneZc(t, fs, "t.ops[3]", "unproven region in strict mode")
+}

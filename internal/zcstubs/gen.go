@@ -1,0 +1,11 @@
+// Package zcstubs holds flick-generated stubs for the bulk-transfer
+// store interface (store.idl), compiled with -zerocopy: byte regions
+// the MIR alias pass proved alias-safe marshal by reference
+// (PutBytesZC → vectored writes on capable transports) and decode as
+// arena-borrowed views (AliasNext). The committed output is the
+// working proof of the prover→emitter seam; the tests pin the actual
+// zero-copy behavior with ZeroCopyStats counters and alloc guards.
+// Regenerate with go generate.
+package zcstubs
+
+//go:generate go run flick/cmd/flick -idl corba -lang go -format xdr -style flick -package zcstubs -zerocopy -o stubs.go store.idl

@@ -1,0 +1,5 @@
+//go:build !race
+
+package zcstubs
+
+const raceEnabled = false

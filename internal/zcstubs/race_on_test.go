@@ -1,0 +1,7 @@
+//go:build race
+
+package zcstubs
+
+// raceEnabled reports whether this test binary runs under the race
+// detector, whose instrumentation changes per-call allocation counts.
+const raceEnabled = true

@@ -1,0 +1,102 @@
+// The receive arena: size-classed pooled buffers for inbound messages.
+//
+// Raw transports (TCP, UDP, in-process pipes) draw their Recv buffers
+// here, and the pooled decoder returns them when the message dies —
+// unless alias views handed out by AliasNext are still live, in which
+// case the arena is *pinned*: recycling is forfeited and the garbage
+// collector reclaims the buffer when the last view drops it. Pinning
+// is what makes the decode-side zero-copy path memory-safe without a
+// borrow checker: an escaped view can never observe another message's
+// bytes, it can only cost one buffer reuse (and a counter records it,
+// so the arenalife lint's findings are measurable at runtime too).
+//
+// Only conns implementing the arenaOwner marker participate: a wrapper
+// that hands out sub-slices of a shared frame (BatchConn) must never
+// have one message's backing array recycled under its siblings.
+package rt
+
+import "sync"
+
+// Arena size classes. Most RPC messages fit the small class; the large
+// classes serve the bulk-payload workloads the zero-copy path targets.
+const (
+	arenaSmall = 4 << 10
+	arenaMid   = 64 << 10
+	arenaBig   = 1 << 20
+)
+
+// arenaPools hold *[]byte boxes (no New: a miss returns nil and the
+// caller allocates). The boxes themselves recycle through boxPool so a
+// put never allocates a fresh slice-header box — the arena must not
+// add a hidden allocation to the per-call fast path it exists to trim.
+var arenaPools [3]sync.Pool
+
+var boxPool = sync.Pool{New: func() any { return new([]byte) }}
+
+var arenaClassSize = [3]int{arenaSmall, arenaMid, arenaBig}
+
+func arenaClass(n int) int {
+	switch {
+	case n <= arenaSmall:
+		return 0
+	case n <= arenaMid:
+		return 1
+	case n <= arenaBig:
+		return 2
+	}
+	return -1
+}
+
+// getArenaBuf returns an n-byte buffer, pooled when n fits a size
+// class. Oversized requests fall back to a plain allocation that simply
+// never re-enters the pool.
+func getArenaBuf(n int) []byte {
+	cl := arenaClass(n)
+	if cl < 0 {
+		return make([]byte, n)
+	}
+	zcCounters.arenaGets.Add(1)
+	if bp, _ := arenaPools[cl].Get().(*[]byte); bp != nil {
+		b := *bp
+		*bp = nil
+		boxPool.Put(bp)
+		return b[:n]
+	}
+	// Miss: allocate the full class size so the buffer recycles by
+	// capacity later.
+	return make([]byte, arenaClassSize[cl])[:n]
+}
+
+// putArenaBuf recycles a buffer previously handed out by getArenaBuf.
+// Buffers whose capacity matches no class (oversized allocations, or
+// multi-fragment messages that outgrew their first buffer) are dropped
+// to the garbage collector.
+func putArenaBuf(b []byte) {
+	var cl int
+	switch cap(b) {
+	case arenaSmall:
+		cl = 0
+	case arenaMid:
+		cl = 1
+	case arenaBig:
+		cl = 2
+	default:
+		return
+	}
+	zcCounters.arenaPuts.Add(1)
+	bp := boxPool.Get().(*[]byte)
+	*bp = b[:cap(b)]
+	arenaPools[cl].Put(bp)
+}
+
+// arenaOwner marks transports whose Recv buffers the receiver
+// whole-owns (see the package comment above). Deliberately unexported:
+// wrappers cannot opt in by accident.
+type arenaOwner interface{ arenaOwned() }
+
+// ownsArena reports whether c's received messages may be recycled
+// through the arena pool once decoded.
+func ownsArena(c Conn) bool {
+	_, ok := c.(arenaOwner)
+	return ok
+}

@@ -78,6 +78,9 @@ func (r *retiredRing) has(xid uint32) bool {
 // the call slot afterwards.
 type session struct {
 	conn Conn
+	// ownsArena caches ownsArena(conn): reply buffers from a raw
+	// transport transfer to the pooled decoder for arena recycling.
+	ownsArena bool
 
 	mu      sync.Mutex
 	pending map[uint32]*call
@@ -94,7 +97,7 @@ type session struct {
 }
 
 func newSession(conn Conn) *session {
-	return &session{conn: conn, pending: make(map[uint32]*call), streams: make(map[uint32]*ClientStream)}
+	return &session{conn: conn, ownsArena: ownsArena(conn), pending: make(map[uint32]*call), streams: make(map[uint32]*ClientStream)}
 }
 
 // forget removes xid from the in-flight table, retiring it so a late or
@@ -683,14 +686,19 @@ func (c *Client) beginAttempt(proc uint32, opName string, oneway bool, marshal f
 	if oneway {
 		// Oneway-aware batching: nothing waits on this message, so a
 		// coalescing conn may hold it for company instead of cutting a
-		// linger short (see BatchConn.SendLazy).
+		// linger short (see BatchConn.SendLazy). Bytes flattens any
+		// alias segments — a lazily held message must not reference
+		// caller memory.
 		if ls, ok := s.conn.(lazySender); ok {
 			err = ls.SendLazy(enc.Bytes())
 		} else {
-			err = s.conn.Send(enc.Bytes())
+			err = sendEncoded(s.conn, enc)
 		}
 	} else {
-		err = s.conn.Send(enc.Bytes())
+		// Vectored when the stub aliased payload segments and the
+		// transport can scatter/gather; the plain contiguous send
+		// otherwise.
+		err = sendEncoded(s.conn, enc)
 	}
 	if ev != nil {
 		ev.Sent = time.Now()
@@ -807,7 +815,14 @@ func (c *Client) readReplies(s *session) {
 			d.EnableStats(true)
 			d.sink = metrics
 		}
-		d.Reset(msg)
+		if s.ownsArena {
+			// The raw transport drew msg from the receive arena; hand
+			// ownership to the decoder so Release recycles it (or pins
+			// it if the stub aliased views out of it).
+			d.ResetArena(msg)
+		} else {
+			d.Reset(msg)
+		}
 		rh, err := c.proto.ReadReply(d)
 		if err != nil {
 			// The reply header did not parse: nothing identifies the

@@ -45,6 +45,11 @@ type Decoder struct {
 	// the registry that observed the call.
 	pooled bool
 	sink   *Metrics
+	// arena, when non-nil, is the pooled receive buffer backing buf
+	// (see arena.go); aliased records that AliasNext handed out a view
+	// into it, which pins the arena at Release instead of recycling it.
+	arena   []byte
+	aliased bool
 }
 
 // relim recomputes the fast-path limit after anything that rebinds
@@ -97,12 +102,39 @@ func NewDecoder(payload []byte) *Decoder {
 	return &Decoder{buf: payload, lim: len(payload)}
 }
 
-// Reset rebinds the decoder to a new payload.
+// Reset rebinds the decoder to a new payload. Any arena binding is
+// dropped without recycling (the caller kept ownership of the old
+// buffer); use ResetArena to transfer buffer ownership to the decoder.
 func (d *Decoder) Reset(payload []byte) {
 	d.buf = payload
 	d.pos = 0
 	d.err = nil
+	d.arena = nil
+	d.aliased = false
 	d.relim()
+}
+
+// ResetArena rebinds the decoder to a payload drawn from the receive
+// arena, transferring ownership: when the decoder is released with no
+// alias views outstanding, the buffer re-enters the arena pool; if
+// AliasNext handed out views, the buffer is pinned for the garbage
+// collector instead (an escaped view must never see recycled bytes).
+func (d *Decoder) ResetArena(payload []byte) {
+	d.Reset(payload)
+	d.arena = payload
+}
+
+// AliasNext is Next plus a borrow note: the returned window aliases
+// the receive arena, so the decoder pins its buffer at Release if the
+// view might still be live. Generated -zerocopy stubs call it for
+// prover-approved byte regions; the arenalife analyzer checks that
+// such views do not escape their borrow.
+func (d *Decoder) AliasNext(n int) []byte {
+	if d.arena != nil {
+		d.aliased = true
+		zcCounters.aliasViews.Add(1)
+	}
+	return d.Next(n)
 }
 
 // Err returns the sticky error, if any.

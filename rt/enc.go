@@ -35,6 +35,17 @@ type Encoder struct {
 	stats    bool
 	nGrow    uint64
 	nRealloc uint64
+	// Zero-copy segment collection (see vector.go). segs interleaves
+	// sealed windows of buf with aliased user slices in wire order;
+	// sealed is the buf prefix already captured into segs; aliasBytes
+	// counts the aliased (non-buf) bytes so Len and Align keep
+	// reporting the true wire cursor; nAlias counts alias segments.
+	// All zero when no PutBytesZC ran — the copy path never looks at
+	// them.
+	segs       [][]byte
+	sealed     int
+	aliasBytes int
+	nAlias     int
 }
 
 // relim recomputes the fast-path limit after anything that changes
@@ -80,14 +91,36 @@ func (e *Encoder) TakeStats() EncStats {
 	return s
 }
 
-// Reset empties the encoder, keeping capacity.
-func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+// Reset empties the encoder, keeping capacity. Alias segments are
+// dropped (and their user references cleared, so a pooled encoder
+// never pins caller memory across calls).
+func (e *Encoder) Reset() {
+	e.buf = e.buf[:0]
+	if e.nAlias != 0 || len(e.segs) != 0 {
+		e.clearSegs()
+	}
+	e.sealed = 0
+}
 
-// Bytes returns the encoded payload.
-func (e *Encoder) Bytes() []byte { return e.buf }
+// Bytes returns the encoded payload. While alias segments are
+// outstanding the contiguous buffer alone is not the message, so Bytes
+// assembles a flattened copy — correct everywhere (trace hooks, batch
+// envelopes, transports without vectored send) at the cost of the copy
+// the fast path exists to avoid. Senders prefer Vectored.
+func (e *Encoder) Bytes() []byte {
+	if e.nAlias == 0 {
+		return e.buf
+	}
+	out := make([]byte, 0, e.Len())
+	for _, s := range e.segs {
+		out = append(out, s...)
+	}
+	out = append(out, e.buf[e.sealed:]...)
+	return out
+}
 
-// Len returns the current payload length.
-func (e *Encoder) Len() int { return len(e.buf) }
+// Len returns the current payload length, counting alias segments.
+func (e *Encoder) Len() int { return len(e.buf) + e.aliasBytes }
 
 // Grow ensures capacity for n more bytes (the single check emitted per
 // fixed-size segment by optimized stubs).
@@ -140,9 +173,12 @@ func (e *Encoder) Next(n int) []byte {
 	return e.buf[l : l+n]
 }
 
-// Align pads the payload with zeros to an n-byte boundary.
+// Align pads the payload with zeros to an n-byte boundary. The wire
+// cursor counts alias segments (XDR opaque padding after an aliased
+// region must land after the aliased bytes, not after the buffered
+// prefix).
 func (e *Encoder) Align(n int) {
-	pad := (n - len(e.buf)%n) % n
+	pad := (n - (len(e.buf)+e.aliasBytes)%n) % n
 	if pad == 0 {
 		return
 	}

@@ -89,11 +89,15 @@ func getEncoder() *Encoder {
 }
 
 // putEncoder returns an encoder to the pool. Counting is switched off
-// so pooled encoders always re-enter service on the disabled fast path.
+// so pooled encoders always re-enter service on the disabled fast path,
+// and alias segments are cleared so the pool never pins caller memory.
 func putEncoder(e *Encoder) {
 	poolCounters.encPuts.Add(1)
 	if e.stats {
 		e.EnableStats(false)
+	}
+	if e.nAlias != 0 || len(e.segs) != 0 {
+		e.clearSegs()
 	}
 	encoderPool.Put(e)
 }
@@ -121,6 +125,16 @@ func putDecoder(d *Decoder) {
 	d.sink = nil
 	if d.stats {
 		d.EnableStats(false)
+	}
+	// Settle the arena borrow: recycle the receive buffer unless alias
+	// views were handed out, in which case it is pinned — the views own
+	// it now and the garbage collector reclaims it when they die.
+	if d.arena != nil {
+		if d.aliased {
+			zcCounters.arenaPinned.Add(1)
+		} else {
+			putArenaBuf(d.arena)
+		}
 	}
 	d.Reset(nil)
 	decoderPool.Put(d)

@@ -281,6 +281,12 @@ func (s *Server) ServeConn(conn Conn) error {
 		}()
 	}
 
+	// Raw transports draw Recv buffers from the receive arena; their
+	// whole-frame messages transfer to the request decoder for
+	// recycling. Batch parts never do: they are sub-slices of a shared
+	// frame, and recycling one would corrupt its siblings.
+	connArena := ownsArena(conn)
+
 	var loopErr error
 	for {
 		if idle != nil {
@@ -318,11 +324,15 @@ func (s *Server) ServeConn(conn Conn) error {
 				metrics.BatchedCalls.Add(uint64(len(parts)))
 			}
 			for _, part := range parts {
-				s.acceptFrame(conn, part, jobs, metrics, hooks, fail, dups, cs)
+				s.acceptFrame(conn, part, nil, jobs, metrics, hooks, fail, dups, cs)
 			}
 			continue
 		}
-		s.acceptFrame(conn, msg, jobs, metrics, hooks, fail, dups, cs)
+		var arena []byte
+		if connArena {
+			arena = msg
+		}
+		s.acceptFrame(conn, msg, arena, jobs, metrics, hooks, fail, dups, cs)
 	}
 
 	// Graceful drain: stop feeding, let the workers finish what is
@@ -343,8 +353,10 @@ func (s *Server) ServeConn(conn Conn) error {
 // acceptFrame processes one received request message — whether it
 // arrived as its own transport frame or packed inside a batch frame:
 // parse the header, suppress duplicates, pass admission control, and
-// hand the request to the worker pool.
-func (s *Server) acceptFrame(conn Conn, msg []byte, jobs chan<- srvJob,
+// hand the request to the worker pool. arena, when non-nil, is the
+// whole receive buffer backing msg, transferred to the request decoder
+// so its release recycles (or pins) the buffer.
+func (s *Server) acceptFrame(conn Conn, msg, arena []byte, jobs chan<- srvJob,
 	metrics *Metrics, hooks TraceHook, fail *connFail, dups *dupCache, cs *connStreams) {
 	if kind, sxid, arg, _, ok := SplitStream(msg); ok {
 		// Upstream stream control (credit grants, cancellation) from a
@@ -370,6 +382,10 @@ func (s *Server) acceptFrame(conn Conn, msg []byte, jobs chan<- srvJob,
 		d.EnableStats(true)
 	}
 	d.Reset(msg)
+	// Bind the arena separately from the payload: SplitTrace may have
+	// advanced msg past the annotation, but the recyclable unit is the
+	// whole buffer the transport handed over.
+	d.arena = arena
 	h, err := s.proto.ReadRequest(d)
 	if err != nil {
 		// Malformed header: nothing identifies the caller, so no
@@ -533,7 +549,9 @@ func (s *Server) worker(conn Conn, jobs <-chan srvJob, metrics *Metrics, hooks T
 			}
 		}
 		if !h.OneWay {
-			if err := conn.Send(enc.Bytes()); err != nil {
+			// Vectored when the skeleton aliased reply payload segments
+			// and the transport can scatter/gather.
+			if err := sendEncoded(conn, &enc); err != nil {
 				fail.record(conn, err)
 			} else {
 				replied = true

@@ -50,6 +50,11 @@ type tcpConn struct {
 	c    net.Conn
 	rbuf []byte
 	wmu  sync.Mutex
+	// whdr/wvec are SendVectored's scratch (guarded by wmu): a
+	// persistent record-mark header and iovec list so the writev path
+	// allocates nothing per send.
+	whdr [4]byte
+	wvec [][]byte
 	// maxMsg bounds received messages. The length field of a record
 	// mark is attacker-controlled, so Recv validates it against this
 	// bound — cumulatively across fragments — *before* allocating the
@@ -106,13 +111,21 @@ func (t *tcpConn) Recv() ([]byte, error) {
 		if n > max || len(msg)+n > max {
 			return nil, fmt.Errorf("rt: oversized record fragment (%d bytes, %d max)", len(msg)+n, max)
 		}
-		frag := make([]byte, n)
-		if _, err := io.ReadFull(t.c, frag); err != nil {
-			return nil, err
-		}
+		// The whole message is this conn's to give away, so the first
+		// (usually only) fragment draws from the receive arena — the
+		// decoder recycles it when no alias views escape.
 		if msg == nil {
+			frag := getArenaBuf(n)
+			if _, err := io.ReadFull(t.c, frag); err != nil {
+				putArenaBuf(frag)
+				return nil, err
+			}
 			msg = frag
 		} else {
+			frag := make([]byte, n)
+			if _, err := io.ReadFull(t.c, frag); err != nil {
+				return nil, err
+			}
 			msg = append(msg, frag...)
 		}
 		if mark&0x80000000 != 0 {
@@ -122,6 +135,13 @@ func (t *tcpConn) Recv() ([]byte, error) {
 }
 
 func (t *tcpConn) Close() error { return t.c.Close() }
+
+// arenaOwned marks conns whose Recv buffers are whole-owned by the
+// receiver, making them safe to recycle through the arena pool.
+// Wrappers (checksum, fault, batch) deliberately do not implement it:
+// BatchConn in particular hands out sub-slices of a shared frame, and
+// recycling one message's backing array would corrupt its siblings.
+func (t *tcpConn) arenaOwned() {}
 
 type tcpListener struct{ l net.Listener }
 
@@ -194,10 +214,14 @@ func (u *udpConn) Recv() ([]byte, error) {
 	if !u.connected && u.peer == nil && peer != nil {
 		u.peer = peer
 	}
-	out := make([]byte, n)
+	out := getArenaBuf(n)
 	copy(out, u.rbuf[:n])
 	return out, nil
 }
+
+// arenaOwned: each datagram is copied out of rbuf into a fresh buffer
+// the receiver whole-owns.
+func (u *udpConn) arenaOwned() {}
 
 // SetReadDeadline bounds the next Recv (Server.IdleTimeout).
 func (u *udpConn) SetReadDeadline(dl time.Time) error { return u.c.SetReadDeadline(dl) }
@@ -254,8 +278,9 @@ func (p *pipeConn) Send(msg []byte) error {
 		return ErrClosed
 	default:
 	}
-	// Messages pass by value (the caller reuses its buffer).
-	out := make([]byte, len(msg))
+	// Messages pass by value (the caller reuses its buffer). The copy
+	// is the receiver's property, so it draws from the arena pool.
+	out := getArenaBuf(len(msg))
 	copy(out, msg)
 	select {
 	case p.send <- out:
@@ -278,3 +303,7 @@ func (p *pipeConn) Close() error {
 	p.closing.once.Do(func() { close(p.closing.done) })
 	return nil
 }
+
+// arenaOwned: Send copies into a fresh buffer that becomes the
+// receiver's property once it crosses the channel.
+func (p *pipeConn) arenaOwned() {}

@@ -1,6 +1,7 @@
 package flick_test
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -8,6 +9,7 @@ import (
 
 	"flick"
 	"flick/internal/backend/gostub"
+	"flick/internal/lint"
 	"flick/internal/verify"
 )
 
@@ -20,7 +22,8 @@ func corpusIDLs(t *testing.T) []string {
 	// typestubs matters: its type zoo (unions inside sequences, recursion
 	// through optionals) regression-tests the verifier's budget model for
 	// grouped ensure checks absorbed across switch arms.
-	for _, dir := range []string{"examples/idl", "internal/teststubs", "internal/typestubs"} {
+	for _, dir := range []string{"examples/idl", "internal/teststubs", "internal/typestubs",
+		"internal/streamstubs", "internal/zcstubs"} {
 		ents, err := os.ReadDir(dir)
 		if err != nil {
 			t.Fatal(err)
@@ -88,6 +91,100 @@ func TestVerifyCorpusZeroFindings(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestVerifyCorpusZeroCopy re-runs the corpus through the -zerocopy
+// pipeline: every alias proof the MIR pass attaches must survive the
+// zerocopy verifier's independent re-derivation under strict mode, for
+// every wire format, and the corpus must actually exercise the prover
+// (at least one region proven alias-safe somewhere).
+func TestVerifyCorpusZeroCopy(t *testing.T) {
+	totalRegions, totalAliased := 0, 0
+	for _, file := range corpusIDLs(t) {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, format := range []string{"xdr", "cdr", "cdr-le", "mach3", "fluke"} {
+			stats := &gostub.Stats{}
+			_, err := flick.Compile(file, string(src), flick.Options{
+				Lang: "go", Format: format, Style: "flick",
+				Package: "p", EmitRPC: true,
+				ZeroCopy: true,
+				Verify:   verify.Strict,
+				Stats:    stats,
+			})
+			if err != nil {
+				t.Errorf("%s/%s: %v", file, format, err)
+				continue
+			}
+			if stats.Verify.Findings != 0 {
+				t.Errorf("%s/%s: %d verifier findings under -zerocopy", file, format,
+					stats.Verify.Findings)
+			}
+			totalRegions += stats.Verify.ZcRegions
+			totalAliased += stats.Verify.ZcAliased
+		}
+	}
+	if totalRegions == 0 || totalAliased == 0 {
+		t.Fatalf("zerocopy verifier ran over nothing: regions=%d aliased=%d",
+			totalRegions, totalAliased)
+	}
+}
+
+// TestLintCorpusZeroFindings is the strict lint gate over generated
+// code: every corpus IDL compiled with -zerocopy (plain, and with the
+// full sync/async/stream surface set) must come out clean under the
+// entire analyzer suite — in particular arenalife, since -zerocopy is
+// what introduces arena-borrowed views into generated stubs.
+func TestLintCorpusZeroFindings(t *testing.T) {
+	exports, err := lint.ExportsFor("flick/rt")
+	if err != nil {
+		t.Fatalf("resolving flick/rt export data: %v", err)
+	}
+	dir := t.TempDir()
+	n := 0
+	for _, file := range corpusIDLs(t) {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, surfaces := range []string{"", "sync,async,stream"} {
+			if strings.HasSuffix(file, ".defs") && surfaces != "" {
+				continue
+			}
+			code, err := flick.Compile(file, string(src), flick.Options{
+				Lang: "go", Format: "xdr", Style: "flick",
+				Package: "p", EmitRPC: true,
+				Surfaces: surfaces,
+				ZeroCopy: true,
+			})
+			if err != nil {
+				t.Errorf("%s (surfaces %q): %v", file, surfaces, err)
+				continue
+			}
+			out := filepath.Join(dir, fmt.Sprintf("gen%d.go", n))
+			n++
+			if err := os.WriteFile(out, []byte(code), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			pkg, err := lint.TypecheckFiles("gen", []string{out}, exports)
+			if err != nil {
+				t.Errorf("%s (surfaces %q): typecheck: %v", file, surfaces, err)
+				continue
+			}
+			diags, err := lint.Analyze(pkg, lint.All())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range diags {
+				t.Errorf("%s (surfaces %q): lint finding in generated code: %s", file, surfaces, d)
+			}
+		}
+	}
+	if n == 0 {
+		t.Fatal("lint gate ran over nothing")
 	}
 }
 
