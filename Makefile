@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-race bench bench-rt chaos chaos-short fleet fleet-short trace trace-short stream stream-short zerocopy zerocopy-short bench-json generate generate-check stats ci
+.PHONY: all build vet lint test test-race bench bench-rt chaos chaos-short fleet fleet-short trace trace-short stream stream-short zerocopy zerocopy-short drain drain-short bench-json generate generate-check stats ci
 
 all: build
 
@@ -100,12 +100,29 @@ zerocopy:
 zerocopy-short:
 	$(GO) test -race -short -count=1 -run 'TestZeroCopy|TestArenaLife|TestVerifyCorpusZeroCopy|TestLintCorpus' ./internal/zcstubs ./internal/lint ./internal/verify .
 
+# The lifecycle gate: deadline propagation, cancel frames, breaker
+# half-open discipline, hedging safety, and the rolling-restart drain
+# soak (loss-free on a clean link, classified-only under 5% faults),
+# all under -race, then the drain and hedge reports. CI runs
+# drain-short.
+drain:
+	$(GO) test -race -count=1 -run 'TestDeadline|TestExpired|TestClientMapsReplyExpired|TestCtx|TestDrain|TestGoAway|TestBreakerHalfOpen|TestDupCacheAcrossRedial|TestNonIdempotentNeverHedges|TestChaosDrain|TestHedgeTail' ./rt ./internal/experiment
+	$(GO) run ./cmd/flick-bench -exp drain
+	$(GO) run ./cmd/flick-bench -exp hedge
+
+# The CI-sized lifecycle gate: same invariants and soaks under -race
+# with reduced call counts, plus the CI-sized drain report.
+drain-short:
+	$(GO) test -race -short -count=1 -run 'TestDeadline|TestExpired|TestClientMapsReplyExpired|TestCtx|TestDrain|TestGoAway|TestBreakerHalfOpen|TestDupCacheAcrossRedial|TestNonIdempotentNeverHedges|TestChaosDrain|TestHedgeTail' ./rt ./internal/experiment
+	$(GO) run ./cmd/flick-bench -exp drain -short
+
 # Regenerate the committed machine-readable benchmark curves.
 bench-json:
 	$(GO) run ./cmd/flick-bench -exp pipeline -json > BENCH_pipeline.json
 	$(GO) run ./cmd/flick-bench -exp fleet -json > BENCH_fleet.json
 	$(GO) run ./cmd/flick-bench -exp stream -json > BENCH_stream.json
 	$(GO) run ./cmd/flick-bench -exp zerocopy -json > BENCH_zerocopy.json
+	$(GO) run ./cmd/flick-bench -exp hedge -json > BENCH_hedge.json
 
 generate:
 	$(GO) generate ./...

@@ -20,6 +20,8 @@
 //	flick-bench -exp trace     # tracing overhead at 0%/1%/100% sampling + tree completeness
 //	flick-bench -exp stream    # server-push stream goodput: chunk size x credit window sweep
 //	flick-bench -exp zerocopy  # zero-copy bulk transfer: writev vs flatten across payload sizes
+//	flick-bench -exp hedge     # hedged requests: bimodal latency, p99 with hedging off/on
+//	flick-bench -exp drain     # rolling restart: lameduck drain under load, loss accounting
 //	flick-bench -exp all
 //
 // -json emits each report as a machine-readable JSON document instead
@@ -41,7 +43,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, fig7, table2, table3, ablation, rpcstats, checks, pipeline, chaos, fleet, trace, stream, zerocopy, all")
+	exp := flag.String("exp", "all", "experiment: fig3, fig4, fig5, fig6, fig7, table2, table3, ablation, rpcstats, checks, pipeline, chaos, fleet, trace, stream, zerocopy, hedge, drain, all")
 	asJSON := flag.Bool("json", false, "emit reports as JSON documents instead of aligned tables")
 	short := flag.Bool("short", false, "run reduced sweeps (CI-sized); currently affects fleet")
 	debugAddr := flag.String("debug-addr", "", "serve the runtime debug surface over HTTP on this address (e.g. localhost:6060) while experiments run")
@@ -138,6 +140,18 @@ func main() {
 	}
 	if run("zerocopy") {
 		emit(experiment.ZeroCopy())
+		ran = true
+	}
+	if run("hedge") {
+		emit(experiment.Hedge())
+		ran = true
+	}
+	if run("drain") {
+		if *short {
+			emit(experiment.DrainShort())
+		} else {
+			emit(experiment.Drain())
+		}
 		ran = true
 	}
 	if !ran {

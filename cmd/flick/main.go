@@ -31,7 +31,7 @@ func main() {
 	suffix := flag.String("suffix", "", "suffix appended to generated function names")
 	skipDecls := flag.Bool("skip-decls", false, "omit presented type declarations")
 	rpc := flag.Bool("rpc", true, "emit client stubs and server dispatch (Go only)")
-	surfaces := flag.String("surfaces", "", "comma-separated presentation surfaces: sync, async, stream (default sync)")
+	surfaces := flag.String("surfaces", "", "comma-separated presentation surfaces: sync, async, stream, ctx (default sync)")
 	surfacesOnly := flag.Bool("surfaces-only", false, "emit only the surface shells (marshal core generated elsewhere in the package)")
 	side := flag.String("side", "client", "presentation side: client or server (C only)")
 	flag.StringVar(&out, "o", "", "output file (default stdout)")

@@ -201,8 +201,9 @@ type emitter struct {
 	// name resolution).
 	curProg *mir.Program
 
-	usesBinary bool
-	usesMath   bool
+	usesBinary  bool
+	usesMath    bool
+	usesContext bool
 }
 
 func (e *emitter) pf(format string, args ...any) {
@@ -269,6 +270,9 @@ func (e *emitter) file(f *presc.File) (string, error) {
 		e.cfg.Format.Name() + "). DO NOT EDIT.\n\n")
 	out.WriteString("package " + e.cfg.Package + "\n\n")
 	out.WriteString("import (\n")
+	if e.usesContext {
+		out.WriteString("\t\"context\"\n")
+	}
 	if e.usesBinary {
 		out.WriteString("\t\"encoding/binary\"\n")
 	}

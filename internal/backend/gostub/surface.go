@@ -55,8 +55,10 @@ func ParseSurfaces(list string) ([]Surface, error) {
 			out = append(out, AsyncSurface{})
 		case "stream":
 			out = append(out, StreamSurface{})
+		case "ctx":
+			out = append(out, CtxSurface{})
 		default:
-			return nil, fmt.Errorf("gostub: unknown surface %q (supported: sync, async, stream)", name)
+			return nil, fmt.Errorf("gostub: unknown surface %q (supported: sync, async, stream, ctx)", name)
 		}
 	}
 	if len(out) == 0 {
@@ -224,6 +226,70 @@ func (e *emitter) asyncMethod(clientType string, s *presc.Stub) {
 	// back to the pool once results are unmarshaled.
 	e.pf("d.Release()")
 	e.pf("return")
+	e.indent--
+	e.pf("}")
+	e.pf("")
+}
+
+// CtxSurface is the context presentation: <Op>Ctx takes a caller
+// context.Context ahead of the request parameters. The context's
+// deadline travels on the wire as the runtime's deadline annotation
+// (the server inherits the remaining budget and sheds expired work
+// before dispatch), its trace context is continued, and its
+// cancellation aborts the reply wait — sending the cancel frame that
+// releases the server-side work. Stream operations are skipped (the
+// stream surface owns their shape; rt.Client.CallStreamCtx presents
+// them at the runtime layer).
+type CtxSurface struct{}
+
+func (CtxSurface) Name() string { return "ctx" }
+
+func (CtxSurface) clientFuncs(e *emitter, clientType string, stubs []*presc.Stub) error {
+	for _, s := range stubs {
+		if s.Stream {
+			continue
+		}
+		e.ctxMethod(clientType, s)
+	}
+	return nil
+}
+
+func (e *emitter) ctxMethod(clientType string, s *presc.Stub) {
+	e.usesContext = true
+	prefix := stubPrefix(s) + e.cfg.FuncSuffix
+	goOp := pgen.GoName(s.Op)
+	reqArgs := append([]string{"e"}, callArgs(s.RequestParams())...)
+	params := append([]string{"ctx context.Context"}, inParamDecls(s)...)
+
+	e.pf("// %sCtx invokes the %s operation under a caller context:", goOp, s.Op)
+	e.pf("// the context's deadline travels on the wire and bounds the")
+	e.pf("// server-side work, its trace is continued, and cancellation")
+	e.pf("// aborts the reply wait while a cancel frame releases the")
+	e.pf("// server-side work.")
+	e.pf("func (c *%s) %sCtx(%s) (%s) {", clientType, goOp, strings.Join(params, ", "), strings.Join(replyResultDecls(s), ", "))
+	e.indent++
+	if s.Oneway {
+		e.pf("_, err = c.C.CallIdemCtx(ctx, %d, %q, true, %v, func(e *rt.Encoder) {", s.OpCode, s.OpName, s.Idempotent)
+	} else {
+		e.pf("var d *rt.Decoder")
+		e.pf("d, err = c.C.CallIdemCtx(ctx, %d, %q, false, %v, func(e *rt.Encoder) {", s.OpCode, s.OpName, s.Idempotent)
+	}
+	e.indent++
+	e.pf("Marshal%sRequest(%s)", prefix, strings.Join(reqArgs, ", "))
+	e.indent--
+	e.pf("})")
+	e.pf("if err != nil {")
+	e.indent++
+	e.pf("return")
+	e.indent--
+	e.pf("}")
+	if s.Oneway {
+		e.pf("return")
+	} else {
+		e.pf("%s = Unmarshal%sReply(d)", strings.Join(replyResultNames(s), ", "), prefix)
+		e.pf("d.Release()")
+		e.pf("return")
+	}
 	e.indent--
 	e.pf("}")
 	e.pf("")

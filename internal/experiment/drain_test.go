@@ -1,0 +1,170 @@
+package experiment
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"flick/rt"
+)
+
+// TestChaosDrainLossFree is the loss-free half of the lameduck
+// acceptance gate: a clean link, a fleet of 4 servers drained and
+// replaced one at a time while 8 callers hammer the pool. With no
+// faults injected, EVERY call must succeed — a drained server that
+// acknowledged GOAWAY answers everything it accepted, and everything
+// it sheds afterwards is failover-safe and lands elsewhere. Run it
+// with -race.
+func TestChaosDrainLossFree(t *testing.T) {
+	calls := 6000
+	if testing.Short() {
+		calls = 1500
+	}
+	goroutinesBefore := runtime.NumGoroutine()
+
+	res, err := RunDrain(DrainConfig{Calls: calls, Callers: 8, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("drain: %d calls, %d ok, %d restarts (%d clean), %d goaways, %d drain sheds, %d redials, %d failovers, %v wall",
+		res.Calls, res.Succeeded, res.Restarts, res.CleanDrains,
+		res.GoAways, res.DrainRejects, res.Reconnects, res.SessionFailovers, res.Wall)
+
+	// The loss-free invariant: nothing failed, nothing was wrong.
+	if res.Succeeded != res.Calls {
+		t.Errorf("lost calls on a clean link: %d/%d succeeded (%d/%d/%d/%d failed retryable/notretryable/breaker/other)",
+			res.Succeeded, res.Calls,
+			res.FailedRetryable, res.FailedNotRetryable, res.FailedBreaker, res.FailedOther)
+	}
+	if res.Mismatches != 0 {
+		t.Errorf("%d wrong answers", res.Mismatches)
+	}
+	// The soak must actually exercise the drain machinery.
+	if res.Restarts == 0 {
+		t.Error("no restarts performed: the soak never drained a server")
+	}
+	if res.CleanDrains != res.Restarts {
+		t.Errorf("%d/%d drains missed the settle deadline on a clean link", res.Restarts-res.CleanDrains, res.Restarts)
+	}
+	if res.GoAways == 0 {
+		t.Error("no GOAWAY frames observed by clients")
+	}
+	if res.Reconnects == 0 {
+		t.Error("no redials: drained sessions never reconnected to replacements")
+	}
+	if !res.PoolDelta.Balanced() {
+		t.Errorf("pooled buffers leaked across drains: %+v", res.PoolDelta)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > goroutinesBefore+2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > goroutinesBefore+2 {
+		t.Errorf("goroutines grew %d -> %d after quiescence", goroutinesBefore, now)
+	}
+}
+
+// TestChaosDrain layers rolling restarts on top of the 5% chaos soak:
+// drains, GOAWAYs, redials, retries, and injected faults all at once.
+// Classified failures are acceptable under chaos; wrong answers,
+// unclassified errors, pool leaks, and goroutine growth are not. Run
+// it with -race.
+func TestChaosDrain(t *testing.T) {
+	calls := 6000
+	if testing.Short() {
+		calls = 1500
+	}
+	goroutinesBefore := runtime.NumGoroutine()
+
+	res, err := RunDrain(DrainConfig{
+		Calls: calls, Callers: 8, Seed: 7,
+		Plan: DefaultChaosPlan(0.05),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("chaos drain: %d calls, %d ok, %d/%d/%d/%d failed (retryable/notretryable/breaker/other), "+
+		"%d restarts (%d clean), %d goaways, %d drain sheds, %d redials, %d failovers, %v wall",
+		res.Calls, res.Succeeded,
+		res.FailedRetryable, res.FailedNotRetryable, res.FailedBreaker, res.FailedOther,
+		res.Restarts, res.CleanDrains, res.GoAways, res.DrainRejects,
+		res.Reconnects, res.SessionFailovers, res.Wall)
+
+	if res.Mismatches != 0 {
+		t.Errorf("payload corruption reached the caller: %d wrong answers", res.Mismatches)
+	}
+	if res.FailedOther != 0 {
+		t.Errorf("%d failures carried no retry classification", res.FailedOther)
+	}
+	if res.Restarts == 0 {
+		t.Error("no restarts performed")
+	}
+	if res.Reconnects == 0 {
+		t.Error("no redials under chaos + drain")
+	}
+	if res.Succeeded*10 < res.Calls*9 {
+		t.Errorf("only %d/%d calls succeeded: drain + 5%% faults overwhelmed the stack",
+			res.Succeeded, res.Calls)
+	}
+	if !res.PoolDelta.Balanced() {
+		t.Errorf("pooled buffers leaked: %+v", res.PoolDelta)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > goroutinesBefore+2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > goroutinesBefore+2 {
+		t.Errorf("goroutines grew %d -> %d after quiescence", goroutinesBefore, now)
+	}
+}
+
+// TestHedgeTail pins the hedging claim end to end: on a bimodal server
+// (5% of executions stall 10ms) a hedging pool must cut p99 well below
+// the stall, with duplicate work bounded near the slow-mode rate, and
+// never a wrong answer. Run it with -race.
+func TestHedgeTail(t *testing.T) {
+	calls := 3000
+	if testing.Short() {
+		calls = 800
+	}
+	base, err := RunHedge(HedgeConfig{Calls: calls, Callers: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hedged, err := RunHedge(HedgeConfig{
+		Calls: calls, Callers: 4, Seed: 3,
+		Hedge: &rt.HedgePolicy{Percentile: 0.95, MinDelay: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("baseline p50=%v p95=%v p99=%v; hedged p50=%v p95=%v p99=%v (%d hedges, %d wins, %d cancels)",
+		base.P50, base.P95, base.P99, hedged.P50, hedged.P95, hedged.P99,
+		hedged.HedgedCalls, hedged.HedgeWins, hedged.CancelsSent)
+
+	if base.Mismatches != 0 || hedged.Mismatches != 0 {
+		t.Errorf("wrong answers: baseline %d, hedged %d", base.Mismatches, hedged.Mismatches)
+	}
+	if base.Errors != 0 || hedged.Errors != 0 {
+		t.Errorf("errors on a clean link: baseline %d, hedged %d", base.Errors, hedged.Errors)
+	}
+	// The baseline's p99 sits in the stall mode; hedging must pull it
+	// out (comfortably below half the 10ms stall).
+	if base.P99 < 5*time.Millisecond {
+		t.Skipf("baseline p99 %v never reached the stall mode; host too noisy to assert", base.P99)
+	}
+	if hedged.P99 >= base.P99/2 {
+		t.Errorf("hedging did not cut the tail: baseline p99 %v, hedged p99 %v", base.P99, hedged.P99)
+	}
+	if hedged.HedgedCalls == 0 {
+		t.Error("no hedges launched")
+	}
+	// Duplicate work must stay bounded: the hedge rate tracks the slow
+	// mode (5%) plus scheduling noise, nowhere near "hedge everything".
+	if rate := float64(hedged.HedgedCalls) / float64(hedged.Calls); rate > 0.25 {
+		t.Errorf("hedge rate %.1f%% is unbounded duplicate work", 100*rate)
+	}
+	if hedged.HedgeWins == 0 {
+		t.Error("no hedge wins: the second attempt never beat a stalled primary")
+	}
+}

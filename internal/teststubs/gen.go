@@ -14,6 +14,7 @@ var BenchIDL string
 
 //go:generate go run flick/cmd/flick -idl corba -lang go -format xdr -style flick -package teststubs -suffix XDR -o stubs_xdr.go test.idl
 //go:generate go run flick/cmd/flick -idl corba -lang go -format xdr -style flick -package teststubs -suffix XDR -surfaces async -surfaces-only -o stubs_xdr_async.go test.idl
+//go:generate go run flick/cmd/flick -idl corba -lang go -format xdr -style flick -package teststubs -suffix XDR -surfaces ctx -surfaces-only -o stubs_xdr_ctx.go test.idl
 //go:generate go run flick/cmd/flick -idl corba -lang go -format xdr -style rpcgen -package teststubs -suffix XDRNaive -skip-decls -o stubs_xdr_naive.go test.idl
 //go:generate go run flick/cmd/flick -idl corba -lang go -format xdr -style powerrpc -package teststubs -suffix XDRPow -skip-decls -o stubs_xdr_pow.go test.idl
 //go:generate go run flick/cmd/flick -idl corba -lang go -format cdr-le -style flick -package teststubs -suffix CDR -skip-decls -o stubs_cdr.go test.idl

@@ -29,6 +29,13 @@ var ErrBadXID = errors.New("rt: reply xid matches no pending call (connection de
 // other in-flight calls.
 var ErrTimeout = errors.New("rt: call deadline exceeded")
 
+// ErrExpired reports a call the server shed because its propagated
+// deadline (the wire deadline annotation; see CallCtx) had already
+// passed before dispatch. The handler provably did not run, but
+// retrying is pointless — the end-to-end budget is spent — so the
+// error classifies as non-retryable.
+var ErrExpired = errors.New("rt: deadline expired before dispatch (server shed the call)")
+
 // retiredWindow is the number of recently completed or abandoned XIDs a
 // session remembers so that late or duplicated replies (timed-out
 // calls, retransmitting links) are recognized and dropped instead of
@@ -94,6 +101,11 @@ type session struct {
 	// returns it.
 	failed   error
 	readerOn bool
+	// draining is set when the server announces lameduck drain (a
+	// GOAWAY frame): calls already in flight will still complete, but
+	// Healthy reports false so pools migrate new work to other
+	// sessions before the server closes the connection.
+	draining bool
 }
 
 func newSession(conn Conn) *session {
@@ -154,6 +166,22 @@ func (s *session) failedErr() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.failed
+}
+
+// markDraining flags the session as draining, reporting whether this
+// call was the first to do so.
+func (s *session) markDraining() bool {
+	s.mu.Lock()
+	was := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	return !was
+}
+
+func (s *session) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 // Client issues RPCs over one connection. Calls are multiplexed: any
@@ -264,11 +292,15 @@ func (c *Client) Close() error {
 }
 
 // Healthy reports whether the client can plausibly complete a call
-// right now: it is open, its breaker (if any) is not shedding, and its
-// session is either unpoisoned or redialable. ClientPool uses it to
-// steer calls toward healthy sessions; a false answer is advisory (a
-// half-open breaker may still admit a probe, a racing failure may still
-// poison a healthy session).
+// right now: it is open, its breaker (if any) is not shedding, its
+// session's server is not draining, and the session is either
+// unpoisoned or redialable. ClientPool uses it to steer calls toward
+// healthy sessions; a false answer is advisory (a half-open breaker
+// may still admit a probe, a racing failure may still poison a healthy
+// session). A draining session reports unhealthy so pools migrate
+// traffic away before the server closes the socket; once it does, a
+// redialable client turns healthy again and reconnects — to the
+// restarted server — on its next call.
 func (c *Client) Healthy() bool {
 	if c.closed.Load() {
 		return false
@@ -276,13 +308,19 @@ func (c *Client) Healthy() bool {
 	if b := c.Breaker; b != nil && !b.Ready() {
 		return false
 	}
-	if c.Redial == nil {
-		c.sessMu.Lock()
-		s := c.sess
-		c.sessMu.Unlock()
-		if s.failedErr() != nil {
-			return false
-		}
+	c.sessMu.Lock()
+	s := c.sess
+	c.sessMu.Unlock()
+	s.mu.Lock()
+	draining, ferr := s.draining, s.failed
+	s.mu.Unlock()
+	if draining && ferr == nil {
+		// GOAWAY received and the socket is still up: in-flight work
+		// completes, but new work belongs elsewhere.
+		return false
+	}
+	if c.Redial == nil && ferr != nil {
+		return false
 	}
 	return true
 }
@@ -360,11 +398,18 @@ func (c *Client) Call(proc uint32, opName string, oneway bool, marshal func(*Enc
 	return c.CallIdemCtx(nil, proc, opName, oneway, false, marshal)
 }
 
-// CallCtx is Call with a caller context. Its only current use is trace
-// continuation: when ctx carries a sampled TraceContext (a server
-// handler forwarding via (*ReqHeader).Context, or ContextWithTrace),
-// the call joins that trace as a child span instead of making a fresh
-// sampling decision.
+// CallCtx is Call with a caller context, which participates in the
+// call three ways. Trace continuation: when ctx carries a sampled
+// TraceContext (a server handler forwarding via (*ReqHeader).Context,
+// or ContextWithTrace), the call joins that trace as a child span
+// instead of making a fresh sampling decision. Deadline propagation:
+// a ctx deadline bounds the wait for the reply and travels on the wire
+// as a deadline annotation, so the server inherits the remaining
+// budget and sheds expired work before dispatch (ErrExpired).
+// Cancellation: ctx.Done() aborts the call — before send, or during
+// the wait, in which case a best-effort cancel frame releases the
+// server-side work — classified as non-retryable context.Canceled /
+// context.DeadlineExceeded.
 func (c *Client) CallCtx(ctx context.Context, proc uint32, opName string, oneway bool, marshal func(*Encoder)) (*Decoder, error) {
 	return c.CallIdemCtx(ctx, proc, opName, oneway, false, marshal)
 }
@@ -387,7 +432,7 @@ func (c *Client) CallIdemCtx(ctx context.Context, proc uint32, opName string, on
 		// Fast path: observability disabled costs exactly the three nil
 		// tests above (no timestamps, no per-call allocation beyond the
 		// transport's own).
-		return c.invoke(proc, opName, oneway, idempotent, marshal, nil, nil, nil)
+		return c.invoke(ctx, proc, opName, oneway, idempotent, marshal, nil, nil, nil)
 	}
 
 	var ev *TraceEvent
@@ -401,7 +446,7 @@ func (c *Client) CallIdemCtx(ctx context.Context, proc uint32, opName string, on
 		ct = startCallTrace(tracer, ctx, SpanClientCall, opName, c.Shard)
 	}
 	begin := time.Now()
-	d, err := c.invoke(proc, opName, oneway, idempotent, marshal, ev, metrics, ct)
+	d, err := c.invoke(ctx, proc, opName, oneway, idempotent, marshal, ev, metrics, ct)
 
 	if metrics != nil {
 		op := metrics.Op(opName)
@@ -446,9 +491,9 @@ func (c *Client) CallIdemCtx(ctx context.Context, proc uint32, opName string, on
 // unwrapped, zero added cost). With them it classifies each failure,
 // paces re-attempts with the policy's jittered backoff inside the
 // optional per-call budget, and keeps the breaker posted.
-func (c *Client) invoke(proc uint32, opName string, oneway, idempotent bool, marshal func(*Encoder), ev *TraceEvent, metrics *Metrics, ct *callTrace) (*Decoder, error) {
+func (c *Client) invoke(ctx context.Context, proc uint32, opName string, oneway, idempotent bool, marshal func(*Encoder), ev *TraceEvent, metrics *Metrics, ct *callTrace) (*Decoder, error) {
 	if c.Retry == nil && c.Redial == nil && c.Breaker == nil {
-		d, err, _ := c.callOnce(proc, opName, oneway, marshal, ev, metrics, ct)
+		d, err, _ := c.callOnce(ctx, proc, opName, oneway, marshal, ev, metrics, ct)
 		return d, err
 	}
 
@@ -460,8 +505,8 @@ func (c *Client) invoke(proc uint32, opName string, oneway, idempotent bool, mar
 		return nil, ErrBreakerOpen
 	}
 
-	d, err, sent := c.callOnce(proc, opName, oneway, marshal, ev, metrics, ct)
-	return c.settleAttempts(d, err, sent, proc, opName, oneway, idempotent, marshal, ev, metrics, ct)
+	d, err, sent := c.callOnce(ctx, proc, opName, oneway, marshal, ev, metrics, ct)
+	return c.settleAttempts(ctx, d, err, sent, proc, opName, oneway, idempotent, marshal, ev, metrics, ct)
 }
 
 // settleAttempts classifies the outcome of an already-made first
@@ -474,7 +519,7 @@ func (c *Client) invoke(proc uint32, opName string, oneway, idempotent bool, mar
 // set, bounds the re-attempt phase (it opens when settling begins, so
 // an async caller's think time between issue and Wait is not charged
 // against it).
-func (c *Client) settleAttempts(d *Decoder, err error, sent bool, proc uint32, opName string, oneway, idempotent bool, marshal func(*Encoder), ev *TraceEvent, metrics *Metrics, ct *callTrace) (*Decoder, error) {
+func (c *Client) settleAttempts(ctx context.Context, d *Decoder, err error, sent bool, proc uint32, opName string, oneway, idempotent bool, marshal func(*Encoder), ev *TraceEvent, metrics *Metrics, ct *callTrace) (*Decoder, error) {
 	attempts := 1
 	if c.Retry != nil {
 		attempts = c.Retry.attempts()
@@ -502,8 +547,11 @@ func (c *Client) settleAttempts(d *Decoder, err error, sent bool, proc uint32, o
 					sleep = rem
 				}
 			}
-			time.Sleep(sleep)
-			d, err, sent = c.callOnce(proc, opName, oneway, marshal, ev, metrics, ct)
+			if !sleepCtx(ctx, sleep) {
+				// The caller gave up mid-backoff: no further attempts.
+				return nil, notRetryable(ctx.Err())
+			}
+			d, err, sent = c.callOnce(ctx, proc, opName, oneway, marshal, ev, metrics, ct)
 		}
 		if err == nil {
 			if c.Breaker != nil {
@@ -518,6 +566,22 @@ func (c *Client) settleAttempts(d *Decoder, err error, sent bool, proc uint32, o
 				c.Breaker.success()
 			}
 			return nil, err
+		}
+		if errors.Is(err, ErrExpired) {
+			// The server answered by shedding expired work before
+			// dispatch: the transport works (breaker-healthy), but the
+			// end-to-end budget is spent, so retrying cannot help.
+			if c.Breaker != nil {
+				c.Breaker.success()
+			}
+			ct.event("expired", "server shed the call, propagated deadline passed")
+			return nil, notRetryable(err)
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The caller abandoned the call (or its deadline passed):
+			// terminal by definition, and no evidence about transport
+			// health either way, so the breaker is left alone.
+			return nil, notRetryable(err)
 		}
 		if errors.Is(err, ErrOverloaded) {
 			// The server answered by shedding the call before dispatch:
@@ -568,13 +632,13 @@ func (c *Client) settleAttempts(d *Decoder, err error, sent bool, proc uint32, o
 // (ct non-nil) it wraps the attempt in a SpanAttempt child span whose
 // ID is the one propagated in the wire annotation, so the server-side
 // dispatch span parents to exactly the attempt that carried it.
-func (c *Client) callOnce(proc uint32, opName string, oneway bool, marshal func(*Encoder), ev *TraceEvent, metrics *Metrics, ct *callTrace) (dec *Decoder, err error, sent bool) {
+func (c *Client) callOnce(ctx context.Context, proc uint32, opName string, oneway bool, marshal func(*Encoder), ev *TraceEvent, metrics *Metrics, ct *callTrace) (dec *Decoder, err error, sent bool) {
 	if ct == nil {
-		return c.callAttempt(proc, opName, oneway, marshal, ev, metrics, nil, 0)
+		return c.callAttempt(ctx, proc, opName, oneway, marshal, ev, metrics, nil, 0)
 	}
 	attemptID := ct.tr.nextID()
 	begin := time.Now()
-	dec, err, sent = c.callAttempt(proc, opName, oneway, marshal, ev, metrics, ct, attemptID)
+	dec, err, sent = c.callAttempt(ctx, proc, opName, oneway, marshal, ev, metrics, ct, attemptID)
 	sp := &Span{
 		Trace: ct.tc.TraceID, ID: attemptID, Parent: ct.tc.SpanID,
 		Kind: SpanAttempt, Op: opName, XID: ct.lastXID, Sess: ct.shard,
@@ -598,13 +662,13 @@ func (c *Client) callOnce(proc uint32, opName string, oneway bool, marshal func(
 // total and the drained encoder/decoder counters. ct, when non-nil,
 // marks the attempt sampled: the request is prefixed with the trace
 // annotation carrying attemptID.
-func (c *Client) callAttempt(proc uint32, opName string, oneway bool, marshal func(*Encoder), ev *TraceEvent, metrics *Metrics, ct *callTrace, attemptID uint64) (dec *Decoder, err error, sent bool) {
-	s, ca, xid, err, sent := c.beginAttempt(proc, opName, oneway, marshal, ev, metrics, ct, attemptID)
+func (c *Client) callAttempt(ctx context.Context, proc uint32, opName string, oneway bool, marshal func(*Encoder), ev *TraceEvent, metrics *Metrics, ct *callTrace, attemptID uint64) (dec *Decoder, err error, sent bool) {
+	s, ca, xid, err, sent := c.beginAttempt(ctx, proc, opName, oneway, marshal, ev, metrics, ct, attemptID)
 	if err != nil || ca == nil {
 		// Failed before a reply could be owed, or oneway success.
 		return nil, err, sent
 	}
-	dec, err = c.awaitAttempt(s, ca, xid, metrics)
+	dec, err = c.awaitAttempt(ctx, s, ca, xid, metrics)
 	return dec, err, true
 }
 
@@ -615,9 +679,29 @@ func (c *Client) callAttempt(proc uint32, opName string, oneway bool, marshal fu
 // nil slot (nothing is owed). It is split from awaitAttempt so the
 // async path can transmit many requests before collecting any reply —
 // the returned slot is exactly what a Promise holds.
-func (c *Client) beginAttempt(proc uint32, opName string, oneway bool, marshal func(*Encoder), ev *TraceEvent, metrics *Metrics, ct *callTrace, attemptID uint64) (s *session, ca *call, xid uint32, err error, sent bool) {
+func (c *Client) beginAttempt(ctx context.Context, proc uint32, opName string, oneway bool, marshal func(*Encoder), ev *TraceEvent, metrics *Metrics, ct *callTrace, attemptID uint64) (s *session, ca *call, xid uint32, err error, sent bool) {
 	if c.closed.Load() {
 		return nil, nil, 0, ErrClosed, false
+	}
+	var ctxDone <-chan struct{}
+	var budget time.Duration
+	hasBudget := false
+	if ctx != nil {
+		// Honor ctx before spending any work on the attempt: a canceled
+		// or already-expired context provably never reaches the wire.
+		ctxDone = ctx.Done()
+		select {
+		case <-ctxDone:
+			return nil, nil, 0, ctx.Err(), false
+		default:
+		}
+		if dl, ok := ctx.Deadline(); ok {
+			budget = time.Until(dl)
+			hasBudget = true
+			if budget <= 0 {
+				return nil, nil, 0, context.DeadlineExceeded, false
+			}
+		}
 	}
 	s, err = c.session(metrics, ct)
 	if err != nil {
@@ -639,6 +723,14 @@ func (c *Client) beginAttempt(proc uint32, opName string, oneway bool, marshal f
 	enc := getEncoder()
 	if metrics != nil {
 		enc.EnableStats(true)
+	}
+	if hasBudget {
+		// The deadline annotation is outermost: the server strips it
+		// before the trace annotation and the protocol header. Like the
+		// trace prefix its 16 bytes are a multiple of every protocol's
+		// MaxAlign, so payload alignment is unchanged; deadline-less
+		// calls write nothing and stay byte-identical.
+		writeDeadline(enc, budget)
 	}
 	if ct != nil {
 		// The annotation precedes the protocol header; its 32 bytes are
@@ -741,27 +833,58 @@ func (c *Client) beginAttempt(proc uint32, opName string, oneway bool, marshal f
 // awaitAttempt is the collect half of one attempt: the bounded wait
 // for the reply the reader delivers into the registered call slot. It
 // must be entered exactly once per successful two-way beginAttempt —
-// it consumes the slot.
-func (c *Client) awaitAttempt(s *session, ca *call, xid uint32, metrics *Metrics) (dec *Decoder, err error) {
+// it consumes the slot. The wait is bounded by the client Timeout and
+// the ctx deadline, whichever is sooner, and interrupted immediately
+// by ctx cancellation; an abandoned call sends a best-effort cancel
+// frame so the server can release the in-flight work.
+func (c *Client) awaitAttempt(ctx context.Context, s *session, ca *call, xid uint32, metrics *Metrics) (dec *Decoder, err error) {
 	// Wait for the reader to deliver the matched reply (or the drain
 	// error), bounded by the per-call deadline when one is set.
-	if c.Timeout > 0 {
-		timer := time.NewTimer(c.Timeout)
+	var ctxDone <-chan struct{}
+	timeout := c.Timeout
+	// abandonErr is what an elapsed timer means: ErrTimeout for the
+	// client's own Timeout, context.DeadlineExceeded when the ctx
+	// deadline is the tighter bound.
+	abandonErr := error(ErrTimeout)
+	if ctx != nil {
+		ctxDone = ctx.Done()
+		if dl, ok := ctx.Deadline(); ok {
+			if rem := time.Until(dl); timeout <= 0 || rem < timeout {
+				if rem <= 0 {
+					rem = 1
+				}
+				timeout, abandonErr = rem, context.DeadlineExceeded
+			}
+		}
+	}
+	if timeout > 0 || ctxDone != nil {
+		var timerC <-chan time.Time
+		var timer *time.Timer
+		if timeout > 0 {
+			timer = time.NewTimer(timeout)
+			timerC = timer.C
+		}
 		select {
 		case <-ca.done:
-			timer.Stop()
-		case <-timer.C:
+			if timer != nil {
+				timer.Stop()
+			}
+		case <-timerC:
 			if s.forget(xid) {
 				// The reply had not arrived: retire the slot. A late
 				// reply finds the XID in the retired window and is
 				// dropped.
-				putCall(ca)
-				if metrics != nil {
-					metrics.InFlight.Add(-1)
-				}
-				return nil, ErrTimeout
+				return c.abandonAttempt(s, ca, xid, metrics, abandonErr)
 			}
 			// Delivery raced the deadline; take the reply.
+			<-ca.done
+		case <-ctxDone:
+			if timer != nil {
+				timer.Stop()
+			}
+			if s.forget(xid) {
+				return c.abandonAttempt(s, ca, xid, metrics, ctx.Err())
+			}
 			<-ca.done
 		}
 	} else {
@@ -781,6 +904,37 @@ func (c *Client) awaitAttempt(s *session, ca *call, xid uint32, metrics *Metrics
 		metrics.addDec(d.TakeStats())
 	}
 	return d, nil
+}
+
+// abandonAttempt releases a forgotten call slot and tells the server —
+// best-effort — that nobody is waiting anymore, so it can shed the
+// work if still queued or cancel the handler's context if running. The
+// late reply, if it ever arrives, finds the XID retired and is dropped.
+func (c *Client) abandonAttempt(s *session, ca *call, xid uint32, metrics *Metrics, err error) (*Decoder, error) {
+	putCall(ca)
+	if metrics != nil {
+		metrics.InFlight.Add(-1)
+		metrics.CancelsSent.Add(1)
+	}
+	sendStreamCtl(s.conn, frameCallCancel, xid, 0)
+	return nil, err
+}
+
+// sleepCtx sleeps for d unless ctx is done first, reporting whether the
+// full sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if ctx == nil {
+		time.Sleep(d)
+		return true
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // readReplies is a session's dedicated reply reader: it owns the
@@ -805,6 +959,16 @@ func (c *Client) readReplies(s *session) {
 			return
 		}
 		if kind, sxid, arg, payload, ok := SplitStream(msg); ok {
+			if kind == frameGoAway {
+				// Lameduck drain announcement: in-flight calls still
+				// complete, but Healthy turns false so pools migrate
+				// new traffic before the server closes the socket.
+				if s.markDraining() && metrics != nil {
+					metrics.GoAways.Add(1)
+				}
+				_ = arg // drain-deadline hint; advisory
+				continue
+			}
 			// A stream frame (chunk, end, err): structurally tagged, so
 			// it routes around the reply parser entirely (stream.go).
 			c.streamFrame(s, kind, sxid, arg, payload, metrics)
@@ -855,6 +1019,11 @@ func (c *Client) readReplies(s *session) {
 				// retry even when non-idempotent.
 				putDecoder(d)
 				ca.err = ErrOverloaded
+			case ReplyExpired:
+				// The propagated deadline passed before dispatch: the
+				// handler did not run, and the budget is spent.
+				putDecoder(d)
+				ca.err = ErrExpired
 			default:
 				putDecoder(d)
 				ca.err = ErrSystem
@@ -873,6 +1042,8 @@ func (c *Client) readReplies(s *session) {
 			switch rh.Status {
 			case ReplyOverloaded:
 				st.terminate(ErrOverloaded)
+			case ReplyExpired:
+				st.terminate(ErrExpired)
 			default:
 				st.terminate(fmt.Errorf("rt: stream: %w", ErrSystem))
 			}

@@ -141,6 +141,10 @@ func (dbg *Debug) Dump() string {
 			s.Retries, s.Reconnects, s.BreakerOpen, s.BreakerRejects, s.SessionFailovers)
 		fmt.Fprintf(&b, "in_flight=%d queue_depth=%d admission_rejects=%d dropped_dupes=%d\n",
 			s.InFlight, s.QueueDepth, s.AdmissionRejects, s.DroppedDupes)
+		fmt.Fprintf(&b, "hedged=%d hedge_wins=%d cancels_sent=%d goaways=%d\n",
+			s.HedgedCalls, s.HedgeWins, s.CancelsSent, s.GoAways)
+		fmt.Fprintf(&b, "expired_rejects=%d canceled_calls=%d drain_rejects=%d\n",
+			s.ExpiredRejects, s.CanceledCalls, s.DrainRejects)
 		for _, op := range s.Ops {
 			fmt.Fprintf(&b, "op %-16s calls=%-8d errors=%-6d p50=%-10s p90=%-10s p99=%-10s max=%s\n",
 				op.Op, op.Calls, op.Errors,

@@ -244,6 +244,29 @@ type Metrics struct {
 	AdmissionRejects   atomic.Uint64
 	SessionFailovers   atomic.Uint64
 
+	// Call-lifecycle counters (client side). HedgedCalls counts pool
+	// calls that launched a hedge attempt (the duplicate-work bound:
+	// HedgedCalls/op Calls is the hedge rate); HedgeWins counts hedged
+	// calls the hedge attempt won; CancelsSent counts cancel frames
+	// sent for abandoned calls (ctx cancellation, timeouts, losing
+	// hedge attempts); GoAways counts GOAWAY drain announcements
+	// received from servers.
+	HedgedCalls atomic.Uint64
+	HedgeWins   atomic.Uint64
+	CancelsSent atomic.Uint64
+	GoAways     atomic.Uint64
+
+	// Call-lifecycle counters (server side). ExpiredRejects counts
+	// requests shed with ReplyExpired because their propagated deadline
+	// had passed before dispatch (the handler never ran);
+	// CanceledCalls counts in-flight calls released by a client cancel
+	// frame (shed before dispatch, or handler context canceled);
+	// DrainRejects counts requests shed because they arrived while the
+	// server was draining (GOAWAY sent, socket about to close).
+	ExpiredRejects atomic.Uint64
+	CanceledCalls  atomic.Uint64
+	DrainRejects   atomic.Uint64
+
 	// InFlight is a gauge of client calls issued and not yet completed
 	// (awaiting their reply, drain, or deadline).
 	InFlight atomic.Int64
@@ -348,6 +371,14 @@ type Snapshot struct {
 	AdmissionRejects   uint64 `json:"admission_rejects"`
 	SessionFailovers   uint64 `json:"session_failovers"`
 
+	HedgedCalls    uint64 `json:"hedged_calls"`
+	HedgeWins      uint64 `json:"hedge_wins"`
+	CancelsSent    uint64 `json:"cancels_sent"`
+	GoAways        uint64 `json:"goaways"`
+	ExpiredRejects uint64 `json:"expired_rejects"`
+	CanceledCalls  uint64 `json:"canceled_calls"`
+	DrainRejects   uint64 `json:"drain_rejects"`
+
 	EncGrowChecks   uint64 `json:"enc_grow_checks"`
 	EncGrowAllocs   uint64 `json:"enc_grow_allocs"`
 	DecEnsureChecks uint64 `json:"dec_ensure_checks"`
@@ -385,6 +416,14 @@ func (m *Metrics) Snapshot() Snapshot {
 		BatchFlushClose:    m.BatchFlushClose.Load(),
 		AdmissionRejects:   m.AdmissionRejects.Load(),
 		SessionFailovers:   m.SessionFailovers.Load(),
+
+		HedgedCalls:    m.HedgedCalls.Load(),
+		HedgeWins:      m.HedgeWins.Load(),
+		CancelsSent:    m.CancelsSent.Load(),
+		GoAways:        m.GoAways.Load(),
+		ExpiredRejects: m.ExpiredRejects.Load(),
+		CanceledCalls:  m.CanceledCalls.Load(),
+		DrainRejects:   m.DrainRejects.Load(),
 
 		EncGrowChecks:   m.EncGrowChecks.Load(),
 		EncGrowAllocs:   m.EncGrowAllocs.Load(),
@@ -454,6 +493,13 @@ func (s Snapshot) Sub(earlier Snapshot) Snapshot {
 	d.BatchFlushClose -= earlier.BatchFlushClose
 	d.AdmissionRejects -= earlier.AdmissionRejects
 	d.SessionFailovers -= earlier.SessionFailovers
+	d.HedgedCalls -= earlier.HedgedCalls
+	d.HedgeWins -= earlier.HedgeWins
+	d.CancelsSent -= earlier.CancelsSent
+	d.GoAways -= earlier.GoAways
+	d.ExpiredRejects -= earlier.ExpiredRejects
+	d.CanceledCalls -= earlier.CanceledCalls
+	d.DrainRejects -= earlier.DrainRejects
 	d.EncGrowChecks -= earlier.EncGrowChecks
 	d.EncGrowAllocs -= earlier.EncGrowAllocs
 	d.DecEnsureChecks -= earlier.DecEnsureChecks
@@ -519,6 +565,13 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 		{"flick_batch_flush_close", s.BatchFlushClose},
 		{"flick_admission_rejects", s.AdmissionRejects},
 		{"flick_session_failovers", s.SessionFailovers},
+		{"flick_hedged_calls", s.HedgedCalls},
+		{"flick_hedge_wins", s.HedgeWins},
+		{"flick_cancels_sent", s.CancelsSent},
+		{"flick_goaways", s.GoAways},
+		{"flick_expired_rejects", s.ExpiredRejects},
+		{"flick_canceled_calls", s.CanceledCalls},
+		{"flick_drain_rejects", s.DrainRejects},
 		{"flick_enc_grow_checks", s.EncGrowChecks},
 		{"flick_enc_grow_allocs", s.EncGrowAllocs},
 		{"flick_dec_ensure_checks", s.DecEnsureChecks},

@@ -72,6 +72,13 @@ type PoolConfig struct {
 	// the fabric. The config's Metrics defaults to the pool's.
 	Batch *BatchConfig
 
+	// Hedge, when non-nil, enables hedged requests for idempotent
+	// operations: if the primary attempt has not answered within the
+	// policy's delay, a second attempt is launched on a different
+	// session and the first well-formed reply wins. See HedgePolicy for
+	// the delay derivation and the safety gate.
+	Hedge *HedgePolicy
+
 	// Metrics and Hooks are shared by all sessions.
 	Metrics *Metrics
 	Hooks   TraceHook
@@ -83,6 +90,55 @@ type PoolConfig struct {
 	// call/attempt span per session tried — with failovers recorded as
 	// cause-labeled events on the root.
 	Tracer *Tracer
+}
+
+// HedgePolicy configures hedged requests: the tail-latency defense
+// that trades bounded duplicate work for the chance to dodge one slow
+// server, queue, or link. A hedge only ever launches for operations
+// declared idempotent and not oneway, and only when the pool has a
+// second session to launch it on — a duplicated non-idempotent request
+// could execute twice, so the pool refuses to hedge it no matter what
+// the policy says. The client→server cancel frame keeps the duplicate
+// work bounded: as soon as one attempt wins, the loser's context is
+// canceled and the cancel frame releases the server-side work.
+type HedgePolicy struct {
+	// Delay, when positive, is a fixed hedge delay. When zero the delay
+	// is derived per call from the operation's observed latency
+	// histogram at Percentile — the classic "hedge after the p95"
+	// scheme, which bounds duplicate work to roughly (1-Percentile) of
+	// calls once the histogram has warmed up.
+	Delay time.Duration
+	// Percentile is the latency quantile the derived delay tracks
+	// (default 0.95). Ignored when Delay is set.
+	Percentile float64
+	// MinDelay floors the derived delay so a cold or very fast
+	// histogram cannot hedge every call instantly (default 1ms).
+	MinDelay time.Duration
+}
+
+// delayFor derives the hedge delay for one operation.
+func (h *HedgePolicy) delayFor(metrics *Metrics, opName string) time.Duration {
+	if h.Delay > 0 {
+		return h.Delay
+	}
+	var d time.Duration
+	if metrics != nil {
+		pct := h.Percentile
+		if pct <= 0 || pct > 1 {
+			pct = 0.95
+		}
+		if snap := metrics.Op(opName).Latency.Snapshot(); snap.Count > 0 {
+			d = snap.Quantile(pct)
+		}
+	}
+	floor := h.MinDelay
+	if floor <= 0 {
+		floor = time.Millisecond
+	}
+	if d < floor {
+		d = floor
+	}
+	return d
 }
 
 func (c *PoolConfig) size() int {
@@ -100,6 +156,7 @@ type ClientPool struct {
 	policy   DispatchPolicy
 	metrics  *Metrics
 	tracer   *Tracer
+	hedge    *HedgePolicy
 	next     atomic.Uint32
 	closed   atomic.Bool
 }
@@ -120,6 +177,7 @@ func NewClientPool(cfg PoolConfig) (*ClientPool, error) {
 		policy:   cfg.Policy,
 		metrics:  cfg.Metrics,
 		tracer:   cfg.Tracer,
+		hedge:    cfg.Hedge,
 	}
 	dial := func(i int) (Conn, error) {
 		conn, err := cfg.Dial(i)
@@ -254,28 +312,53 @@ func (p *ClientPool) CallIdemCtx(ctx context.Context, proc uint32, opName string
 		// own always-sample-on-error path; recording them here too
 		// would double-count every failure.
 	}
-	d, err := p.dispatch(ctx, proc, opName, oneway, idempotent, marshal, ct)
+	var d *Decoder
+	var err error
+	if p.hedge != nil && idempotent && !oneway && len(p.sessions) > 1 {
+		d, err = p.dispatchHedged(ctx, proc, opName, marshal, ct)
+	} else {
+		d, err = p.dispatch(ctx, proc, opName, oneway, idempotent, marshal, ct)
+	}
 	ct.finish(err)
 	return d, err
 }
 
-// dispatch runs the session-selection and failover loop for one call.
-func (p *ClientPool) dispatch(ctx context.Context, proc uint32, opName string, oneway, idempotent bool, marshal func(*Encoder), ct *callTrace) (*Decoder, error) {
+// steer walks forward from start to the first session reporting
+// Healthy; when every session is unhealthy it returns start unchanged
+// (the preferred session's breaker probe or redial is the recovery
+// path).
+func (p *ClientPool) steer(start int) int {
 	n := len(p.sessions)
-	start := p.pick(opName)
-
-	// Load shed: steer away from sessions that report unhealthy.
 	for off := 0; off < n; off++ {
 		if p.sessions[(start+off)%n].Healthy() {
-			start = (start + off) % n
-			break
+			return (start + off) % n
 		}
 	}
+	return start
+}
 
+// dispatch runs the session-selection and failover loop for one call.
+func (p *ClientPool) dispatch(ctx context.Context, proc uint32, opName string, oneway, idempotent bool, marshal func(*Encoder), ct *callTrace) (*Decoder, error) {
+	start := p.steer(p.pick(opName))
+	return p.dispatchAt(ctx, start, -1, proc, opName, oneway, idempotent, marshal, ct)
+}
+
+// dispatchAt runs the failover loop from a chosen starting session,
+// optionally excluding one index (a hedged call's other attempt owns
+// it — the whole point of the hedge is hitting a *different* server
+// queue). The first attempt goes to start even if unhealthy; failover
+// candidates must report Healthy.
+func (p *ClientPool) dispatchAt(ctx context.Context, start, skip int, proc uint32, opName string, oneway, idempotent bool, marshal func(*Encoder), ct *callTrace) (*Decoder, error) {
+	n := len(p.sessions)
 	var lastErr error
+	tried := 0
 	for off := 0; off < n; off++ {
-		c := p.sessions[(start+off)%n]
-		if off > 0 {
+		idx := (start + off) % n
+		if idx == skip {
+			continue
+		}
+		c := p.sessions[idx]
+		if tried > 0 {
 			if !c.Healthy() {
 				continue
 			}
@@ -286,6 +369,7 @@ func (p *ClientPool) dispatch(ctx context.Context, proc uint32, opName string, o
 				ct.event("failover", fmt.Sprintf("to session %d after: %v", c.Shard, lastErr))
 			}
 		}
+		tried++
 		d, err := c.CallIdemCtx(ctx, proc, opName, oneway, idempotent, marshal)
 		if err == nil {
 			return d, nil
@@ -296,6 +380,118 @@ func (p *ClientPool) dispatch(ctx context.Context, proc uint32, opName string, o
 		}
 	}
 	return nil, lastErr
+}
+
+// hedgeResult is one attempt's outcome in a hedged dispatch.
+type hedgeResult struct {
+	d     *Decoder
+	err   error
+	hedge bool
+}
+
+// dispatchHedged races a primary attempt against a delayed hedge on a
+// different session. The primary launches immediately; if it has not
+// settled within the policy delay, the hedge launches with the other
+// attempt's session excluded from its failover set. The first
+// well-formed reply wins; the loser's context is canceled, which sends
+// the cancel frame releasing its server-side work, and its decoder (if
+// a reply arrives anyway) is collected and released off the hot path.
+//
+// Only called for idempotent, non-oneway operations on pools with at
+// least two sessions — the gates live in CallIdemCtx and are pinned by
+// test, because a hedged non-idempotent request could execute twice.
+func (p *ClientPool) dispatchHedged(ctx context.Context, proc uint32, opName string, marshal func(*Encoder), ct *callTrace) (*Decoder, error) {
+	n := len(p.sessions)
+	start := p.steer(p.pick(opName))
+	hedgeStart := -1
+	for off := 1; off < n; off++ {
+		if i := (start + off) % n; p.sessions[i].Healthy() {
+			hedgeStart = i
+			break
+		}
+	}
+	if hedgeStart < 0 {
+		// No second healthy session to hedge on: plain dispatch.
+		return p.dispatchAt(ctx, start, -1, proc, opName, false, true, marshal, ct)
+	}
+
+	parent := ctx
+	if parent == nil {
+		parent = context.Background()
+	}
+	pctx, pcancel := context.WithCancel(parent)
+	hctx, hcancel := context.WithCancel(parent)
+	defer pcancel()
+	defer hcancel()
+
+	// The attempt goroutines get a nil callTrace: callTrace.event is
+	// not concurrency-safe, and the loser can outlive this call. Hedge
+	// lifecycle events are recorded here, by the coordinator.
+	resCh := make(chan hedgeResult, 2)
+	go func() {
+		// Ownership passes through the result channel: the coordinator
+		// hands the winner's decoder to the caller and releases losers.
+		d, err := p.dispatchAt(pctx, start, hedgeStart, proc, opName, false, true, marshal, nil) //lint:allow releasecheck
+		resCh <- hedgeResult{d: d, err: err}                                                     //lint:allow poolescape
+	}()
+	launched := 1
+
+	delay := p.hedge.delayFor(p.metrics, opName)
+	timer := time.NewTimer(delay)
+	var first hedgeResult
+	select {
+	case first = <-resCh:
+		timer.Stop()
+	case <-timer.C:
+		if p.metrics != nil {
+			p.metrics.HedgedCalls.Add(1)
+		}
+		ct.event("hedge", fmt.Sprintf("launched on session %d after %v", hedgeStart, delay))
+		go func() {
+			d, err := p.dispatchAt(hctx, hedgeStart, start, proc, opName, false, true, marshal, nil) //lint:allow releasecheck
+			resCh <- hedgeResult{d: d, err: err, hedge: true}                                        //lint:allow poolescape
+		}()
+		launched = 2
+		first = <-resCh
+	}
+
+	collected := 1
+	winner := first
+	if winner.err != nil && launched == 2 {
+		// The first result failed; the race is not over — the other
+		// attempt may still produce the reply.
+		second := <-resCh
+		collected = 2
+		if second.err == nil || !second.hedge {
+			// Prefer the success; when both failed, report the
+			// primary's error (the hedge's is usually context.Canceled
+			// or a duplicate of the same failure).
+			winner = second
+		}
+	}
+
+	// Cancel the loser now: its awaiting attempt abandons the wait and
+	// sends the cancel frame that releases the server-side work.
+	pcancel()
+	hcancel()
+	if outstanding := launched - collected; outstanding > 0 {
+		go func() {
+			for i := 0; i < outstanding; i++ {
+				if r := <-resCh; r.d != nil {
+					// The loser's reply arrived anyway (duplicate
+					// work): release the pooled decoder.
+					r.d.Release()
+				}
+			}
+		}()
+	}
+	if winner.err == nil && winner.hedge {
+		if p.metrics != nil {
+			p.metrics.HedgeWins.Add(1)
+		}
+		ct.event("hedge-win", fmt.Sprintf("hedge on session %d answered first", hedgeStart))
+	}
+	return winner.d, winner.err
 }
 
 // CallAsync issues one asynchronous invocation through the pool: the

@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"context"
 	"errors"
 	"time"
 )
@@ -32,6 +33,7 @@ var ErrPromiseSettled = errors.New("rt: promise already settled")
 // from several at once.
 type Promise struct {
 	c          *Client
+	ctx        context.Context
 	proc       uint32
 	opName     string
 	idempotent bool
@@ -69,13 +71,22 @@ type Promise struct {
 // TraceEvent hook does not fire for async calls; metrics and trace
 // spans cover them.
 func (c *Client) CallAsync(proc uint32, opName string, idempotent bool, marshal func(*Encoder)) *Promise {
-	p := &Promise{c: c, proc: proc, opName: opName, idempotent: idempotent, marshal: marshal}
+	return c.CallAsyncCtx(nil, proc, opName, idempotent, marshal)
+}
+
+// CallAsyncCtx is CallAsync with a caller context (see CallCtx): the
+// trace on ctx is continued, a ctx deadline travels on the wire and
+// bounds Wait, and ctx cancellation settles Wait early — sending the
+// cancel frame that releases the server-side work. A nil ctx is
+// allowed and means "no propagated trace, deadline, or cancellation".
+func (c *Client) CallAsyncCtx(ctx context.Context, proc uint32, opName string, idempotent bool, marshal func(*Encoder)) *Promise {
+	p := &Promise{c: c, ctx: ctx, proc: proc, opName: opName, idempotent: idempotent, marshal: marshal}
 	metrics, tracer := c.Metrics, c.Tracer
 	if metrics != nil || tracer != nil {
 		p.begin = time.Now()
 	}
 	if tracer != nil {
-		p.ct = startCallTrace(tracer, nil, SpanClientCall, opName, c.Shard)
+		p.ct = startCallTrace(tracer, ctx, SpanClientCall, opName, c.Shard)
 	}
 
 	if b := c.Breaker; b != nil && !b.allow() {
@@ -92,7 +103,7 @@ func (c *Client) CallAsync(proc uint32, opName string, idempotent bool, marshal 
 		p.attemptID = p.ct.tr.nextID()
 		p.attemptBegin = time.Now()
 	}
-	p.s, p.ca, p.xid, p.err, p.sent = c.beginAttempt(proc, opName, false, marshal, nil, metrics, p.ct, p.attemptID)
+	p.s, p.ca, p.xid, p.err, p.sent = c.beginAttempt(ctx, proc, opName, false, marshal, nil, metrics, p.ct, p.attemptID)
 	return p
 }
 
@@ -119,7 +130,7 @@ func (p *Promise) Wait() (*Decoder, error) {
 	var d *Decoder
 	err, sent := p.err, p.sent
 	if err == nil {
-		d, err = c.awaitAttempt(p.s, p.ca, p.xid, metrics)
+		d, err = c.awaitAttempt(p.ctx, p.s, p.ca, p.xid, metrics)
 		sent = true
 	}
 	if p.ct != nil {
@@ -137,7 +148,7 @@ func (p *Promise) Wait() (*Decoder, error) {
 		p.ct.tr.record(sp)
 	}
 	if c.Retry != nil || c.Redial != nil || c.Breaker != nil {
-		d, err = c.settleAttempts(d, err, sent, p.proc, p.opName, false, p.idempotent, p.marshal, nil, metrics, p.ct)
+		d, err = c.settleAttempts(p.ctx, d, err, sent, p.proc, p.opName, false, p.idempotent, p.marshal, nil, metrics, p.ct)
 	}
 	p.finish(d, err, metrics)
 	return d, err

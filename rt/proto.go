@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 )
 
 // ReqHeader carries the protocol-independent request metadata.
@@ -25,11 +26,23 @@ type ReqHeader struct {
 	Trace TraceContext
 	// Traced reports whether the request carried a trace annotation.
 	Traced bool
+	// Deadline is the absolute local deadline derived from a wire
+	// deadline annotation (valid when HasDeadline; see SplitDeadline).
+	// The server sheds the request without dispatching once it passes,
+	// and (*ReqHeader).Context returns a context that expires with it.
+	Deadline time.Time
+	// HasDeadline reports whether the request carried a deadline
+	// annotation.
+	HasDeadline bool
 
 	// streams is the serving connection's stream registry, set by the
 	// decode loop so NewStreamSender (stream.go) can bind a streaming
 	// handler to the consumer's credit ledger. Nil outside ServeConn.
 	streams *connStreams
+	// calls is the serving connection's in-flight call registry, set by
+	// the decode loop so (*ReqHeader).Context can expose client-sent
+	// cancel frames as context cancellation. Nil outside ServeConn.
+	calls *connCalls
 }
 
 // Reply status values (protocol-independent).
@@ -43,6 +56,12 @@ const (
 	// client classifies the failure as retryable even for
 	// non-idempotent calls (see ErrOverloaded). No payload follows.
 	ReplyOverloaded
+	// ReplyExpired reports a request whose propagated deadline (see
+	// SplitDeadline) had already passed when the server was about to
+	// dispatch it: the operation did not execute, and retrying is
+	// pointless — the budget is gone end to end — so the client
+	// classifies it as terminal (see ErrExpired). No payload follows.
+	ReplyExpired
 )
 
 // RepHeader carries reply metadata.
@@ -155,6 +174,8 @@ func (ONC) WriteReply(e *Encoder, h *RepHeader) {
 		e.PutU32BE(0) // SUCCESS
 	case ReplyOverloaded:
 		e.PutU32BE(6) // overloaded (deviation: RFC 5531 stops at 5)
+	case ReplyExpired:
+		e.PutU32BE(7) // deadline expired (deviation, like 6)
 	default:
 		e.PutU32BE(5) // SYSTEM_ERR
 	}
@@ -178,6 +199,8 @@ func (ONC) ReadReply(d *Decoder) (RepHeader, error) {
 	case 0:
 	case 6:
 		h.Status = ReplyOverloaded
+	case 7:
+		h.Status = ReplyExpired
 	default:
 		h.Status = ReplySystemError
 	}
@@ -335,6 +358,8 @@ func (g GIOP) WriteReply(e *Encoder, h *RepHeader) {
 		g.putU32(e, 0) // NO_EXCEPTION
 	case ReplyOverloaded:
 		g.putU32(e, 4) // overloaded (deviation: GIOP 1.0 stops at 3)
+	case ReplyExpired:
+		g.putU32(e, 5) // deadline expired (deviation, like 4)
 	default:
 		g.putU32(e, 2) // SYSTEM_EXCEPTION
 	}
@@ -355,6 +380,8 @@ func (g GIOP) ReadReply(d *Decoder) (RepHeader, error) {
 	case 0:
 	case 4:
 		h.Status = ReplyOverloaded
+	case 5:
+		h.Status = ReplyExpired
 	default:
 		h.Status = ReplySystemError
 	}
@@ -424,6 +451,8 @@ func (Mach) WriteReply(e *Encoder, h *RepHeader) {
 		e.PutU32LE(9 << 24)
 	case ReplyOverloaded:
 		e.PutU32LE(0xFE << 24) // overloaded descriptor (deviation)
+	case ReplyExpired:
+		e.PutU32LE(0xFD << 24) // expired descriptor (deviation)
 	default:
 		e.PutU32LE(0xFF << 24)
 	}
@@ -443,6 +472,8 @@ func (Mach) ReadReply(d *Decoder) (RepHeader, error) {
 	case 9:
 	case 0xFE:
 		h.Status = ReplyOverloaded
+	case 0xFD:
+		h.Status = ReplyExpired
 	default:
 		h.Status = ReplySystemError
 	}
@@ -650,6 +681,70 @@ func SplitTrace(msg []byte) (TraceContext, []byte, bool) {
 	tc.SpanID = binary.BigEndian.Uint64(msg[24:32])
 	tc.Sampled = flags&traceFlagSampled != 0
 	return tc, msg[traceWireSize:], true
+}
+
+// --- Deadline annotation ------------------------------------------------------
+//
+// A deadline annotation is an optional, backwards-compatible prefix on
+// a request message carrying the call's remaining time budget, so the
+// server inherits the end-to-end deadline instead of working on calls
+// nobody is waiting for. It follows the trace annotation's idiom
+// exactly — protocol-independent, structurally detected, stripped
+// before protocol parsing — and is self-describing:
+//
+//	u32 magic (deadlineMagic, big-endian)
+//	u32 flags (all bits must be zero)
+//	u64 budget in nanoseconds (big-endian; remaining at send time)
+//
+// The budget is relative, not an absolute timestamp, so the contract
+// survives unsynchronized clocks: the server converts it to a local
+// absolute deadline on receipt (transit time is charged to the caller's
+// budget implicitly, which errs on the generous side). Deadline-less
+// calls carry no annotation at all — their frames stay byte-identical
+// to the seed — and the 16-byte prefix is a multiple of every
+// protocol's MaxAlign, so payload alignment is preserved. When both
+// annotations are present the deadline prefix comes first (outermost);
+// inside a batch envelope each packed message keeps its own.
+
+// deadlineMagic marks a deadline annotation. Like batchMagic it sits
+// far outside the XID range a fresh client reaches and collides with no
+// protocol's leading bytes.
+const deadlineMagic uint32 = 0xFB1C_DEAD
+
+// deadlineWireSize is the size of the annotation prefix.
+const deadlineWireSize = 16
+
+// writeDeadline prefixes the encoder's message with a deadline
+// annotation carrying the remaining budget. Must be called before the
+// trace annotation and protocol header are written.
+func writeDeadline(e *Encoder, budget time.Duration) {
+	if budget < 0 {
+		budget = 0
+	}
+	e.Grow(deadlineWireSize)
+	e.PutU32BE(deadlineMagic)
+	e.PutU32BE(0)
+	e.PutU64BE(uint64(budget))
+}
+
+// SplitDeadline validates and strips a deadline annotation. It returns
+// (budget, message, true) when msg begins with a well-formed annotation
+// — the returned message aliases msg — and (0, msg, false) otherwise,
+// including for ordinary messages (which the caller parses as before).
+func SplitDeadline(msg []byte) (time.Duration, []byte, bool) {
+	// A real annotated request has a protocol message after the prefix;
+	// a bare or truncated prefix is not an annotation.
+	if len(msg) <= deadlineWireSize || binary.BigEndian.Uint32(msg) != deadlineMagic {
+		return 0, msg, false
+	}
+	if binary.BigEndian.Uint32(msg[4:]) != 0 {
+		return 0, msg, false
+	}
+	budget := binary.BigEndian.Uint64(msg[8:16])
+	if budget > uint64(1<<62) {
+		return 0, msg, false
+	}
+	return time.Duration(budget), msg[deadlineWireSize:], true
 }
 
 // ProtocolByName returns a protocol by its wire-format name.

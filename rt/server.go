@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -102,6 +103,14 @@ type Server struct {
 	mu       sync.RWMutex
 	byProg   map[uint64]Dispatch
 	fallback Dispatch
+
+	// draining, once set by Drain, sheds every newly arriving request
+	// with ReplyOverloaded (failover-safe) while in-flight work
+	// finishes; connMu/conns is the registry of live served
+	// connections Drain coordinates (lifecycle.go).
+	draining atomic.Bool
+	connMu   sync.Mutex
+	conns    map[*servingConn]struct{}
 }
 
 // NewServer builds a server for one message protocol.
@@ -272,12 +281,29 @@ func (s *Server) ServeConn(conn Conn) error {
 	jobs := make(chan srvJob, qlen)
 	fail := &connFail{}
 	cs := newConnStreams(conn)
+	sc := &servingConn{conn: conn, cs: cs, calls: newConnCalls()}
+	s.connMu.Lock()
+	if s.conns == nil {
+		s.conns = make(map[*servingConn]struct{})
+	}
+	s.conns[sc] = struct{}{}
+	s.connMu.Unlock()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, sc)
+		s.connMu.Unlock()
+	}()
+	if s.draining.Load() {
+		// A connection arriving mid-drain was not covered by Drain's
+		// announcement sweep: tell its client immediately.
+		sendStreamCtl(conn, frameGoAway, 0, 0)
+	}
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go func() {
 			defer wg.Done()
-			s.worker(conn, jobs, metrics, hooks, fail, dups)
+			s.worker(conn, jobs, metrics, hooks, fail, dups, sc)
 		}()
 	}
 
@@ -324,7 +350,7 @@ func (s *Server) ServeConn(conn Conn) error {
 				metrics.BatchedCalls.Add(uint64(len(parts)))
 			}
 			for _, part := range parts {
-				s.acceptFrame(conn, part, nil, jobs, metrics, hooks, fail, dups, cs)
+				s.acceptFrame(conn, part, nil, jobs, metrics, hooks, fail, dups, sc)
 			}
 			continue
 		}
@@ -332,7 +358,7 @@ func (s *Server) ServeConn(conn Conn) error {
 		if connArena {
 			arena = msg
 		}
-		s.acceptFrame(conn, msg, arena, jobs, metrics, hooks, fail, dups, cs)
+		s.acceptFrame(conn, msg, arena, jobs, metrics, hooks, fail, dups, sc)
 	}
 
 	// Graceful drain: stop feeding, let the workers finish what is
@@ -357,20 +383,33 @@ func (s *Server) ServeConn(conn Conn) error {
 // whole receive buffer backing msg, transferred to the request decoder
 // so its release recycles (or pins) the buffer.
 func (s *Server) acceptFrame(conn Conn, msg, arena []byte, jobs chan<- srvJob,
-	metrics *Metrics, hooks TraceHook, fail *connFail, dups *dupCache, cs *connStreams) {
+	metrics *Metrics, hooks TraceHook, fail *connFail, dups *dupCache, sc *servingConn) {
+	cs := sc.cs
 	if kind, sxid, arg, _, ok := SplitStream(msg); ok {
-		// Upstream stream control (credit grants, cancellation) from a
-		// streaming consumer: applied to the ledger, never dispatched.
-		// Downstream kinds arriving here are malformed noise — dropped.
-		if kind == streamGrant || kind == streamCancel {
+		// Upstream control frames from the client: stream credit and
+		// cancellation applied to the stream ledger, call cancellation
+		// applied to the in-flight call registry. Downstream kinds
+		// arriving here are malformed noise — dropped.
+		switch kind {
+		case streamGrant, streamCancel:
 			cs.control(kind, sxid, arg)
+		case frameCallCancel:
+			// The client stopped waiting on call sxid: cancel its
+			// handler context if it is dispatching (counted here), or
+			// remember the XID so the worker sheds it from the queue
+			// (counted there).
+			if sc.calls.cancel(sxid) && metrics != nil {
+				metrics.CanceledCalls.Add(1)
+			}
 		}
 		return
 	}
 	reqBytes := len(msg)
-	// Strip a trace annotation unconditionally — a traced client must
+	// Strip the optional annotations. The deadline prefix is outermost;
+	// both are stripped unconditionally — an annotating client must
 	// interoperate with a server that has no Tracer attached — and
-	// record spans only when this server samples.
+	// spans are recorded only when this server samples.
+	budget, msg, hasDeadline := SplitDeadline(msg)
 	tc, msg, traced := SplitTrace(msg)
 	sampled := s.Tracer != nil && traced && tc.Sampled
 	var begin time.Time
@@ -406,6 +445,45 @@ func (s *Server) acceptFrame(conn Conn, msg, arena []byte, jobs chan<- srvJob,
 	}
 	h.Trace, h.Traced = tc, traced
 	h.streams = cs
+	h.calls = sc.calls
+	if hasDeadline {
+		// The wire budget is relative; pin it to this host's clock once,
+		// here, so the queue wait is charged against it too.
+		if begin.IsZero() {
+			begin = time.Now()
+		}
+		h.Deadline, h.HasDeadline = begin.Add(budget), true
+		if budget <= 0 {
+			// Already expired on arrival (writeDeadline clamps negative
+			// budgets to zero): shed as a zero-work refusal, like an
+			// admission reject — but terminally, since the client's
+			// budget cannot revive. The handler never runs.
+			s.shedFrame(conn, &h, d, metrics, fail, ReplyExpired)
+			if metrics != nil {
+				metrics.ExpiredRejects.Add(1)
+			}
+			if sampled {
+				s.recordRefusalSpan(&h, begin, "expired", "expired-reject",
+					"propagated deadline passed before dispatch")
+			}
+			return
+		}
+	}
+	if s.draining.Load() {
+		// Lameduck: GOAWAY is out (or about to be) and this request
+		// arrived anyway. Shed it as retryable overload — it provably
+		// did not execute, so the client's pool fails it over to a
+		// healthy server and no call is lost to the drain.
+		s.shedFrame(conn, &h, d, metrics, fail, ReplyOverloaded)
+		if metrics != nil {
+			metrics.DrainRejects.Add(1)
+		}
+		if sampled {
+			s.recordRefusalSpan(&h, begin, "overloaded", "drain-reject",
+				"shed during lameduck drain")
+		}
+		return
+	}
 	if dups != nil {
 		if dup, cached := dups.begin(h.XID); dup {
 			// A retransmitted request: re-send the cached reply if
@@ -441,18 +519,9 @@ func (s *Server) acceptFrame(conn Conn, msg, arena []byte, jobs chan<- srvJob,
 			// decode loop, so shedding stays cheap precisely when the
 			// server is busiest. Oneway requests are simply dropped
 			// (nothing waits for them).
+			s.shedFrame(conn, &h, d, metrics, fail, ReplyOverloaded)
 			if metrics != nil {
 				metrics.AdmissionRejects.Add(1)
-				metrics.addDec(d.TakeStats())
-			}
-			putDecoder(d)
-			if !h.OneWay {
-				enc := getEncoder()
-				s.proto.WriteReply(enc, &RepHeader{XID: h.XID, Status: ReplyOverloaded})
-				if err := conn.Send(enc.Bytes()); err != nil {
-					fail.record(conn, err)
-				}
-				putEncoder(enc)
 			}
 			if sampled {
 				s.recordRefusalSpan(&h, begin, "overloaded", "admission-reject",
@@ -464,10 +533,31 @@ func (s *Server) acceptFrame(conn Conn, msg, arena []byte, jobs chan<- srvJob,
 	if metrics != nil {
 		metrics.QueueDepth.Add(1)
 	}
+	sc.inflight.Add(1)
 	// Ownership handoff, not retention: the acceptor passes the
 	// decoder to exactly one worker, which releases it after
 	// dispatch.
 	jobs <- srvJob{h: h, dec: d, reqBytes: reqBytes, begin: begin, admWeight: admWeight} //lint:allow poolescape
+}
+
+// shedFrame refuses one parsed request without dispatching it: the
+// pooled decoder is released and a header-only status reply is written
+// straight from the decode loop (oneways are dropped — nothing waits
+// for them).
+func (s *Server) shedFrame(conn Conn, h *ReqHeader, d *Decoder, metrics *Metrics, fail *connFail, status uint32) {
+	if metrics != nil {
+		metrics.addDec(d.TakeStats())
+	}
+	putDecoder(d)
+	if h.OneWay {
+		return
+	}
+	enc := getEncoder()
+	s.proto.WriteReply(enc, &RepHeader{XID: h.XID, Status: status})
+	if err := conn.Send(enc.Bytes()); err != nil {
+		fail.record(conn, err)
+	}
+	putEncoder(enc)
 }
 
 // recordRefusalSpan records a zero-work SpanServerDispatch for a
@@ -506,7 +596,7 @@ func safeDispatch(dispatch Dispatch, h *ReqHeader, d *Decoder, e *Encoder) (err 
 	return err, false
 }
 
-func (s *Server) worker(conn Conn, jobs <-chan srvJob, metrics *Metrics, hooks TraceHook, fail *connFail, dups *dupCache) {
+func (s *Server) worker(conn Conn, jobs <-chan srvJob, metrics *Metrics, hooks TraceHook, fail *connFail, dups *dupCache, sc *servingConn) {
 	var enc Encoder
 	if metrics != nil {
 		enc.EnableStats(true)
@@ -523,6 +613,47 @@ func (s *Server) worker(conn Conn, jobs <-chan srvJob, metrics *Metrics, hooks T
 		}
 		h = job.h
 		dec := job.dec
+		// Pre-dispatch sheds: the queue wait may have outlived the
+		// call. A client-canceled request gets no reply (nobody is
+		// waiting); a drain-killed one is refused as retryable
+		// overload; an expired one as a terminal zero-work refusal.
+		// The handler never runs in any of these.
+		canceled, killed := sc.calls.state(h.XID)
+		sampled := s.Tracer != nil && h.Traced && h.Trace.Sampled
+		if canceled || killed || (h.HasDeadline && !time.Now().Before(h.Deadline)) {
+			switch {
+			case canceled:
+				if metrics != nil {
+					metrics.CanceledCalls.Add(1)
+					metrics.addDec(dec.TakeStats())
+				}
+				putDecoder(dec)
+				if sampled {
+					s.recordRefusalSpan(&h, job.begin, "canceled", "client-cancel",
+						"shed before dispatch; the client abandoned the call")
+				}
+			case killed:
+				s.shedFrame(conn, &h, dec, metrics, fail, ReplyOverloaded)
+				if metrics != nil {
+					metrics.DrainRejects.Add(1)
+				}
+				if sampled {
+					s.recordRefusalSpan(&h, job.begin, "overloaded", "drain-kill",
+						"shed from the queue at the drain deadline")
+				}
+			default:
+				s.shedFrame(conn, &h, dec, metrics, fail, ReplyExpired)
+				if metrics != nil {
+					metrics.ExpiredRejects.Add(1)
+				}
+				if sampled {
+					s.recordRefusalSpan(&h, job.begin, "expired", "expired-reject",
+						"propagated deadline passed while queued")
+				}
+			}
+			s.releaseJob(&job, sc)
+			continue
+		}
 		dispatch := s.lookup(&h)
 		enc.Reset()
 		rh = RepHeader{XID: h.XID}
@@ -563,6 +694,10 @@ func (s *Server) worker(conn Conn, jobs <-chan srvJob, metrics *Metrics, hooks T
 				}
 			}
 		}
+		// Release the handler context, if the dispatch registered one
+		// via (*ReqHeader).Context (frees its deadline timer and
+		// detaches it from the cancel registry).
+		sc.calls.finish(h.XID)
 		if observed {
 			s.finishRequest(metrics, hooks, &h, job.begin, job.reqBytes, &enc, dec, workErr, replied)
 		}
@@ -581,13 +716,19 @@ func (s *Server) worker(conn Conn, jobs <-chan srvJob, metrics *Metrics, hooks T
 			tracer.record(sp)
 		}
 		putDecoder(dec)
-		if job.admWeight > 0 {
-			// The request's weighted admission capacity frees only now,
-			// reply sent (or dropped): admission bounds work in the
-			// whole pipeline, not just the queue.
-			s.Admission.release(job.admWeight)
-		}
+		s.releaseJob(&job, sc)
 	}
+}
+
+// releaseJob returns one finished (or shed) job's resources: its
+// weighted admission capacity — which bounds work in the whole
+// pipeline, not just the queue — and the connection's in-flight gauge
+// that Drain watches.
+func (s *Server) releaseJob(job *srvJob, sc *servingConn) {
+	if job.admWeight > 0 {
+		s.Admission.release(job.admWeight)
+	}
+	sc.inflight.Add(-1)
 }
 
 // finishRequest records one dispatched request into the attached

@@ -86,14 +86,33 @@ func TraceFromContext(ctx context.Context) (TraceContext, bool) {
 	return tc, ok
 }
 
-// Context returns a context carrying the request's propagated trace
-// annotation (context.Background when the request was untraced), for
-// dispatchers whose implementations call downstream services.
+// Context returns a context for the request being dispatched: it
+// carries the propagated trace annotation (if any), expires at the
+// propagated deadline (if the request carried one), and — inside a
+// serving connection — is canceled when the client abandons the call
+// with a cancel frame or a drain deadline kills the connection's
+// remaining work. Handlers pass it to downstream CallIdemCtx calls so
+// traces and deadlines propagate hop by hop, and watch ctx.Done() in
+// long-running work. The runtime releases the context's resources when
+// the dispatch finishes; call it at most once per request and do not
+// retain it past the dispatch.
 func (h *ReqHeader) Context() context.Context {
-	if !h.Traced {
-		return context.Background()
+	ctx := context.Background()
+	if h.Traced {
+		ctx = ContextWithTrace(ctx, h.Trace)
 	}
-	return ContextWithTrace(context.Background(), h.Trace)
+	var cancel context.CancelFunc
+	if h.HasDeadline {
+		ctx, cancel = context.WithDeadline(ctx, h.Deadline)
+	} else if h.calls != nil {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	if cancel != nil && h.calls != nil && !h.calls.register(h.XID, cancel) {
+		// A cancel frame beat the handler here (or the drain deadline
+		// passed): hand out an already-canceled context.
+		cancel()
+	}
+	return ctx
 }
 
 // SpanKind classifies a Span in the taxonomy above.

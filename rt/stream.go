@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -28,7 +29,7 @@ import (
 // Wire format. Every stream frame begins with a 16-byte header:
 //
 //	u32 magic (streamMagic, big-endian)
-//	u32 kind  (chunk, end, err, grant, cancel)
+//	u32 kind  (chunk, end, err, grant, cancel, call-cancel, goaway)
 //	u32 xid   (the stream's originating request XID)
 //	u32 arg   (grant: credit count; err: error code; else zero)
 //
@@ -49,6 +50,18 @@ const (
 	streamErr
 	streamGrant
 	streamCancel
+	// frameCallCancel is a client→server control frame abandoning the
+	// in-flight call xid: the client stopped waiting (context cancel,
+	// timeout, lost hedge race), so the server may release the work —
+	// cancel its handler context, skip it if still queued — and must not
+	// reply. Reuses the stream-frame envelope; xid addresses the call.
+	frameCallCancel
+	// frameGoAway is a server→client control frame announcing lameduck
+	// drain (Server.Drain): the connection accepts no new requests and
+	// will close once in-flight work settles. xid is zero; arg carries
+	// the drain deadline hint in milliseconds. Clients mark the session
+	// draining so pools migrate traffic to healthy sessions.
+	frameGoAway
 )
 
 // streamErrWork is the err-frame code for a handler work error.
@@ -84,7 +97,7 @@ func SplitStream(msg []byte) (kind, xid, arg uint32, payload []byte, ok bool) {
 		return 0, 0, 0, nil, false
 	}
 	kind = beU32(msg[4:])
-	if kind < streamChunk || kind > streamCancel {
+	if kind < streamChunk || kind > frameGoAway {
 		return 0, 0, 0, nil, false
 	}
 	if kind != streamChunk && len(msg) != streamHeaderSize {
@@ -131,6 +144,9 @@ type ClientStream struct {
 	// automatically restores as chunks are consumed (0 = fully manual).
 	window int
 	ch     chan streamMsg
+	// ctx is the caller context from CallStreamCtx (nil for CallStream):
+	// Recv aborts the stream when it is canceled or expires.
+	ctx context.Context
 
 	// mu guards the delivery side. Lock order: session.mu, then mu.
 	mu   sync.Mutex
@@ -154,11 +170,38 @@ type ClientStream struct {
 // before CallStream returns; there is no retry path — a broken stream
 // surfaces ErrStreamBroken and the caller decides whether to re-issue.
 func (c *Client) CallStream(proc uint32, opName string, window int, marshal func(*Encoder)) (*ClientStream, error) {
+	return c.CallStreamCtx(nil, proc, opName, window, marshal)
+}
+
+// CallStreamCtx is CallStream with a caller context: a ctx deadline
+// travels on the wire as the deadline annotation (the server inherits
+// the remaining budget and sheds the request if it expires in queue),
+// and ctx cancellation or expiry aborts a blocked Recv, tearing the
+// stream down exactly like a Recv timeout — terminal, with a
+// best-effort cancel frame unblocking the server-side sender. A nil
+// ctx is allowed and means "no propagated deadline or cancellation".
+func (c *Client) CallStreamCtx(ctx context.Context, proc uint32, opName string, window int, marshal func(*Encoder)) (*ClientStream, error) {
 	if window < 0 {
 		window = 0
 	}
 	if c.closed.Load() {
 		return nil, ErrClosed
+	}
+	var budget time.Duration
+	hasBudget := false
+	if ctx != nil {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		default:
+		}
+		if dl, ok := ctx.Deadline(); ok {
+			budget = time.Until(dl)
+			hasBudget = true
+			if budget <= 0 {
+				return nil, context.DeadlineExceeded
+			}
+		}
 	}
 	metrics := c.Metrics
 	s, err := c.session(metrics, nil)
@@ -178,6 +221,11 @@ func (c *Client) CallStream(proc uint32, opName string, window int, marshal func
 	if metrics != nil {
 		enc.EnableStats(true)
 	}
+	if hasBudget {
+		// Outermost annotation, exactly as on the call path: see
+		// beginAttempt. Deadline-less streams write nothing.
+		writeDeadline(enc, budget)
+	}
 	c.proto.WriteRequest(enc, &h)
 	marshal(enc)
 	if metrics != nil {
@@ -194,7 +242,7 @@ func (c *Client) CallStream(proc uint32, opName string, window int, marshal func
 	if window == 0 {
 		slack = 16
 	}
-	st := &ClientStream{c: c, s: s, xid: xid, window: window, ch: make(chan streamMsg, window+slack)}
+	st := &ClientStream{c: c, s: s, xid: xid, window: window, ctx: ctx, ch: make(chan streamMsg, window+slack)}
 
 	// Register before sending so a chunk cannot race past its stream,
 	// exactly like the call table's register-before-send.
@@ -259,6 +307,10 @@ func (st *ClientStream) Recv() (*Decoder, error) {
 	if st.finished {
 		return nil, st.ferr
 	}
+	var ctxDone <-chan struct{}
+	if st.ctx != nil {
+		ctxDone = st.ctx.Done()
+	}
 	var m streamMsg
 	if t := st.c.Timeout; t > 0 {
 		timer := time.NewTimer(t)
@@ -271,15 +323,19 @@ func (st *ClientStream) Recv() (*Decoder, error) {
 			// cannot be resumed). Best-effort cancel so a sender merely
 			// starved of credit (a lost grant frame) is unblocked rather
 			// than orphaned until connection teardown.
-			st.s.unregisterStream(st.xid)
-			st.terminate(ErrTimeout)
-			sendStreamCtl(st.s.conn, streamCancel, st.xid, 0)
-			st.drain()
-			st.finished, st.ferr = true, ErrTimeout
-			return nil, ErrTimeout
+			return st.abort(ErrTimeout)
+		case <-ctxDone:
+			timer.Stop()
+			return st.abort(st.ctx.Err())
 		}
 	} else {
-		m = <-st.ch
+		select {
+		case m = <-st.ch:
+		case <-ctxDone:
+			// A nil ctxDone never fires; with no Timeout and no ctx the
+			// receive blocks, as it always has.
+			return st.abort(st.ctx.Err())
+		}
 	}
 	if m.err != nil {
 		st.finished, st.ferr = true, m.err
@@ -297,6 +353,21 @@ func (st *ClientStream) Recv() (*Decoder, error) {
 		}
 	}
 	return m.dec, nil
+}
+
+// abort tears the stream down terminally with the given cause:
+// unregister (late frames drop), deliver the terminal to the session
+// reader's side, send a best-effort cancel frame so a server-side
+// sender starved of credit unblocks instead of hanging until its own
+// timeout, and drain already-buffered chunks back to the pool. The
+// cause becomes the sticky terminal status.
+func (st *ClientStream) abort(cause error) (*Decoder, error) {
+	st.s.unregisterStream(st.xid)
+	st.terminate(cause)
+	sendStreamCtl(st.s.conn, streamCancel, st.xid, 0)
+	st.drain()
+	st.finished, st.ferr = true, cause
+	return nil, cause
 }
 
 // Grant extends the server's chunk credit by n. It is how a zero-window
